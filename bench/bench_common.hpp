@@ -1,0 +1,101 @@
+// Shared plumbing for the bench harnesses: common CLI options, suite
+// construction (synthetic by default, --mm <dir> for real SuiteSparse
+// files), and output helpers. Every harness prints the rows of its paper
+// artifact; --csv dumps the raw per-matrix data for external plotting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/spmvcache.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace spmvcache::bench {
+
+/// Options common to all harnesses.
+struct CommonOptions {
+    std::int64_t count = 12;     ///< matrices in the synthetic suite
+    double scale = 0.5;          ///< dimension multiplier for the suite
+    std::int64_t threads = 48;   ///< simulated threads
+    std::uint64_t seed = 42;
+    std::string mm_dir;          ///< directory of .mtx files (optional)
+    std::string csv_path;        ///< raw data dump (optional)
+    bool verbose = false;
+    std::int64_t host_threads = 1;
+};
+
+inline CommonOptions parse_common(const CliParser& cli,
+                                  std::int64_t default_count,
+                                  double default_scale) {
+    CommonOptions o;
+    o.count = cli.get_int("count", default_count);
+    o.scale = cli.get_double("scale", default_scale);
+    o.threads = cli.get_int("threads", 48);
+    o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    o.mm_dir = cli.get("mm", "");
+    o.csv_path = cli.get("csv", "");
+    o.verbose = cli.get_bool("verbose", false);
+    o.host_threads = cli.get_int("host-threads", 1);
+    return o;
+}
+
+inline void print_usage_hint(const char* name) {
+    std::cout << "# " << name
+              << " [--count N] [--scale F] [--threads T] [--seed S]"
+                 " [--mm DIR] [--csv FILE] [--verbose]\n";
+}
+
+/// Builds the matrix collection: real .mtx files if --mm was given,
+/// otherwise the synthetic suite. `t_min` drops the small end of each
+/// generator family (see SuiteOptions::t_min).
+inline std::vector<gen::MatrixSpec> build_suite(const CommonOptions& o,
+                                                double t_min = 0.0) {
+    if (!o.mm_dir.empty()) return gen::matrix_market_suite(o.mm_dir);
+    gen::SuiteOptions suite;
+    suite.count = o.count;
+    suite.scale = o.scale;
+    suite.t_min = t_min;
+    suite.seed = o.seed;
+    return gen::synthetic_suite(suite);
+}
+
+/// Standard experiment options on the default (full A64FX) machine.
+inline ExperimentOptions experiment_options(const CommonOptions& o) {
+    ExperimentOptions e;
+    e.machine = a64fx_default();
+    e.threads = o.threads;
+    return e;
+}
+
+/// Renders one boxplot distribution as a table row: the quantities Fig. 2
+/// and Fig. 3 display (quartiles, median, whiskers, outlier count).
+inline std::vector<std::string> boxplot_row(const std::string& label,
+                                            std::span<const double> data,
+                                            int precision = 2) {
+    const auto box = boxplot(data);
+    return {label,
+            fmt(box.whisker_lo, precision),
+            fmt(box.q1, precision),
+            fmt(box.median, precision),
+            fmt(box.q3, precision),
+            fmt(box.whisker_hi, precision),
+            std::to_string(box.outliers.size()),
+            fmt(box.mean, precision)};
+}
+
+inline std::vector<std::string> boxplot_headers(const std::string& first) {
+    return {first, "whisk_lo", "q1", "median", "q3", "whisk_hi",
+            "outliers", "mean"};
+}
+
+}  // namespace spmvcache::bench

@@ -1,0 +1,49 @@
+// Reproduces §4.5.1: the runtime overhead of method (A) relative to
+// method (B) (paper: 4.21x sequential, 3.02x with 48 threads; average
+// method (B) runtime 6.54 s / 9.22 s at paper scale), plus a comparison
+// of the Olken and Kim stack-processing engines inside method (A).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace spmvcache;
+    using namespace spmvcache::bench;
+
+    const CliParser cli(argc, argv);
+    print_usage_hint("bench_overhead");
+    const auto common = parse_common(cli, /*count=*/4, /*scale=*/0.3);
+
+    std::cout << "Model runtime overhead t_A / t_B (paper §4.5.1: 4.21x at "
+                 "1 thread, 3.02x at 48 threads)\n\n";
+
+    const auto suite = build_suite(common);
+    TextTable table({"matrix", "threads", "t_A [s]", "t_A(Kim) [s]",
+                     "t_B [s]", "t_A/t_B"});
+
+    for (const std::int64_t threads : {std::int64_t{1}, common.threads}) {
+        double total_a = 0.0, total_b = 0.0;
+        for (const auto& spec : suite) {
+            const CsrMatrix m = spec.factory();
+            ModelOptions options;
+            options.machine = a64fx_default();
+            options.threads = threads;
+            options.predict_l1 = false;
+            const auto a = run_method_a(m, options);
+            const auto a_kim = run_method_a(m, options, EngineKind::Kim);
+            const auto b = run_method_b(m, options);
+            total_a += a.seconds;
+            total_b += b.seconds;
+            table.add_row({spec.name, std::to_string(threads),
+                           fmt(a.seconds, 3), fmt(a_kim.seconds, 3),
+                           fmt(b.seconds, 3),
+                           fmt(b.seconds > 0 ? a.seconds / b.seconds : 0.0,
+                               2)});
+            std::cerr << spec.name << " @" << threads << " threads done\n";
+        }
+        std::cout << "threads=" << threads << ": total t_A " << fmt(total_a, 2)
+                  << " s, total t_B " << fmt(total_b, 2) << " s, ratio "
+                  << fmt(total_b > 0 ? total_a / total_b : 0.0, 2) << "x\n";
+    }
+    std::cout << '\n';
+    table.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,14 @@
+#include "cachesim/a64fx.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+A64fxConfig a64fx_default() { return A64fxConfig{}; }
+
+std::uint64_t ways_to_lines(const CacheConfig& cache, std::uint32_t ways) {
+    SPMV_EXPECTS(ways <= cache.ways);
+    return cache.sets() * ways;
+}
+
+}  // namespace spmvcache

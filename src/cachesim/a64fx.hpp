@@ -1,0 +1,62 @@
+// A64FX machine description: 48 cores in four NUMA domains (CMGs), private
+// 64 KiB 4-way L1D per core, one shared 8 MiB 16-way L2 segment per domain,
+// 256-byte lines, HBM2 memory (§4.1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/prefetch.hpp"
+
+namespace spmvcache {
+
+/// A sector-cache configuration in the paper's terms: how many ways of
+/// each level are given to sector 1 (the non-reusable data). 0 = level
+/// unpartitioned, as with FCC's scache_isolate_way L2=N2 [L1=N1].
+struct SectorWays {
+    std::uint32_t l2 = 0;
+    std::uint32_t l1 = 0;
+
+    [[nodiscard]] bool enabled() const noexcept { return l2 > 0 || l1 > 0; }
+    friend bool operator==(const SectorWays&, const SectorWays&) = default;
+};
+
+/// Full simulated-machine configuration; defaults model the A64FX.
+struct A64fxConfig {
+    std::int64_t cores = 48;
+    std::int64_t cores_per_numa = 12;
+
+    CacheConfig l1{64 * 1024, 256, 4, 0};
+    CacheConfig l2{8 * 1024 * 1024, 256, 16, 0};
+
+    /// Per-core L1 stream prefetcher: runs a few KiB ahead.
+    PrefetchConfig l1_prefetch{true, 16, 8, 4};
+    /// Per-core L2 stream prefetcher: aggressive distance (48 KiB ahead
+    /// per stream), the §4.3 premature-eviction lever — with 12 cores x 2
+    /// matrix streams per segment, the in-flight prefetched lines exceed
+    /// a 2-way sector (4096 lines) but fit from 4 ways up, reproducing
+    /// the paper's parallel small-sector mispredictions.
+    PrefetchConfig l2_prefetch{true, 192, 16, 4};
+
+    [[nodiscard]] std::int64_t numa_domains() const noexcept {
+        return (cores + cores_per_numa - 1) / cores_per_numa;
+    }
+
+    /// L2 capacity in lines of one segment (32768 on the A64FX).
+    [[nodiscard]] std::uint64_t l2_lines() const noexcept {
+        return l2.lines();
+    }
+    [[nodiscard]] std::uint64_t l1_lines() const noexcept {
+        return l1.lines();
+    }
+};
+
+/// The configuration used throughout the paper's experiments.
+[[nodiscard]] A64fxConfig a64fx_default();
+
+/// Capacity in lines of the given way count of a cache level (way share
+/// of the total): e.g. 5 of 16 L2 ways = 5 * 2048 sets = 10240 lines.
+[[nodiscard]] std::uint64_t ways_to_lines(const CacheConfig& cache,
+                                          std::uint32_t ways);
+
+}  // namespace spmvcache

@@ -1,0 +1,167 @@
+#include "cachesim/cache.hpp"
+
+namespace spmvcache {
+
+SectorCache::SectorCache(const CacheConfig& config) : config_(config) {
+    SPMV_EXPECTS(config.line_bytes >= 8);
+    SPMV_EXPECTS(config.ways >= 1);
+    SPMV_EXPECTS(config.size_bytes % (config.line_bytes * config.ways) == 0);
+    sets_ = config.sets();
+    SPMV_EXPECTS(sets_ >= 1 && (sets_ & (sets_ - 1)) == 0);
+    SPMV_EXPECTS(config.sector1_ways < config.ways);
+    ways_.resize(static_cast<std::size_t>(sets_) * config.ways);
+}
+
+CacheOutcome SectorCache::lookup(std::uint64_t line, int sector,
+                                 bool write) noexcept {
+    Way* set = ways_of(set_of(line));
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Way& way = set[w];
+        if (way.valid && way.tag == line) {
+            CacheOutcome outcome;
+            outcome.hit = true;
+            outcome.hit_prefetched_unused = way.prefetched_unused;
+            way.prefetched_unused = false;
+            way.stamp = ++clock_;
+            way.referenced = true;
+            way.dirty = way.dirty || write;
+            way.sector = static_cast<std::uint8_t>(sector);
+            return outcome;
+        }
+    }
+    return CacheOutcome{};
+}
+
+CacheOutcome SectorCache::fill(std::uint64_t line, int sector, bool write,
+                               bool prefetched) noexcept {
+    Way* set = ways_of(set_of(line));
+    CacheOutcome outcome;
+
+    const bool partitioned = config_.sector1_ways > 0;
+    const std::uint32_t quota[2] = {
+        partitioned ? config_.ways - config_.sector1_ways : config_.ways,
+        partitioned ? config_.sector1_ways : config_.ways};
+
+    // Census of the set: invalid way, per-sector counts, per-sector and
+    // global LRU.
+    Way* invalid = nullptr;
+    std::uint32_t count[2] = {0, 0};
+    Way* lru_of_sector[2] = {nullptr, nullptr};
+    Way* lru_global = nullptr;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Way& way = set[w];
+        if (!way.valid) {
+            if (invalid == nullptr) invalid = &way;
+            continue;
+        }
+        const int s = way.sector;
+        ++count[s];
+        if (lru_of_sector[s] == nullptr ||
+            way.stamp < lru_of_sector[s]->stamp)
+            lru_of_sector[s] = &way;
+        if (lru_global == nullptr || way.stamp < lru_global->stamp)
+            lru_global = &way;
+    }
+
+    const bool nru = config_.replacement == ReplacementPolicy::Nru;
+    Way* victim = nullptr;
+    if (!partitioned) {
+        // Sector tags are ignored entirely when partitioning is off.
+        victim = invalid != nullptr
+                     ? invalid
+                     : (nru ? nru_victim(set, -1) : lru_global);
+    } else if (count[sector] >= quota[sector] &&
+               lru_of_sector[sector] != nullptr) {
+        // At quota: replace within the own sector.
+        victim = nru ? nru_victim(set, sector) : lru_of_sector[sector];
+    } else if (invalid != nullptr) {
+        victim = invalid;
+    } else {
+        // Set full but own sector under quota: the other sector must be
+        // over its quota; take its victim.
+        const int other = lru_of_sector[1 - sector] != nullptr ? 1 - sector
+                                                               : sector;
+        victim = nru ? nru_victim(set, other) : lru_of_sector[other];
+    }
+
+    if (victim->valid) {
+        outcome.evicted = true;
+        outcome.evicted_line = victim->tag;
+        outcome.evicted_dirty = victim->dirty;
+        outcome.evicted_prefetched_unused = victim->prefetched_unused;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->prefetched_unused = prefetched;
+    victim->referenced = true;
+    victim->sector = static_cast<std::uint8_t>(sector);
+    victim->stamp = ++clock_;
+    return outcome;
+}
+
+SectorCache::Way* SectorCache::nru_victim(Way* set, int sector) noexcept {
+    auto candidate = [&](const Way& way) {
+        return way.valid && (sector < 0 || way.sector == sector);
+    };
+    // The most recently used candidate is never the victim (as in
+    // tree-PLRU, where the last access flips the tree away from itself).
+    Way* mru = nullptr;
+    std::uint32_t candidates = 0;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (!candidate(set[w])) continue;
+        ++candidates;
+        if (mru == nullptr || set[w].stamp > mru->stamp) mru = &set[w];
+    }
+    if (candidates <= 1) return mru != nullptr ? mru : &set[0];
+
+    for (int round = 0; round < 2; ++round) {
+        for (std::uint32_t w = 0; w < config_.ways; ++w) {
+            if (candidate(set[w]) && &set[w] != mru && !set[w].referenced)
+                return &set[w];
+        }
+        // All eligible candidates were recently referenced: clear their
+        // bits and scan again (the clock-hand sweep).
+        for (std::uint32_t w = 0; w < config_.ways; ++w)
+            if (candidate(set[w]) && &set[w] != mru)
+                set[w].referenced = false;
+    }
+    return mru;  // unreachable with >= 2 candidates
+}
+
+bool SectorCache::contains(std::uint64_t line) const noexcept {
+    const Way* set = ways_of(set_of(line));
+    for (std::uint32_t w = 0; w < config_.ways; ++w)
+        if (set[w].valid && set[w].tag == line) return true;
+    return false;
+}
+
+bool SectorCache::mark_dirty(std::uint64_t line) noexcept {
+    Way* set = ways_of(set_of(line));
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            set[w].dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+void SectorCache::set_sector1_ways(std::uint32_t ways1) {
+    SPMV_EXPECTS(ways1 < config_.ways);
+    config_.sector1_ways = ways1;
+}
+
+std::uint64_t SectorCache::occupancy(int sector) const noexcept {
+    std::uint64_t n = 0;
+    for (const Way& way : ways_)
+        if (way.valid && way.sector == sector) ++n;
+    return n;
+}
+
+void SectorCache::flush() noexcept {
+    for (Way& way : ways_) way = Way{};
+    clock_ = 0;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,131 @@
+// Set-associative cache with A64FX-style way-based sector partitioning.
+//
+// Sector semantics follow the A64FX microarchitecture manual: each sector
+// has a *maximum way count* per set. On a fill, if the incoming sector is
+// at (or above) its quota in the set, the victim is the LRU line of that
+// sector; otherwise an invalid way or the LRU line of the over-quota other
+// sector is used. Reconfiguring the quotas never flushes the cache — lines
+// migrate only through future fills, exactly as on the hardware. A hit
+// with a different sector ID re-tags the line.
+//
+// Replacement is exact LRU within the candidate set of ways; the A64FX's
+// (undisclosed) pseudo-LRU is approximated by LRU, the same assumption the
+// paper makes for its model (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+/// How victims are chosen within the candidate ways.
+enum class ReplacementPolicy : std::uint8_t {
+    /// Exact least-recently-used (the assumption behind the paper's model).
+    Lru,
+    /// Not-recently-used (clock): a one-bit-per-line pseudo-LRU like the
+    /// (undisclosed) A64FX policy; victims are lines whose reference bit
+    /// is clear, with all bits reset when every candidate was referenced.
+    Nru,
+};
+
+/// Static geometry plus the dynamic sector-1 way quota.
+struct CacheConfig {
+    std::uint64_t size_bytes = 64 * 1024;
+    std::uint32_t line_bytes = 256;
+    std::uint32_t ways = 4;
+    /// Ways reserved for sector 1 (0 disables partitioning: all data
+    /// competes for all ways regardless of sector tag).
+    std::uint32_t sector1_ways = 0;
+    ReplacementPolicy replacement = ReplacementPolicy::Lru;
+
+    [[nodiscard]] std::uint64_t lines() const noexcept {
+        return size_bytes / line_bytes;
+    }
+    [[nodiscard]] std::uint64_t sets() const noexcept {
+        return lines() / ways;
+    }
+};
+
+/// What happened on an access or fill.
+struct CacheOutcome {
+    bool hit = false;
+    bool hit_prefetched_unused = false;  ///< swap: first demand touch of a
+                                         ///< prefetched line
+    bool evicted = false;
+    std::uint64_t evicted_line = 0;
+    bool evicted_dirty = false;
+    bool evicted_prefetched_unused = false;  ///< premature eviction
+};
+
+/// One set-associative sector cache (an L1D or one L2 segment).
+class SectorCache {
+public:
+    explicit SectorCache(const CacheConfig& config);
+
+    /// Looks up `line`; on hit updates recency, dirtiness and sector tag.
+    /// Does not allocate on miss — callers decide fill policy per level.
+    [[nodiscard]] CacheOutcome lookup(std::uint64_t line, int sector,
+                                      bool write) noexcept;
+
+    /// Inserts `line` after a miss, choosing a victim per sector quotas.
+    /// `prefetched` marks the line as filled-by-prefetch (cleared on first
+    /// demand hit). Returns eviction information.
+    CacheOutcome fill(std::uint64_t line, int sector, bool write,
+                      bool prefetched) noexcept;
+
+    /// True if the line is present (no recency update).
+    [[nodiscard]] bool contains(std::uint64_t line) const noexcept;
+
+    /// Marks an existing line dirty (write-back from an inner level);
+    /// returns false if the line is not present.
+    bool mark_dirty(std::uint64_t line) noexcept;
+
+    /// Changes the sector-1 way quota without flushing (A64FX dynamic
+    /// reconfiguration). Pre: value < ways (sector 0 keeps at least 1 way)
+    /// or 0 to disable partitioning.
+    void set_sector1_ways(std::uint32_t ways1);
+
+    [[nodiscard]] const CacheConfig& config() const noexcept {
+        return config_;
+    }
+
+    /// Number of valid lines currently tagged with `sector`.
+    [[nodiscard]] std::uint64_t occupancy(int sector) const noexcept;
+
+    /// Invalidates everything (used between experiments, never implicitly).
+    void flush() noexcept;
+
+private:
+    struct Way {
+        std::uint64_t tag = 0;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched_unused = false;
+        bool referenced = false;  ///< NRU reference bit
+        std::uint8_t sector = 0;
+    };
+
+    /// NRU victim among the set's ways holding `sector` lines (or any
+    /// valid line if sector < 0); resets reference bits when exhausted.
+    [[nodiscard]] Way* nru_victim(Way* set, int sector) noexcept;
+
+    [[nodiscard]] std::size_t set_of(std::uint64_t line) const noexcept {
+        return static_cast<std::size_t>(line & (sets_ - 1));
+    }
+    [[nodiscard]] Way* ways_of(std::size_t set) noexcept {
+        return &ways_[set * config_.ways];
+    }
+    [[nodiscard]] const Way* ways_of(std::size_t set) const noexcept {
+        return &ways_[set * config_.ways];
+    }
+
+    CacheConfig config_;
+    std::uint64_t sets_ = 0;
+    std::vector<Way> ways_;
+    std::uint64_t clock_ = 0;  ///< global recency stamp source
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,100 @@
+// PMU-style event counters mirroring the A64FX events the paper measures
+// (§4.3): L1D_CACHE_REFILL, L2D_CACHE_REFILL, L2D_CACHE_REFILL_DM,
+// L2D_SWAP_DM, L2D_CACHE_MIBMCH_PRF and L2D_CACHE_WB, with the same
+// correction arithmetic ("true" L2 misses = REFILL - SWAP_DM - MIBMCH_PRF).
+#pragma once
+
+#include <cstdint>
+
+namespace spmvcache {
+
+/// Counters of one L1D cache (per core).
+struct L1Counters {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t refills = 0;            ///< L1D_CACHE_REFILL (demand fills)
+    std::uint64_t prefetch_fills = 0;     ///< fills issued by the L1 prefetcher
+    std::uint64_t writebacks = 0;         ///< dirty evictions
+    std::uint64_t prefetch_unused_evictions = 0;  ///< premature evictions
+
+    L1Counters& operator+=(const L1Counters& o) noexcept {
+        accesses += o.accesses;
+        hits += o.hits;
+        refills += o.refills;
+        prefetch_fills += o.prefetch_fills;
+        writebacks += o.writebacks;
+        prefetch_unused_evictions += o.prefetch_unused_evictions;
+        return *this;
+    }
+};
+
+/// Counters of one shared L2 segment.
+struct L2Counters {
+    std::uint64_t demand_accesses = 0;
+    std::uint64_t demand_hits = 0;
+    std::uint64_t demand_fills = 0;    ///< L2D_CACHE_REFILL_DM: demand
+                                       ///< misses fetched from memory
+    std::uint64_t prefetch_fills = 0;  ///< L2D_CACHE_MIBMCH_PRF
+    std::uint64_t swap_dm = 0;         ///< L2D_SWAP_DM: demand access that
+                                       ///< found a prefetched-unused line
+    std::uint64_t writebacks = 0;      ///< L2D_CACHE_WB
+    std::uint64_t prefetch_unused_evictions = 0;
+
+    /// Total lines brought into the L2 from memory — the paper's corrected
+    /// "L2 cache misses" (REFILL - SWAP_DM - MIBMCH_PRF).
+    [[nodiscard]] std::uint64_t fills() const noexcept {
+        return demand_fills + prefetch_fills;
+    }
+
+    /// The raw L2D_CACHE_REFILL event as the PMU would report it (fills
+    /// plus the swap and prefetch-merge artifacts the errata describes).
+    [[nodiscard]] std::uint64_t refill_raw() const noexcept {
+        return fills() + swap_dm + prefetch_fills;
+    }
+
+    /// Demand misses ("L2D_CACHE_REFILL_DM"), the Fig. 5 quantity.
+    [[nodiscard]] std::uint64_t demand_misses() const noexcept {
+        return demand_fills;
+    }
+
+    /// Memory traffic in bytes per the paper's §4.4 bandwidth formula:
+    /// (L2D_CACHE_REFILL + L2D_CACHE_WB - L2D_SWAP_DM -
+    ///  L2D_CACHE_MIBMCH_PRF) * line_bytes.
+    [[nodiscard]] std::uint64_t memory_bytes(
+        std::uint64_t line_bytes) const noexcept {
+        return (refill_raw() + writebacks - swap_dm - prefetch_fills) *
+               line_bytes;
+    }
+
+    L2Counters& operator+=(const L2Counters& o) noexcept {
+        demand_accesses += o.demand_accesses;
+        demand_hits += o.demand_hits;
+        demand_fills += o.demand_fills;
+        prefetch_fills += o.prefetch_fills;
+        swap_dm += o.swap_dm;
+        writebacks += o.writebacks;
+        prefetch_unused_evictions += o.prefetch_unused_evictions;
+        return *this;
+    }
+};
+
+/// Per-core attribution used by the timing model: how many of the core's
+/// demand accesses hit/missed at each level.
+struct CoreCounters {
+    std::uint64_t demand_accesses = 0;
+    std::uint64_t l1_refills = 0;
+    std::uint64_t l2_demand_hits = 0;
+    std::uint64_t l2_demand_fills = 0;  ///< latency-critical memory fetches
+    std::uint64_t l2_swaps = 0;
+
+    CoreCounters& operator+=(const CoreCounters& o) noexcept {
+        demand_accesses += o.demand_accesses;
+        l1_refills += o.l1_refills;
+        l2_demand_hits += o.l2_demand_hits;
+        l2_demand_fills += o.l2_demand_fills;
+        l2_swaps += o.l2_swaps;
+        return *this;
+    }
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,4 @@
+// collection.hpp is header-only (template); this translation unit exists
+// to give the target a compiled anchor and to catch header self-containment
+// regressions at build time.
+#include "core/collection.hpp"

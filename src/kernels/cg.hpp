@@ -1,0 +1,32 @@
+// Conjugate-gradient solver built on the CSR SpMV kernel.
+//
+// The related work the paper compares against (Lu et al., Breiter et al.)
+// evaluates cache partitioning inside CG benchmarks; the cg_solver example
+// uses this to demonstrate the library on the paper's motivating use case:
+// *iterative* SpMV, where the x-vector is reused across iterations and the
+// sector cache pays off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache {
+
+/// Outcome of a CG solve.
+struct CgResult {
+    std::int64_t iterations = 0;
+    double residual_norm = 0.0;
+    bool converged = false;
+};
+
+/// Solves A x = b for symmetric positive definite A, starting from x = 0.
+/// Stops when ||r||_2 <= tolerance * ||b||_2 or after max_iterations.
+/// Pre: A square, b.size() == rows, x.size() == rows.
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tolerance = 1e-8,
+                            std::int64_t max_iterations = 1000);
+
+}  // namespace spmvcache

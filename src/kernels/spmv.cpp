@@ -1,0 +1,58 @@
+#include "kernels/spmv.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+void spmv_csr(const CsrMatrix& a, std::span<const double> x,
+              std::span<double> y) {
+    SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
+    SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
+    const auto rowptr = a.rowptr();
+    const auto colidx = a.colidx();
+    const auto values = a.values();
+    for (std::int64_t r = 0; r < a.rows(); ++r) {
+        double acc = y[static_cast<std::size_t>(r)];
+        for (std::int64_t i = rowptr[static_cast<std::size_t>(r)];
+             i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+            acc += values[static_cast<std::size_t>(i)] *
+                   x[static_cast<std::size_t>(
+                       colidx[static_cast<std::size_t>(i)])];
+        }
+        y[static_cast<std::size_t>(r)] = acc;
+    }
+}
+
+void spmv_csr_parallel(const CsrMatrix& a, std::span<const double> x,
+                       std::span<double> y, const RowPartition& partition) {
+    SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
+    SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
+    const auto rowptr = a.rowptr();
+    const auto colidx = a.colidx();
+    const auto values = a.values();
+    const auto threads = partition.threads();
+
+#pragma omp parallel for schedule(static, 1)
+    for (std::int64_t t = 0; t < threads; ++t) {
+        const auto& range = partition.range(t);
+        for (std::int64_t r = range.begin; r < range.end; ++r) {
+            double acc = y[static_cast<std::size_t>(r)];
+            for (std::int64_t i = rowptr[static_cast<std::size_t>(r)];
+                 i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+                acc += values[static_cast<std::size_t>(i)] *
+                       x[static_cast<std::size_t>(
+                           colidx[static_cast<std::size_t>(i)])];
+            }
+            y[static_cast<std::size_t>(r)] = acc;
+        }
+    }
+}
+
+void spmv_csr_overwrite(const CsrMatrix& a, std::span<const double> x,
+                        std::span<double> y) {
+    SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
+    for (auto& v : y) v = 0.0;
+    spmv_csr(a, x, y);
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,28 @@
+// Executable CSR SpMV kernels — the code of Listing 1, runnable on the
+// host. The trace generator and simulator *model* these kernels; the tests
+// cross-check that modelled and executed access patterns agree, and the
+// microbenchmarks time them natively.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace spmvcache {
+
+/// y <- y + A x, sequential (exactly the loop nest of Listing 1).
+/// Pre: x.size() == A.cols(), y.size() == A.rows().
+void spmv_csr(const CsrMatrix& a, std::span<const double> x,
+              std::span<double> y);
+
+/// y <- y + A x with OpenMP row-parallelism over `partition`'s ranges
+/// (falls back to sequential execution when built without OpenMP).
+void spmv_csr_parallel(const CsrMatrix& a, std::span<const double> x,
+                       std::span<double> y, const RowPartition& partition);
+
+/// y <- A x (overwrite), sequential; convenience for solvers.
+void spmv_csr_overwrite(const CsrMatrix& a, std::span<const double> x,
+                        std::span<double> y);
+
+}  // namespace spmvcache

@@ -1,0 +1,36 @@
+// Merge-based CSR SpMV after Merrill & Garland [PPoPP'16], which the paper
+// names as the standard mitigation for row-imbalanced matrices (§2.1).
+//
+// The (rowptr, nonzero-index) merge path is split into equal-length
+// diagonals, so every thread does the same amount of work regardless of
+// how nonzeros are distributed over rows; rows straddling a boundary are
+// combined through partial-sum carry-out.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache {
+
+/// Coordinate on the merge path: which row and which nonzero come next.
+struct MergeCoordinate {
+    std::int64_t row = 0;
+    std::int64_t nonzero = 0;
+};
+
+/// Finds the merge-path coordinate of `diagonal` via binary search over
+/// the rowptr "list" vs. the natural numbers (the nonzero indices).
+/// Pre: 0 <= diagonal <= rows + nnz.
+[[nodiscard]] MergeCoordinate merge_path_search(const CsrMatrix& a,
+                                                std::int64_t diagonal);
+
+/// y <- y + A x using the merge-based decomposition into `pieces` equal
+/// chunks (sequentially executed chunk loop; each chunk is independent
+/// except for the carry, which is fixed up afterwards).
+/// Pre: pieces >= 1, x.size() == cols, y.size() == rows.
+void spmv_csr_merge(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> y, std::int64_t pieces);
+
+}  // namespace spmvcache

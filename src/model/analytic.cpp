@@ -1,0 +1,38 @@
+#include "model/analytic.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+StreamingMisses streaming_misses(std::int64_t rows, std::int64_t nnz,
+                                 std::uint64_t line_bytes) {
+    SPMV_EXPECTS(rows >= 0 && nnz >= 0);
+    SPMV_EXPECTS(line_bytes >= 8);
+    const auto m = static_cast<std::uint64_t>(rows);
+    const auto k = static_cast<std::uint64_t>(nnz);
+    auto ceil_div = [line_bytes](std::uint64_t bytes) {
+        return (bytes + line_bytes - 1) / line_bytes;
+    };
+    StreamingMisses s;
+    s.values = ceil_div(8 * k);
+    s.colidx = ceil_div(4 * k);
+    s.rowptr = ceil_div(8 * (m + 1));
+    s.y = ceil_div(8 * m);
+    return s;
+}
+
+double scaling_factor_partitioned(std::int64_t rows, std::int64_t nnz) {
+    SPMV_EXPECTS(rows >= 0 && nnz >= 1);
+    return (16.0 * static_cast<double>(rows) / static_cast<double>(nnz) +
+            8.0) /
+           8.0;
+}
+
+double scaling_factor_unpartitioned(std::int64_t rows, std::int64_t nnz) {
+    SPMV_EXPECTS(rows >= 0 && nnz >= 1);
+    return (16.0 * static_cast<double>(rows) / static_cast<double>(nnz) +
+            20.0) /
+           8.0;
+}
+
+}  // namespace spmvcache

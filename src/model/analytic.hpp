@@ -1,0 +1,43 @@
+// Analytic (streaming) miss terms of §3.1: the matrix data is used once
+// per SpMV, so with a working set beyond cache capacity, a, colidx, rowptr
+// and y incur exactly one miss per cache line:
+//   a:      ceil(8K/L)        colidx: ceil(4K/L)
+//   rowptr: ceil(8(M+1)/L)    y:      ceil(8M/L)
+// for an M-by-N matrix with K nonzeros and line size L.
+#pragma once
+
+#include <cstdint>
+
+namespace spmvcache {
+
+/// Streaming (one-miss-per-line) counts for the four regular arrays.
+struct StreamingMisses {
+    std::uint64_t values = 0;
+    std::uint64_t colidx = 0;
+    std::uint64_t rowptr = 0;
+    std::uint64_t y = 0;
+
+    [[nodiscard]] std::uint64_t matrix_data() const noexcept {
+        return values + colidx;
+    }
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return values + colidx + rowptr + y;
+    }
+};
+
+/// Computes the §3.1 streaming terms. Pre: line_bytes >= 8.
+[[nodiscard]] StreamingMisses streaming_misses(std::int64_t rows,
+                                               std::int64_t nnz,
+                                               std::uint64_t line_bytes);
+
+/// Method (B) scaling factor with partitioning (x shares its partition
+/// with rowptr and y): s1 = (16*M/K + 8) / 8  (§3.2.2).
+[[nodiscard]] double scaling_factor_partitioned(std::int64_t rows,
+                                                std::int64_t nnz);
+
+/// Method (B) scaling factor without partitioning (a and colidx references
+/// interleave as well): s2 = (16*M/K + 20) / 8  (§3.2.2).
+[[nodiscard]] double scaling_factor_unpartitioned(std::int64_t rows,
+                                                  std::int64_t nnz);
+
+}  // namespace spmvcache

@@ -1,0 +1,38 @@
+#include "model/classify.hpp"
+
+namespace spmvcache {
+
+std::string to_string(MatrixClass c) {
+    switch (c) {
+        case MatrixClass::Class1:
+            return "(1)";
+        case MatrixClass::Class2:
+            return "(2)";
+        case MatrixClass::Class3a:
+            return "(3a)";
+        case MatrixClass::Class3b:
+            return "(3b)";
+    }
+    return "?";
+}
+
+MatrixClass classify(const MatrixStats& stats, std::uint64_t cache_bytes,
+                     std::uint64_t sector0_bytes) {
+    const std::uint64_t x_bytes = static_cast<std::uint64_t>(stats.cols) * 8;
+    const std::uint64_t y_bytes = static_cast<std::uint64_t>(stats.rows) * 8;
+    const std::uint64_t rowptr_bytes =
+        (static_cast<std::uint64_t>(stats.rows) + 1) * 8;
+
+    if (stats.working_set_bytes <= cache_bytes) return MatrixClass::Class1;
+    if (x_bytes + y_bytes + rowptr_bytes <= sector0_bytes)
+        return MatrixClass::Class2;
+    if (x_bytes <= sector0_bytes) return MatrixClass::Class3a;
+    return MatrixClass::Class3b;
+}
+
+MatrixClass classify(const CsrMatrix& m, std::uint64_t cache_bytes,
+                     std::uint64_t sector0_bytes) {
+    return classify(compute_stats(m), cache_bytes, sector0_bytes);
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,35 @@
+// Matrix classification by working-set size (§3.1 of the paper):
+//  (1)  matrix and vectors together fit into cache;
+//  (2)  they do not, but x, y and rowptr fit into one cache partition;
+//  (3a) x, y, rowptr together do not fit, but x alone does;
+//  (3b) even x alone does not fit into the partition.
+// Class (2) is where the sector cache helps most (Fig. 4); class (1) sees
+// no capacity misses, class (3) only partial benefit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/matrix_stats.hpp"
+
+namespace spmvcache {
+
+enum class MatrixClass { Class1, Class2, Class3a, Class3b };
+
+/// Short label as used in the paper's figures: "(1)", "(2)", "(3a)", "(3b)".
+[[nodiscard]] std::string to_string(MatrixClass c);
+
+/// Classifies by byte sizes: `cache_bytes` is the capacity of the cache
+/// level of interest (one 8 MiB L2 segment on the A64FX), `sector0_bytes`
+/// the share available to the reusable data under the sector configuration
+/// (the full cache when partitioning is off).
+[[nodiscard]] MatrixClass classify(const MatrixStats& stats,
+                                   std::uint64_t cache_bytes,
+                                   std::uint64_t sector0_bytes);
+
+/// Convenience overload computing the stats internally.
+[[nodiscard]] MatrixClass classify(const CsrMatrix& m,
+                                   std::uint64_t cache_bytes,
+                                   std::uint64_t sector0_bytes);
+
+}  // namespace spmvcache

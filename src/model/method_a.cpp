@@ -1,0 +1,170 @@
+#include "model/method_a.hpp"
+
+#include <memory>
+
+#include "reuse/histogram.hpp"
+#include "reuse/kim.hpp"
+#include "reuse/olken.hpp"
+#include "trace/spmv_trace.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace spmvcache {
+
+const ConfigPrediction& ModelResult::at(std::uint32_t l2_sector_ways) const {
+    for (const auto& c : configs)
+        if (c.l2_sector_ways == l2_sector_ways) return c;
+    throw ContractViolation("no prediction for requested sector way count");
+}
+
+namespace {
+
+std::unique_ptr<ReuseEngine> make_engine(EngineKind kind,
+                                         std::size_t expected_lines,
+                                         std::uint64_t kim_group_capacity) {
+    if (kind == EngineKind::Kim)
+        return std::make_unique<KimEngine>(kim_group_capacity);
+    return std::make_unique<OlkenEngine>(expected_lines);
+}
+
+}  // namespace
+
+ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
+                         EngineKind engine_kind) {
+    SPMV_EXPECTS(options.threads >= 1);
+    SPMV_EXPECTS(options.threads <= options.machine.cores);
+    const Timer timer;
+
+    const auto& machine = options.machine;
+    const SpmvLayout layout(m, machine.l2.line_bytes);
+    const std::int64_t segments =
+        (options.threads + machine.cores_per_numa - 1) /
+        machine.cores_per_numa;
+    const std::uint64_t l2_sets = machine.l2.sets();
+    const std::uint64_t l2_total_ways = machine.l2.ways;
+
+    // Partition capacities (in lines) priced by the partitioned pass.
+    std::vector<std::uint64_t> caps0;  // sector 0: (ways - w) * sets
+    std::vector<std::uint64_t> caps1;  // sector 1: w * sets
+    for (const auto w : options.l2_way_options) {
+        SPMV_EXPECTS(w >= 1 && w < l2_total_ways);
+        caps0.push_back((l2_total_ways - w) * l2_sets);
+        caps1.push_back(static_cast<std::uint64_t>(w) * l2_sets);
+    }
+    const std::uint64_t cap_full = l2_total_ways * l2_sets;
+
+    const TraceConfig trace_cfg{options.threads, options.partition,
+                                options.quantum};
+    const std::size_t lines_hint =
+        static_cast<std::size_t>(layout.total_lines() /
+                                 static_cast<std::uint64_t>(segments)) +
+        64;
+
+    auto segment_of = [&](std::uint32_t thread) {
+        return static_cast<std::size_t>(thread /
+                                        machine.cores_per_numa);
+    };
+
+    // ---- Pass 1: partitioned (Eq. 2) -------------------------------------
+    // Per segment one engine per partition; distances are priced at every
+    // requested way split in one go.
+    std::vector<std::unique_ptr<ReuseEngine>> eng0, eng1;
+    for (std::int64_t s = 0; s < segments; ++s) {
+        eng0.push_back(make_engine(engine_kind, lines_hint,
+                                   options.kim_group_capacity));
+        eng1.push_back(make_engine(engine_kind, lines_hint,
+                                   options.kim_group_capacity));
+    }
+    CapacityMissCounter cnt0(caps0), cnt1(caps1), cnt_x(caps0);
+
+    bool counting = false;
+    auto partitioned_sink = [&](const MemRef& ref) {
+        if (ref.is_prefetch) return;  // the model sees demand accesses only
+        const std::size_t seg = segment_of(ref.thread);
+        const int sector = sector_of(ref.object, options.policy);
+        const std::uint64_t d = (sector == 1 ? eng1 : eng0)[seg]->access(
+            ref.line);
+        if (!counting) return;
+        if (sector == 1) {
+            cnt1.record(d);
+        } else {
+            cnt0.record(d);
+            if (ref.object == DataObject::X) cnt_x.record(d);
+        }
+    };
+    generate_spmv_trace(m, layout, trace_cfg, partitioned_sink);  // warm-up
+    counting = true;
+    generate_spmv_trace(m, layout, trace_cfg, partitioned_sink);  // measured
+    eng0.clear();
+    eng1.clear();
+
+    // ---- Pass 2: unpartitioned, plus the per-core L1 model ---------------
+    std::vector<std::unique_ptr<ReuseEngine>> engU;
+    for (std::int64_t s = 0; s < segments; ++s)
+        engU.push_back(make_engine(engine_kind, lines_hint,
+                                   options.kim_group_capacity));
+    std::vector<std::unique_ptr<ReuseEngine>> engL1;
+    if (options.predict_l1) {
+        for (std::int64_t c = 0; c < options.threads; ++c)
+            engL1.push_back(make_engine(engine_kind, 4096,
+                                        options.kim_group_capacity));
+    }
+    CapacityMissCounter cntU({cap_full}), cnt_xU({cap_full});
+    const std::uint64_t l1_cap = machine.l1.lines();
+    CapacityMissCounter cntL1({l1_cap}), cnt_xL1({l1_cap});
+
+    counting = false;
+    auto unpartitioned_sink = [&](const MemRef& ref) {
+        if (ref.is_prefetch) return;
+        const std::uint64_t d =
+            engU[segment_of(ref.thread)]->access(ref.line);
+        std::uint64_t dl1 = 0;
+        if (options.predict_l1)
+            dl1 = engL1[ref.thread]->access(ref.line);
+        if (!counting) return;
+        cntU.record(d);
+        if (ref.object == DataObject::X) cnt_xU.record(d);
+        if (options.predict_l1) {
+            cntL1.record(dl1);
+            if (ref.object == DataObject::X) cnt_xL1.record(dl1);
+        }
+    };
+    generate_spmv_trace(m, layout, trace_cfg, unpartitioned_sink);  // warm-up
+    counting = true;
+    generate_spmv_trace(m, layout, trace_cfg, unpartitioned_sink);  // measured
+
+    // ---- Assemble ---------------------------------------------------------
+    ModelResult result;
+    {
+        ConfigPrediction off;
+        off.l2_sector_ways = 0;
+        // Cold misses count as misses: a line never seen in the warm-up
+        // iteration cannot be resident, whatever the capacity.
+        off.l2_misses =
+            static_cast<double>(cntU.total_misses(cap_full));
+        off.l2_x_misses =
+            static_cast<double>(cnt_xU.total_misses(cap_full));
+        result.configs.push_back(off);
+    }
+    for (std::size_t i = 0; i < options.l2_way_options.size(); ++i) {
+        ConfigPrediction p;
+        p.l2_sector_ways = options.l2_way_options[i];
+        p.l2_misses = static_cast<double>(cnt0.total_misses(caps0[i]) +
+                                          cnt1.total_misses(caps1[i]));
+        p.l2_x_misses = static_cast<double>(cnt_x.total_misses(caps0[i]));
+        result.configs.push_back(p);
+    }
+    if (options.predict_l1) {
+        result.l1_misses = static_cast<double>(cntL1.total_misses(l1_cap));
+        result.l1_x_misses =
+            static_cast<double>(cnt_xL1.total_misses(l1_cap));
+    }
+    const double total_unpart = result.configs.front().l2_misses;
+    result.x_traffic_fraction =
+        total_unpart > 0.0 ? result.configs.front().l2_x_misses / total_unpart
+                           : 0.0;
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,34 @@
+// Method (A): full-trace reuse-distance model (§3.2.1).
+//
+// The SpMV memory trace is generated from the sparsity pattern (never from
+// instrumentation), per-thread streams are interleaved round-robin within
+// each shared L2 segment, and a stack-processing engine computes the reuse
+// distance of every reference. Two passes are made, exactly as the paper
+// describes: one with all references counted in a single partition (sector
+// cache off) and one with references split between partitions by the
+// sector policy (Eq. 2). A warm-up iteration populates the stack so the
+// counted iteration has no cold misses.
+//
+// One pass prices *every* requested way split at once: the reuse-distance
+// histogram is evaluated at each partition capacity (the paper's stated
+// advantage of reuse distance over per-size cache simulation).
+#pragma once
+
+#include "model/options.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmvcache {
+
+/// Which stack-processing engine method (A) uses.
+enum class EngineKind {
+    Olken,  ///< exact, O(log n) per reference
+    Kim,    ///< Kim et al. grouped stack: approximate, locality-independent
+};
+
+/// Runs method (A). The result contains one entry per requested L2 way
+/// option plus the unpartitioned case.
+[[nodiscard]] ModelResult run_method_a(const CsrMatrix& m,
+                                       const ModelOptions& options,
+                                       EngineKind engine = EngineKind::Olken);
+
+}  // namespace spmvcache

@@ -1,0 +1,226 @@
+#include "model/method_b.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "model/analytic.hpp"
+#include "reuse/histogram.hpp"
+#include "reuse/olken.hpp"
+#include "trace/spmv_trace.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace spmvcache {
+
+namespace {
+
+/// Rows/nonzeros owned by one L2 segment's threads.
+struct SegmentShare {
+    std::int64_t rows = 0;
+    std::int64_t nnz = 0;
+};
+
+std::vector<SegmentShare> segment_shares(const CsrMatrix& m,
+                                         const RowPartition& partition,
+                                         std::int64_t segments,
+                                         std::int64_t cores_per_numa) {
+    std::vector<SegmentShare> shares(static_cast<std::size_t>(segments));
+    const auto rowptr = m.rowptr();
+    for (std::int64_t t = 0; t < partition.threads(); ++t) {
+        const auto seg = static_cast<std::size_t>(t / cores_per_numa);
+        const auto& range = partition.range(t);
+        shares[seg].rows += range.size();
+        shares[seg].nnz += rowptr[static_cast<std::size_t>(range.end)] -
+                           rowptr[static_cast<std::size_t>(range.begin)];
+    }
+    return shares;
+}
+
+std::uint64_t scaled_capacity(std::uint64_t lines, double factor) {
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(static_cast<double>(lines) / factor)));
+}
+
+}  // namespace
+
+ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
+    SPMV_EXPECTS(options.threads >= 1);
+    SPMV_EXPECTS(options.threads <= options.machine.cores);
+    const Timer timer;
+
+    const auto& machine = options.machine;
+    const SpmvLayout layout(m, machine.l2.line_bytes);
+    const std::int64_t segments =
+        (options.threads + machine.cores_per_numa - 1) /
+        machine.cores_per_numa;
+    const std::uint64_t line_bytes = machine.l2.line_bytes;
+    const std::uint64_t l2_sets = machine.l2.sets();
+    const std::uint64_t l2_ways = machine.l2.ways;
+    const std::uint64_t cap_full = l2_ways * l2_sets;
+    const std::uint64_t cache_bytes = machine.l2.size_bytes;
+
+    const RowPartition partition(m, options.threads, options.partition);
+    const auto shares =
+        segment_shares(m, partition, segments, machine.cores_per_numa);
+
+    // Per-segment scaling factors from the segment's own rows/nonzeros.
+    std::vector<double> s1(static_cast<std::size_t>(segments));
+    std::vector<double> s2(static_cast<std::size_t>(segments));
+    for (std::size_t g = 0; g < shares.size(); ++g) {
+        const std::int64_t k = std::max<std::int64_t>(1, shares[g].nnz);
+        s1[g] = scaling_factor_partitioned(shares[g].rows, k);
+        s2[g] = scaling_factor_unpartitioned(shares[g].rows, k);
+    }
+
+    // Per-segment scaled capacities. For the partitioned entries the x
+    // vector lives in sector 0: capacity (ways - w) * sets, divided by s1;
+    // unpartitioned: full capacity divided by s2.
+    std::vector<std::vector<std::uint64_t>> capsP(
+        static_cast<std::size_t>(segments));
+    std::vector<std::uint64_t> capU(static_cast<std::size_t>(segments));
+    for (std::size_t g = 0; g < capsP.size(); ++g) {
+        for (const auto w : options.l2_way_options) {
+            SPMV_EXPECTS(w >= 1 && w < l2_ways);
+            capsP[g].push_back(
+                scaled_capacity((l2_ways - w) * l2_sets, s1[g]));
+        }
+        capU[g] = scaled_capacity(cap_full, s2[g]);
+    }
+
+    // One engine and counter pair per segment for the L2, one engine per
+    // core for the (unpartitioned) L1 model. A single stack pass serves
+    // both the partitioned and unpartitioned cases — the distances are the
+    // same, only the evaluation thresholds differ.
+    std::vector<std::unique_ptr<OlkenEngine>> eng(
+        static_cast<std::size_t>(segments));
+    std::vector<std::unique_ptr<CapacityMissCounter>> cntP(
+        static_cast<std::size_t>(segments));
+    std::vector<std::unique_ptr<CapacityMissCounter>> cntU(
+        static_cast<std::size_t>(segments));
+    const std::uint64_t x_lines_hint = layout.lines_of(DataObject::X) + 64;
+    for (std::size_t g = 0; g < eng.size(); ++g) {
+        eng[g] = std::make_unique<OlkenEngine>(
+            static_cast<std::size_t>(x_lines_hint));
+        cntP[g] = std::make_unique<CapacityMissCounter>(capsP[g]);
+        cntU[g] = std::make_unique<CapacityMissCounter>(
+            std::vector<std::uint64_t>{capU[g]});
+    }
+
+    const std::uint64_t l1_lines = machine.l1.lines();
+    std::vector<std::unique_ptr<OlkenEngine>> engL1;
+    std::vector<std::uint64_t> capL1(static_cast<std::size_t>(segments));
+    std::vector<std::unique_ptr<CapacityMissCounter>> cntL1(
+        static_cast<std::size_t>(segments));
+    if (options.predict_l1) {
+        engL1.resize(static_cast<std::size_t>(options.threads));
+        for (auto& e : engL1) e = std::make_unique<OlkenEngine>(4096);
+        for (std::size_t g = 0; g < capL1.size(); ++g) {
+            capL1[g] = scaled_capacity(l1_lines, s2[g]);
+            cntL1[g] = std::make_unique<CapacityMissCounter>(
+                std::vector<std::uint64_t>{capL1[g]});
+        }
+    }
+
+    const TraceConfig trace_cfg{options.threads, options.partition,
+                                options.quantum};
+    bool counting = false;
+    auto sink = [&](const MemRef& ref) {
+        if (ref.is_prefetch || ref.object != DataObject::X) return;
+        const auto g = static_cast<std::size_t>(
+            ref.thread / machine.cores_per_numa);
+        const std::uint64_t d = eng[g]->access(ref.line);
+        std::uint64_t dl1 = 0;
+        if (options.predict_l1) dl1 = engL1[ref.thread]->access(ref.line);
+        if (!counting) return;
+        cntP[g]->record(d);
+        cntU[g]->record(d);
+        if (options.predict_l1) cntL1[g]->record(dl1);
+    };
+    generate_spmv_trace(m, layout, trace_cfg, sink);  // warm-up
+    counting = true;
+    generate_spmv_trace(m, layout, trace_cfg, sink);  // measured
+
+    // ---- Analytic terms for a, colidx, rowptr and y (§3.1 / §3.2.2) ------
+    ModelResult result;
+    const std::uint64_t x_bytes = static_cast<std::uint64_t>(m.cols()) * 8;
+
+    // Unpartitioned entry.
+    {
+        ConfigPrediction off;
+        off.l2_sector_ways = 0;
+        for (std::size_t g = 0; g < shares.size(); ++g) {
+            const auto stream =
+                streaming_misses(shares[g].rows, shares[g].nnz, line_bytes);
+            const std::uint64_t ws_seg =
+                12 * static_cast<std::uint64_t>(shares[g].nnz) +
+                16 * static_cast<std::uint64_t>(shares[g].rows) + x_bytes;
+            const double x_misses =
+                static_cast<double>(cntU[g]->total_misses(capU[g]));
+            off.l2_x_misses += x_misses;
+            off.l2_misses += x_misses;
+            if (ws_seg > cache_bytes)
+                off.l2_misses += static_cast<double>(stream.total());
+        }
+        result.configs.push_back(off);
+    }
+
+    // Partitioned entries.
+    for (std::size_t i = 0; i < options.l2_way_options.size(); ++i) {
+        const std::uint32_t w = options.l2_way_options[i];
+        ConfigPrediction p;
+        p.l2_sector_ways = w;
+        const std::uint64_t n1_bytes =
+            static_cast<std::uint64_t>(w) * l2_sets * line_bytes;
+        const std::uint64_t n0_bytes =
+            (l2_ways - w) * l2_sets * line_bytes;
+        for (std::size_t g = 0; g < shares.size(); ++g) {
+            const auto stream =
+                streaming_misses(shares[g].rows, shares[g].nnz, line_bytes);
+            const std::uint64_t matrix_bytes =
+                12 * static_cast<std::uint64_t>(shares[g].nnz);
+            const std::uint64_t reusable_bytes =
+                x_bytes + 16 * static_cast<std::uint64_t>(shares[g].rows) + 8;
+            const double x_misses =
+                static_cast<double>(cntP[g]->total_misses(capsP[g][i]));
+            p.l2_x_misses += x_misses;
+            p.l2_misses += x_misses;
+            if (matrix_bytes > n1_bytes)
+                p.l2_misses += static_cast<double>(stream.matrix_data());
+            if (reusable_bytes > n0_bytes)
+                p.l2_misses +=
+                    static_cast<double>(stream.rowptr + stream.y);
+        }
+        result.configs.push_back(p);
+    }
+
+    // L1 prediction (§4.5.4): x misses from the per-core engines plus
+    // streaming terms — at 64 KiB every multi-MiB working set streams.
+    if (options.predict_l1) {
+        for (std::size_t g = 0; g < shares.size(); ++g) {
+            const auto stream =
+                streaming_misses(shares[g].rows, shares[g].nnz, line_bytes);
+            const std::uint64_t ws_seg =
+                12 * static_cast<std::uint64_t>(shares[g].nnz) +
+                16 * static_cast<std::uint64_t>(shares[g].rows) + x_bytes;
+            const double x_misses =
+                static_cast<double>(cntL1[g]->total_misses(capL1[g]));
+            result.l1_x_misses += x_misses;
+            result.l1_misses += x_misses;
+            if (ws_seg > machine.l1.size_bytes *
+                             static_cast<std::uint64_t>(
+                                 machine.cores_per_numa))
+                result.l1_misses += static_cast<double>(stream.total());
+        }
+    }
+
+    const double total_unpart = result.configs.front().l2_misses;
+    result.x_traffic_fraction =
+        total_unpart > 0.0 ? result.configs.front().l2_x_misses / total_unpart
+                           : 0.0;
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace spmvcache

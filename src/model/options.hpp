@@ -1,0 +1,60 @@
+// Shared option and result types for the cache-miss model (methods A & B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/a64fx.hpp"
+#include "sparse/partition.hpp"
+#include "trace/memref.hpp"
+
+namespace spmvcache {
+
+/// Options for a model run.
+struct ModelOptions {
+    /// Machine geometry consulted for line size, cache capacities and the
+    /// thread -> L2 segment mapping; the model never simulates it.
+    A64fxConfig machine{};
+    std::int64_t threads = 1;
+    /// Data-to-sector assignment analysed for the partitioned entries.
+    SectorPolicy policy = SectorPolicy::IsolateMatrix;
+    /// Sector-1 L2 way counts to price (0 = no partitioning is always
+    /// included in the result in addition to these).
+    std::vector<std::uint32_t> l2_way_options = {2, 3, 4, 5, 6, 7};
+    /// Also predict L1 misses (unpartitioned L1 model, §4.5.4).
+    bool predict_l1 = true;
+    PartitionPolicy partition = PartitionPolicy::BalancedRows;
+    /// Interleave granularity in nonzeros (see TraceConfig::quantum).
+    std::int64_t quantum = 1;
+    /// Engine group capacity when a Kim engine is used (method variants).
+    std::uint64_t kim_group_capacity = 512;
+};
+
+/// Predicted misses for one sector-cache configuration.
+struct ConfigPrediction {
+    /// Sector-1 L2 ways; 0 means the sector cache is disabled.
+    std::uint32_t l2_sector_ways = 0;
+    /// Predicted L2 misses (memory fills) for one SpMV iteration after
+    /// warm-up, summed over all active L2 segments.
+    double l2_misses = 0.0;
+    /// Contribution of x-vector references to l2_misses.
+    double l2_x_misses = 0.0;
+};
+
+/// Result of one model run (either method).
+struct ModelResult {
+    std::vector<ConfigPrediction> configs;  ///< entry 0 is "no partitioning"
+    /// Predicted L1 misses per iteration, unpartitioned L1 (0 if disabled).
+    double l1_misses = 0.0;
+    double l1_x_misses = 0.0;
+    /// Fraction of predicted unpartitioned L2 miss *traffic* due to x
+    /// (the §4.5.5 hard-case criterion: >= 0.5).
+    double x_traffic_fraction = 0.0;
+    /// Wall-clock seconds spent computing the model.
+    double seconds = 0.0;
+
+    /// Finds the prediction for `l2_sector_ways` (0 = disabled).
+    [[nodiscard]] const ConfigPrediction& at(std::uint32_t l2_sector_ways) const;
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,41 @@
+// Timing parameters of the simulated A64FX (§4.1: 48 cores, 2.2 GHz,
+// 1024 GB/s theoretical HBM2 bandwidth of which >800 GB/s is sustainable).
+//
+// The timing model is ECM-inspired (after Alappat et al., the paper's
+// baseline study): per-core in-core time, L1<-L2 transfer time and a
+// latency term for demand misses, bounded below by each segment's memory
+// bandwidth. The paper's own measurements motivate the latency term: "none
+// of the top 20 matrices in terms of speedup exceeds 400 GB/s... other
+// factors, such as the latency of handling demand misses, are limiting
+// performance" (§4.4).
+#pragma once
+
+namespace spmvcache {
+
+/// Calibration constants for the analytic timing model.
+struct TimingParameters {
+    double clock_ghz = 2.2;
+
+    /// In-core cycles per processed nonzero (SVE fma + gather overhead);
+    /// caps SpMV at ~130 Gflop/s across 48 cores, matching the top of the
+    /// paper's Table 1 range.
+    double cycles_per_nnz = 1.6;
+
+    /// Cycles per 256 B L1 refill from L2 (shared L2 port pressure).
+    double cycles_per_l1_refill = 6.0;
+
+    /// Load-to-use latency of an L2 demand miss served by HBM2.
+    double memory_latency_cycles = 290.0;
+
+    /// Average overlap of outstanding demand misses (memory-level
+    /// parallelism): the effective latency cost per miss is
+    /// memory_latency_cycles / mlp.
+    double mlp = 8.0;
+
+    /// Sustained per-segment HBM2 bandwidth in bytes per core cycle
+    /// (4 segments x 117 B/cycle x 2.2 GHz ~ 1030 GB/s peak, ~80 %
+    /// sustainable).
+    double segment_bandwidth_bytes_per_cycle = 95.0;
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,70 @@
+#include "perf/timing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+TimingBreakdown estimate_timing(const MemoryHierarchy& sim,
+                                const std::vector<std::int64_t>& nnz_per_thread,
+                                const TimingParameters& params) {
+    const auto& machine = sim.config();
+    SPMV_EXPECTS(nnz_per_thread.size() <=
+                 static_cast<std::size_t>(machine.cores));
+    const std::uint64_t line_bytes = machine.l2.line_bytes;
+
+    TimingBreakdown breakdown;
+    std::int64_t total_nnz = 0;
+    std::uint64_t total_bytes = 0;
+
+    double machine_cycles = 0.0;
+    for (std::int64_t g = 0; g < sim.segments(); ++g) {
+        // Bandwidth bound: every byte the segment moves to or from memory.
+        const std::uint64_t seg_bytes =
+            sim.l2_segment(g).memory_bytes(line_bytes);
+        total_bytes += seg_bytes;
+        const double bw_cycles = static_cast<double>(seg_bytes) /
+                                 params.segment_bandwidth_bytes_per_cycle;
+        breakdown.bandwidth_cycles =
+            std::max(breakdown.bandwidth_cycles, bw_cycles);
+
+        // Execution bound: the slowest core of the segment (load imbalance
+        // surfaces here — a barrier follows each parallel SpMV).
+        double worst_core = 0.0;
+        const std::int64_t core_begin = g * machine.cores_per_numa;
+        const std::int64_t core_end =
+            std::min<std::int64_t>(core_begin + machine.cores_per_numa,
+                                   machine.cores);
+        for (std::int64_t c = core_begin; c < core_end; ++c) {
+            const auto& cc = sim.core_counters(static_cast<std::uint32_t>(c));
+            const std::int64_t nnz_c =
+                static_cast<std::size_t>(c) < nnz_per_thread.size()
+                    ? nnz_per_thread[static_cast<std::size_t>(c)]
+                    : 0;
+            total_nnz += nnz_c;
+            const double cycles =
+                static_cast<double>(nnz_c) * params.cycles_per_nnz +
+                static_cast<double>(cc.l1_refills) *
+                    params.cycles_per_l1_refill +
+                static_cast<double>(cc.l2_demand_fills) *
+                    (params.memory_latency_cycles / params.mlp);
+            worst_core = std::max(worst_core, cycles);
+        }
+        breakdown.core_cycles = std::max(breakdown.core_cycles, worst_core);
+        machine_cycles =
+            std::max(machine_cycles, std::max(bw_cycles, worst_core));
+    }
+
+    breakdown.total_cycles = machine_cycles;
+    breakdown.seconds = machine_cycles / (params.clock_ghz * 1e9);
+    if (breakdown.seconds > 0.0) {
+        breakdown.gflops = 2.0 * static_cast<double>(total_nnz) /
+                           breakdown.seconds / 1e9;
+        breakdown.bandwidth_gbs =
+            static_cast<double>(total_bytes) / breakdown.seconds / 1e9;
+    }
+    return breakdown;
+}
+
+}  // namespace spmvcache

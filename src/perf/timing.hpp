@@ -1,0 +1,34 @@
+// Maps simulator event counts to estimated runtime, Gflop/s and memory
+// bandwidth — the quantities Table 1 and Figs. 3-5 report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+#include "perf/machine.hpp"
+
+namespace spmvcache {
+
+/// Estimated execution profile of one SpMV iteration.
+struct TimingBreakdown {
+    double seconds = 0.0;
+    double gflops = 0.0;
+    /// Memory bandwidth utilisation per the paper's §4.4 PMU formula.
+    double bandwidth_gbs = 0.0;
+    // Diagnostics: the competing bounds, in cycles.
+    double bandwidth_cycles = 0.0;  ///< max over segments of bytes/BW
+    double core_cycles = 0.0;       ///< max over cores of the core term
+    double total_cycles = 0.0;
+};
+
+/// Estimates the time of the SpMV iteration whose events are currently in
+/// `sim`'s counters. `nnz_per_thread` gives each logical thread's share of
+/// the 2*nnz flops (threads map 1:1 to cores).
+/// Pre: nnz_per_thread.size() <= cores of the simulated machine.
+[[nodiscard]] TimingBreakdown estimate_timing(
+    const MemoryHierarchy& sim,
+    const std::vector<std::int64_t>& nnz_per_thread,
+    const TimingParameters& params = {});
+
+}  // namespace spmvcache

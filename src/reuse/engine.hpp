@@ -1,0 +1,42 @@
+// Reuse-distance engine interface (§2.2 of the paper).
+//
+// Given a stream of cache-line numbers, an engine returns for every access
+// the number of *distinct* lines referenced since the previous access to
+// the same line (kInfinite for first-ever accesses). With Eq. (1) of the
+// paper, an access misses in a fully associative LRU cache of n lines iff
+// its reuse distance is >= n.
+//
+// Three implementations with one contract:
+//  * NaiveStackEngine — O(distance) list walk; the executable definition,
+//    used to cross-check the others in tests.
+//  * OlkenEngine — exact, O(log n) per access via a Fenwick tree over
+//    access times; the workhorse used by the model.
+//  * KimEngine — the grouped-stack scheme of Kim et al. [SIGMETRICS'91]
+//    that the paper uses: approximate distances at group granularity with
+//    per-access cost independent of the locality of the trace.
+#pragma once
+
+#include <cstdint>
+
+namespace spmvcache {
+
+/// Reuse distance reported for a line's first-ever access.
+inline constexpr std::uint64_t kInfiniteDistance = ~std::uint64_t{0};
+
+/// Abstract engine; concrete classes also expose the same functions
+/// non-virtually for hot paths.
+class ReuseEngine {
+public:
+    virtual ~ReuseEngine() = default;
+
+    /// Processes one access and returns its reuse distance.
+    virtual std::uint64_t access(std::uint64_t line) = 0;
+
+    /// Forgets all history.
+    virtual void clear() = 0;
+
+    /// Number of distinct lines seen since clear().
+    [[nodiscard]] virtual std::uint64_t distinct_lines() const = 0;
+};
+
+}  // namespace spmvcache

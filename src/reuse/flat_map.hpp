@@ -1,0 +1,101 @@
+// Open-addressing hash map from line number to 64-bit payload.
+//
+// The reuse-distance engines perform one lookup-or-insert per memory
+// reference — hundreds of millions per experiment — which makes
+// std::unordered_map's node allocations the bottleneck. This map is
+// insert/update-only (engines never erase single entries), so a simple
+// linear-probing table with a reserved empty key suffices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+/// Maps uint64 keys (!= kEmptyKey) to uint64 values. No per-key erase.
+class FlatMap64 {
+public:
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+    explicit FlatMap64(std::size_t capacity_hint = 64) { rehash(roundup(capacity_hint * 2)); }
+
+    /// Returns a pointer to the value for `key`, or nullptr if absent.
+    [[nodiscard]] std::uint64_t* find(std::uint64_t key) noexcept {
+        std::size_t i = probe_start(key);
+        for (;;) {
+            if (keys_[i] == key) return &values_[i];
+            if (keys_[i] == kEmptyKey) return nullptr;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    [[nodiscard]] const std::uint64_t* find(std::uint64_t key) const noexcept {
+        return const_cast<FlatMap64*>(this)->find(key);
+    }
+
+    /// Inserts or overwrites. Pre: key != kEmptyKey.
+    void put(std::uint64_t key, std::uint64_t value) {
+        SPMV_EXPECTS(key != kEmptyKey);
+        if ((size_ + 1) * 10 >= keys_.size() * 7) rehash(keys_.size() * 2);
+        std::size_t i = probe_start(key);
+        while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask_;
+        if (keys_[i] == kEmptyKey) {
+            keys_[i] = key;
+            ++size_;
+        }
+        values_[i] = value;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+    void clear() noexcept {
+        std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+        size_ = 0;
+    }
+
+    /// Calls fn(key, value) for every entry (arbitrary order).
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+
+private:
+    static std::size_t roundup(std::size_t n) {
+        std::size_t p = 64;
+        while (p < n) p *= 2;
+        return p;
+    }
+
+    [[nodiscard]] std::size_t probe_start(std::uint64_t key) const noexcept {
+        // Fibonacci hashing spreads the (often sequential) line numbers.
+        return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 32) &
+               mask_;
+    }
+
+    void rehash(std::size_t new_capacity) {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<std::uint64_t> old_values = std::move(values_);
+        keys_.assign(new_capacity, kEmptyKey);
+        values_.assign(new_capacity, 0);
+        mask_ = new_capacity - 1;
+        size_ = 0;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == kEmptyKey) continue;
+            std::size_t j = probe_start(old_keys[i]);
+            while (keys_[j] != kEmptyKey) j = (j + 1) & mask_;
+            keys_[j] = old_keys[i];
+            values_[j] = old_values[i];
+            ++size_;
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> values_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace spmvcache

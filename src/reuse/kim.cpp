@@ -1,0 +1,90 @@
+#include "reuse/kim.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+KimEngine::KimEngine(std::uint64_t group_capacity)
+    : group_capacity_(group_capacity) {
+    SPMV_EXPECTS(group_capacity >= 1);
+    groups_.push_back(Group{});
+}
+
+void KimEngine::unlink(std::int64_t node_index) noexcept {
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    Group& group = groups_[node.group];
+    if (node.prev >= 0)
+        nodes_[static_cast<std::size_t>(node.prev)].next = node.next;
+    else
+        group.head = node.next;
+    if (node.next >= 0)
+        nodes_[static_cast<std::size_t>(node.next)].prev = node.prev;
+    else
+        group.tail = node.prev;
+    --group.size;
+    node.prev = node.next = -1;
+}
+
+void KimEngine::push_front(std::uint32_t group_index,
+                           std::int64_t node_index) noexcept {
+    Group& group = groups_[group_index];
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    node.group = group_index;
+    node.prev = -1;
+    node.next = group.head;
+    if (group.head >= 0)
+        nodes_[static_cast<std::size_t>(group.head)].prev = node_index;
+    group.head = node_index;
+    if (group.tail < 0) group.tail = node_index;
+    ++group.size;
+}
+
+std::int64_t KimEngine::pop_tail(std::uint32_t group_index) noexcept {
+    Group& group = groups_[group_index];
+    const std::int64_t tail = group.tail;
+    if (tail >= 0) unlink(tail);
+    return tail;
+}
+
+std::uint64_t KimEngine::access(std::uint64_t line) {
+    std::uint64_t distance = kInfiniteDistance;
+    std::int64_t node_index;
+
+    if (std::uint64_t* found = node_of_line_.find(line)) {
+        node_index = static_cast<std::int64_t>(*found);
+        const std::uint32_t group =
+            nodes_[static_cast<std::size_t>(node_index)].group;
+        // Approximate stack depth: everything above this group, plus the
+        // midpoint of the group itself (Kim et al.'s group-granular count).
+        std::uint64_t above = 0;
+        for (std::uint32_t g = 0; g < group; ++g) above += groups_[g].size;
+        distance = above + groups_[group].size / 2;
+        unlink(node_index);
+    } else {
+        node_index = static_cast<std::int64_t>(nodes_.size());
+        nodes_.push_back(Node{line, -1, -1, 0});
+        node_of_line_.put(line, static_cast<std::uint64_t>(node_index));
+        ++line_count_;
+    }
+
+    push_front(0, node_index);
+
+    // Ripple overflow down the group chain: each full group demotes its
+    // LRU entry to the next group (at most one per group per access).
+    for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+        if (groups_[g].size <= group_capacity_) break;
+        if (g + 1 == groups_.size()) groups_.push_back(Group{});
+        const std::int64_t demoted = pop_tail(g);
+        push_front(g + 1, demoted);
+    }
+    return distance;
+}
+
+void KimEngine::clear() {
+    nodes_.clear();
+    groups_.assign(1, Group{});
+    node_of_line_.clear();
+    line_count_ = 0;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,53 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sparse/csr.hpp"
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+CooMatrix::CooMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols) {
+    SPMV_EXPECTS(rows >= 0);
+    SPMV_EXPECTS(cols >= 0);
+    SPMV_EXPECTS(cols <= std::numeric_limits<std::int32_t>::max());
+}
+
+void CooMatrix::add(std::int64_t row, std::int64_t col, double value) {
+    SPMV_EXPECTS(row >= 0 && row < rows_);
+    SPMV_EXPECTS(col >= 0 && col < cols_);
+    entries_.push_back(
+        CooEntry{row, static_cast<std::int32_t>(col), value});
+}
+
+void CooMatrix::sort_and_combine() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const CooEntry& a, const CooEntry& b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    // Merge duplicates in place.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+            entries_[out - 1].col == entries_[i].col) {
+            entries_[out - 1].value += entries_[i].value;
+        } else {
+            entries_[out++] = entries_[i];
+        }
+    }
+    entries_.resize(out);
+}
+
+CsrMatrix CooMatrix::to_csr() && {
+    sort_and_combine();
+
+    CsrBuilder builder(rows_, cols_, entries_.size());
+    for (const auto& e : entries_) builder.push(e.row, e.col, e.value);
+    entries_.clear();
+    entries_.shrink_to_fit();
+    return std::move(builder).finish();
+}
+
+}  // namespace spmvcache

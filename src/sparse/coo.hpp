@@ -1,0 +1,52 @@
+// Coordinate-format sparse matrix: the assembly format every generator and
+// the Matrix Market reader produce before conversion to CSR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spmvcache {
+
+class CsrMatrix;  // forward declaration (csr.hpp)
+
+/// One nonzero entry in coordinate form.
+struct CooEntry {
+    std::int64_t row = 0;
+    std::int32_t col = 0;
+    double value = 0.0;
+};
+
+/// Mutable coordinate-format matrix used during construction.
+class CooMatrix {
+public:
+    CooMatrix() = default;
+
+    /// Pre: rows >= 0, cols >= 0 and cols representable as int32.
+    CooMatrix(std::int64_t rows, std::int64_t cols);
+
+    /// Appends an entry. Pre: 0 <= row < rows(), 0 <= col < cols().
+    void add(std::int64_t row, std::int64_t col, double value);
+
+    /// Reserves storage for `n` entries.
+    void reserve(std::size_t n) { entries_.reserve(n); }
+
+    /// Sorts entries row-major and merges duplicates by summing values.
+    void sort_and_combine();
+
+    /// Converts to CSR; sorts and combines duplicates first.
+    [[nodiscard]] CsrMatrix to_csr() &&;
+
+    [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+    [[nodiscard]] const std::vector<CooEntry>& entries() const noexcept {
+        return entries_;
+    }
+
+private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::vector<CooEntry> entries_;
+};
+
+}  // namespace spmvcache

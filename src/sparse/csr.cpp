@@ -1,0 +1,121 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+std::int64_t CsrMatrix::row_nnz(std::int64_t r) const {
+    SPMV_EXPECTS(r >= 0 && r < rows_);
+    return rowptr_[static_cast<std::size_t>(r) + 1] -
+           rowptr_[static_cast<std::size_t>(r)];
+}
+
+void CsrMatrix::validate() const {
+    SPMV_ENSURES(rowptr_.size() == static_cast<std::size_t>(rows_) + 1);
+    SPMV_ENSURES(rowptr_.front() == 0);
+    SPMV_ENSURES(colidx_.size() == values_.size());
+    SPMV_ENSURES(rowptr_.back() == static_cast<std::int64_t>(colidx_.size()));
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        const auto begin = rowptr_[static_cast<std::size_t>(r)];
+        const auto end = rowptr_[static_cast<std::size_t>(r) + 1];
+        SPMV_ENSURES(begin <= end);
+        for (std::int64_t i = begin; i < end; ++i) {
+            const auto c = colidx_[static_cast<std::size_t>(i)];
+            SPMV_ENSURES(c >= 0 && c < cols_);
+            if (i > begin)
+                SPMV_ENSURES(colidx_[static_cast<std::size_t>(i - 1)] < c);
+        }
+    }
+}
+
+CsrMatrix CsrMatrix::permuted_symmetric(
+    std::span<const std::int32_t> perm) const {
+    SPMV_EXPECTS(rows_ == cols_);
+    SPMV_EXPECTS(perm.size() == static_cast<std::size_t>(rows_));
+
+    // inverse[old] = new
+    std::vector<std::int32_t> inverse(perm.size());
+    for (std::size_t n = 0; n < perm.size(); ++n) {
+        const auto old = perm[n];
+        SPMV_EXPECTS(old >= 0 && old < rows_);
+        inverse[static_cast<std::size_t>(old)] = static_cast<std::int32_t>(n);
+    }
+
+    CsrBuilder builder(rows_, cols_, static_cast<std::size_t>(nnz()));
+    std::vector<std::pair<std::int32_t, double>> row_entries;
+    for (std::int64_t new_r = 0; new_r < rows_; ++new_r) {
+        const auto old_r = static_cast<std::size_t>(perm[
+            static_cast<std::size_t>(new_r)]);
+        row_entries.clear();
+        for (std::int64_t i = rowptr_[old_r]; i < rowptr_[old_r + 1]; ++i) {
+            const auto old_c = colidx_[static_cast<std::size_t>(i)];
+            row_entries.emplace_back(inverse[static_cast<std::size_t>(old_c)],
+                                     values_[static_cast<std::size_t>(i)]);
+        }
+        std::sort(row_entries.begin(), row_entries.end());
+        for (const auto& [c, v] : row_entries) builder.push(new_r, c, v);
+    }
+    return std::move(builder).finish();
+}
+
+CsrBuilder::CsrBuilder(std::int64_t rows, std::int64_t cols,
+                       std::size_t nnz_hint) {
+    SPMV_EXPECTS(rows >= 0);
+    SPMV_EXPECTS(cols >= 0);
+    SPMV_EXPECTS(cols <= std::numeric_limits<std::int32_t>::max());
+    m_.rows_ = rows;
+    m_.cols_ = cols;
+    m_.rowptr_.reserve(static_cast<std::size_t>(rows) + 1);
+    m_.rowptr_.push_back(0);
+    m_.colidx_.reserve(nnz_hint);
+    m_.values_.reserve(nnz_hint);
+}
+
+void CsrBuilder::push(std::int64_t row, std::int32_t col, double value) {
+    SPMV_EXPECTS(row >= current_row_ && row < m_.rows_);
+    SPMV_EXPECTS(col >= 0 && col < m_.cols_);
+    while (current_row_ < row) {
+        m_.rowptr_.push_back(static_cast<std::int64_t>(m_.colidx_.size()));
+        ++current_row_;
+        last_col_ = -1;
+    }
+    SPMV_EXPECTS(col > last_col_);
+    last_col_ = col;
+    m_.colidx_.push_back(col);
+    m_.values_.push_back(value);
+}
+
+CsrMatrix CsrBuilder::finish() && {
+    while (current_row_ < m_.rows_) {
+        m_.rowptr_.push_back(static_cast<std::int64_t>(m_.colidx_.size()));
+        ++current_row_;
+    }
+    return std::move(m_);
+}
+
+std::vector<double> to_dense(const CsrMatrix& m) {
+    std::vector<double> dense(
+        static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols()),
+        0.0);
+    const auto rowptr = m.rowptr();
+    const auto colidx = m.colidx();
+    const auto values = m.values();
+    for (std::int64_t r = 0; r < m.rows(); ++r) {
+        for (auto i = rowptr[static_cast<std::size_t>(r)];
+             i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+            dense[static_cast<std::size_t>(r) *
+                      static_cast<std::size_t>(m.cols()) +
+                  static_cast<std::size_t>(
+                      colidx[static_cast<std::size_t>(i)])] =
+                values[static_cast<std::size_t>(i)];
+        }
+    }
+    return dense;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,113 @@
+// Compressed Sparse Row matrix with the exact memory layout the paper
+// analyses (§3.1): 8-byte double values (`a`), 4-byte int32 column indices
+// (`colidx`) and 8-byte int64 row pointers (`rowptr`). All three arrays are
+// aligned to A64FX cache-line (256 B) boundaries so the host kernels, trace
+// generator and simulator share one notion of line boundaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/align.hpp"
+
+namespace spmvcache {
+
+/// Immutable CSR matrix (build via CsrBuilder or CooMatrix::to_csr()).
+class CsrMatrix {
+public:
+    using value_type = double;
+    using index_type = std::int32_t;
+    using offset_type = std::int64_t;
+
+    CsrMatrix() = default;
+
+    [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::int64_t nnz() const noexcept {
+        return rowptr_.empty() ? 0 : rowptr_.back();
+    }
+
+    [[nodiscard]] std::span<const offset_type> rowptr() const noexcept {
+        return {rowptr_.data(), rowptr_.size()};
+    }
+    [[nodiscard]] std::span<const index_type> colidx() const noexcept {
+        return {colidx_.data(), colidx_.size()};
+    }
+    [[nodiscard]] std::span<const value_type> values() const noexcept {
+        return {values_.data(), values_.size()};
+    }
+
+    /// Number of nonzeros in row r. Pre: 0 <= r < rows().
+    [[nodiscard]] std::int64_t row_nnz(std::int64_t r) const;
+
+    /// Byte sizes of the individual arrays (as used by the paper's
+    /// working-set classification in §3.1).
+    [[nodiscard]] std::uint64_t values_bytes() const noexcept {
+        return values_.size() * sizeof(value_type);
+    }
+    [[nodiscard]] std::uint64_t colidx_bytes() const noexcept {
+        return colidx_.size() * sizeof(index_type);
+    }
+    [[nodiscard]] std::uint64_t rowptr_bytes() const noexcept {
+        return rowptr_.size() * sizeof(offset_type);
+    }
+    /// Size of the input vector x (cols() doubles).
+    [[nodiscard]] std::uint64_t x_bytes() const noexcept {
+        return static_cast<std::uint64_t>(cols_) * sizeof(value_type);
+    }
+    /// Size of the output vector y (rows() doubles).
+    [[nodiscard]] std::uint64_t y_bytes() const noexcept {
+        return static_cast<std::uint64_t>(rows_) * sizeof(value_type);
+    }
+    /// Total working set: matrix arrays plus both vectors.
+    [[nodiscard]] std::uint64_t working_set_bytes() const noexcept {
+        return values_bytes() + colidx_bytes() + rowptr_bytes() + x_bytes() +
+               y_bytes();
+    }
+
+    /// Checks structural invariants (monotone rowptr, indices in range,
+    /// sorted columns within each row). Throws ContractViolation on failure.
+    void validate() const;
+
+    /// Returns a new matrix with rows and columns permuted by `perm`,
+    /// where perm[new_index] = old_index. Pre: square matrix, perm is a
+    /// permutation of [0, rows()).
+    [[nodiscard]] CsrMatrix permuted_symmetric(
+        std::span<const std::int32_t> perm) const;
+
+private:
+    friend class CsrBuilder;
+
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    aligned_vector<offset_type> rowptr_;
+    aligned_vector<index_type> colidx_;
+    aligned_vector<value_type> values_;
+};
+
+/// Row-by-row CSR assembler. Entries must be pushed in row-major order
+/// (ties on row must have strictly increasing columns).
+class CsrBuilder {
+public:
+    /// Pre: rows, cols >= 0; cols fits in int32.
+    CsrBuilder(std::int64_t rows, std::int64_t cols, std::size_t nnz_hint = 0);
+
+    /// Appends one entry; rows must be non-decreasing, columns strictly
+    /// increasing within a row.
+    void push(std::int64_t row, std::int32_t col, double value);
+
+    /// Finalises trailing empty rows and yields the matrix.
+    [[nodiscard]] CsrMatrix finish() &&;
+
+private:
+    CsrMatrix m_;
+    std::int64_t current_row_ = 0;
+    std::int32_t last_col_ = -1;
+};
+
+/// Builds a small dense row-major reference of the matrix (tests only).
+/// Pre: rows*cols small enough to allocate.
+[[nodiscard]] std::vector<double> to_dense(const CsrMatrix& m);
+
+}  // namespace spmvcache

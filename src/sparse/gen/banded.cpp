@@ -1,0 +1,97 @@
+#include "sparse/gen/banded.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace spmvcache::gen {
+
+CsrMatrix banded(std::int64_t n, std::int64_t nnz_per_row,
+                 std::int64_t half_bandwidth, std::uint64_t seed) {
+    SPMV_EXPECTS(n >= 1);
+    SPMV_EXPECTS(nnz_per_row >= 1);
+    SPMV_EXPECTS(half_bandwidth >= 0);
+    Xoshiro256 rng(seed);
+    CsrBuilder builder(n, n,
+                       static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(nnz_per_row));
+    std::vector<std::int32_t> cols;
+    for (std::int64_t r = 0; r < n; ++r) {
+        cols.clear();
+        cols.push_back(static_cast<std::int32_t>(r));
+        const std::int64_t span = 2 * half_bandwidth + 1;
+        // Rejection-sample distinct in-band columns; a row can saturate if
+        // the band is narrower than nnz_per_row.
+        const std::int64_t lo = std::max<std::int64_t>(0, r - half_bandwidth);
+        const std::int64_t hi = std::min(n - 1, r + half_bandwidth);
+        const std::int64_t band_size = hi - lo + 1;
+        const std::int64_t want =
+            std::min(nnz_per_row, band_size);
+        std::int64_t attempts = 0;
+        while (static_cast<std::int64_t>(cols.size()) < want &&
+               attempts < 16 * span) {
+            ++attempts;
+            const auto c = static_cast<std::int32_t>(
+                lo + static_cast<std::int64_t>(rng.bounded(
+                         static_cast<std::uint64_t>(band_size))));
+            if (std::find(cols.begin(), cols.end(), c) == cols.end())
+                cols.push_back(c);
+        }
+        std::sort(cols.begin(), cols.end());
+        for (auto c : cols) {
+            const double v = (c == r) ? static_cast<double>(cols.size())
+                                      : -1.0 + 0.1 * rng.uniform();
+            builder.push(r, c, v);
+        }
+    }
+    return std::move(builder).finish();
+}
+
+CsrMatrix circuit(std::int64_t n, double extra_per_row,
+                  std::int64_t local_span, double global_fraction,
+                  std::uint64_t seed) {
+    SPMV_EXPECTS(n >= 1);
+    SPMV_EXPECTS(extra_per_row >= 0.0);
+    SPMV_EXPECTS(global_fraction >= 0.0 && global_fraction <= 1.0);
+    Xoshiro256 rng(seed);
+    CsrBuilder builder(
+        n, n,
+        static_cast<std::size_t>(static_cast<double>(n) *
+                                 (1.0 + extra_per_row)));
+    std::vector<std::int32_t> cols;
+    for (std::int64_t r = 0; r < n; ++r) {
+        cols.clear();
+        cols.push_back(static_cast<std::int32_t>(r));
+        // Bernoulli-rounded number of extra couplings for this row.
+        auto extras = static_cast<std::int64_t>(extra_per_row);
+        if (rng.uniform() < extra_per_row - static_cast<double>(extras))
+            ++extras;
+        for (std::int64_t e = 0; e < extras; ++e) {
+            std::int64_t c;
+            if (rng.uniform() < global_fraction) {
+                c = static_cast<std::int64_t>(
+                    rng.bounded(static_cast<std::uint64_t>(n)));
+            } else {
+                const std::int64_t lo =
+                    std::max<std::int64_t>(0, r - local_span);
+                const std::int64_t hi = std::min(n - 1, r + local_span);
+                c = lo + static_cast<std::int64_t>(rng.bounded(
+                             static_cast<std::uint64_t>(hi - lo + 1)));
+            }
+            const auto c32 = static_cast<std::int32_t>(c);
+            if (std::find(cols.begin(), cols.end(), c32) == cols.end())
+                cols.push_back(c32);
+        }
+        std::sort(cols.begin(), cols.end());
+        for (auto c : cols) {
+            const double v = (c == r) ? static_cast<double>(cols.size())
+                                      : -1.0 + 0.1 * rng.uniform();
+            builder.push(r, c, v);
+        }
+    }
+    return std::move(builder).finish();
+}
+
+}  // namespace spmvcache::gen

@@ -1,0 +1,29 @@
+// Banded and diagonal-dominated matrix generators: circuit-simulation-like
+// patterns (a dominant diagonal plus a few near-diagonal couplings) and
+// classic banded FEM profiles.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache::gen {
+
+/// Banded matrix: each row has nonzeros at the diagonal and at offsets
+/// sampled within [-half_bandwidth, +half_bandwidth], `nnz_per_row` total.
+/// Deterministic for a given seed. Pre: n >= 1, nnz_per_row >= 1,
+/// half_bandwidth >= 0.
+[[nodiscard]] CsrMatrix banded(std::int64_t n, std::int64_t nnz_per_row,
+                               std::int64_t half_bandwidth,
+                               std::uint64_t seed);
+
+/// Circuit-like pattern: every row has its diagonal; additional couplings
+/// are mostly local (within `local_span`) with a `global_fraction` of
+/// uniformly random long-range entries — the structure of Hamrle3 or
+/// G3_circuit style matrices (low mu_K, moderate irregularity).
+/// Pre: n >= 1, extra_per_row >= 0, 0 <= global_fraction <= 1.
+[[nodiscard]] CsrMatrix circuit(std::int64_t n, double extra_per_row,
+                                std::int64_t local_span,
+                                double global_fraction, std::uint64_t seed);
+
+}  // namespace spmvcache::gen

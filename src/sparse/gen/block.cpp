@@ -1,0 +1,63 @@
+#include "sparse/gen/block.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace spmvcache::gen {
+
+CsrMatrix block_fem(std::int64_t blocks, std::int64_t block_size,
+                    std::int64_t blocks_per_row, std::int64_t block_span,
+                    std::uint64_t seed) {
+    SPMV_EXPECTS(blocks >= 1);
+    SPMV_EXPECTS(block_size >= 1);
+    SPMV_EXPECTS(blocks_per_row >= 1);
+    SPMV_EXPECTS(block_span >= 0);
+    Xoshiro256 rng(seed);
+
+    const std::int64_t n = blocks * block_size;
+    CsrBuilder builder(n, n,
+                       static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(blocks_per_row) *
+                           static_cast<std::size_t>(block_size));
+
+    std::vector<std::int64_t> block_cols;
+    for (std::int64_t br = 0; br < blocks; ++br) {
+        // Choose the block columns once per block row so all rows of the
+        // block share them (as in FEM matrices with node-level blocks).
+        block_cols.clear();
+        block_cols.push_back(br);
+        const std::int64_t lo = std::max<std::int64_t>(0, br - block_span);
+        const std::int64_t hi = std::min(blocks - 1, br + block_span);
+        const std::int64_t avail = hi - lo + 1;
+        const std::int64_t want = std::min(blocks_per_row, avail);
+        std::int64_t attempts = 0;
+        while (static_cast<std::int64_t>(block_cols.size()) < want &&
+               attempts < 64 * want) {
+            ++attempts;
+            const std::int64_t bc =
+                lo + static_cast<std::int64_t>(
+                         rng.bounded(static_cast<std::uint64_t>(avail)));
+            if (std::find(block_cols.begin(), block_cols.end(), bc) ==
+                block_cols.end())
+                block_cols.push_back(bc);
+        }
+        std::sort(block_cols.begin(), block_cols.end());
+
+        for (std::int64_t lr = 0; lr < block_size; ++lr) {
+            const std::int64_t row = br * block_size + lr;
+            for (std::int64_t bc : block_cols) {
+                for (std::int64_t lc = 0; lc < block_size; ++lc) {
+                    const std::int64_t col = bc * block_size + lc;
+                    const double v = (row == col) ? 4.0 : -0.5 + rng.uniform();
+                    builder.push(row, static_cast<std::int32_t>(col), v);
+                }
+            }
+        }
+    }
+    return std::move(builder).finish();
+}
+
+}  // namespace spmvcache::gen

@@ -1,0 +1,21 @@
+// Block-structured FEM-like generator: dense blocks along a banded profile,
+// mimicking structural-mechanics matrices (shipsec1, pwtk, af_shell10) whose
+// high mu_K and contiguous column runs make them the friendliest SpMV inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache::gen {
+
+/// Block-banded matrix of `blocks` x `blocks` block rows with dense
+/// `block_size` x `block_size` blocks: the diagonal block plus
+/// `blocks_per_row - 1` blocks at random offsets within
+/// [-block_span, +block_span] block columns.
+/// Pre: blocks, block_size, blocks_per_row >= 1, block_span >= 0.
+[[nodiscard]] CsrMatrix block_fem(std::int64_t blocks, std::int64_t block_size,
+                                  std::int64_t blocks_per_row,
+                                  std::int64_t block_span, std::uint64_t seed);
+
+}  // namespace spmvcache::gen

@@ -1,0 +1,84 @@
+#include "sparse/gen/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace spmvcache::gen {
+
+namespace {
+
+/// Samples `k` distinct columns in [0, cols) into `cols_out`, sorted.
+void sample_row(Xoshiro256& rng, std::int64_t cols, std::int64_t k,
+                std::vector<std::int32_t>& cols_out) {
+    cols_out.clear();
+    // For small k relative to cols, rejection sampling is fast; fall back
+    // to a partial Fisher-Yates only for dense rows.
+    if (k * 4 < cols) {
+        while (static_cast<std::int64_t>(cols_out.size()) < k) {
+            const auto c = static_cast<std::int32_t>(
+                rng.bounded(static_cast<std::uint64_t>(cols)));
+            if (std::find(cols_out.begin(), cols_out.end(), c) ==
+                cols_out.end())
+                cols_out.push_back(c);
+        }
+    } else {
+        std::vector<std::int32_t> all(static_cast<std::size_t>(cols));
+        for (std::int64_t c = 0; c < cols; ++c)
+            all[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(c);
+        for (std::int64_t i = 0; i < k; ++i) {
+            const auto j =
+                i + static_cast<std::int64_t>(rng.bounded(
+                        static_cast<std::uint64_t>(cols - i)));
+            std::swap(all[static_cast<std::size_t>(i)],
+                      all[static_cast<std::size_t>(j)]);
+        }
+        cols_out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    std::sort(cols_out.begin(), cols_out.end());
+}
+
+}  // namespace
+
+CsrMatrix random_uniform(std::int64_t rows, std::int64_t cols,
+                         std::int64_t nnz_per_row, std::uint64_t seed) {
+    SPMV_EXPECTS(rows >= 1 && cols >= 1);
+    SPMV_EXPECTS(nnz_per_row >= 1 && nnz_per_row <= cols);
+    Xoshiro256 rng(seed);
+    CsrBuilder builder(rows, cols,
+                       static_cast<std::size_t>(rows) *
+                           static_cast<std::size_t>(nnz_per_row));
+    std::vector<std::int32_t> row_cols;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        sample_row(rng, cols, nnz_per_row, row_cols);
+        for (auto c : row_cols)
+            builder.push(r, c, 1.0 + rng.uniform());
+    }
+    return std::move(builder).finish();
+}
+
+CsrMatrix random_variable_rows(std::int64_t rows, std::int64_t cols,
+                               double mean, double cv, std::uint64_t seed) {
+    SPMV_EXPECTS(rows >= 1 && cols >= 1);
+    SPMV_EXPECTS(mean >= 1.0);
+    SPMV_EXPECTS(cv >= 0.0);
+    Xoshiro256 rng(seed);
+    CsrBuilder builder(
+        rows, cols,
+        static_cast<std::size_t>(static_cast<double>(rows) * mean));
+    std::vector<std::int32_t> row_cols;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const double sampled = mean + mean * cv * rng.normal();
+        const auto k = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(std::llround(sampled)), 1, cols);
+        sample_row(rng, cols, k, row_cols);
+        for (auto c : row_cols)
+            builder.push(r, c, 1.0 + rng.uniform());
+    }
+    return std::move(builder).finish();
+}
+
+}  // namespace spmvcache::gen

@@ -1,0 +1,27 @@
+// Unstructured random matrix generators: the worst case for x-vector
+// locality (the paper's §3.1 notes a full 256 B line can be transferred per
+// nonzero in this regime, up to 95 % of traffic).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache::gen {
+
+/// Uniform random matrix: each row gets exactly `nnz_per_row` distinct
+/// columns drawn uniformly from [0, cols). Pre: rows, cols >= 1,
+/// 1 <= nnz_per_row <= cols.
+[[nodiscard]] CsrMatrix random_uniform(std::int64_t rows, std::int64_t cols,
+                                       std::int64_t nnz_per_row,
+                                       std::uint64_t seed);
+
+/// Random matrix with per-row nonzero counts drawn from a clamped normal
+/// distribution N(mean, mean*cv) — used to produce matrices with a chosen
+/// coefficient of variation CV_K, the quantity §4.5.2 identifies as hard
+/// for method (B). Pre: rows, cols >= 1, mean >= 1, cv >= 0.
+[[nodiscard]] CsrMatrix random_variable_rows(std::int64_t rows,
+                                             std::int64_t cols, double mean,
+                                             double cv, std::uint64_t seed);
+
+}  // namespace spmvcache::gen

@@ -1,0 +1,45 @@
+#include "sparse/gen/rmat.hpp"
+
+#include <cmath>
+
+#include "sparse/coo.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace spmvcache::gen {
+
+CsrMatrix rmat(std::int64_t scale, std::int64_t edges, std::uint64_t seed,
+               RmatParams params) {
+    SPMV_EXPECTS(scale >= 1 && scale <= 30);
+    SPMV_EXPECTS(edges >= 1);
+    const double total = params.a + params.b + params.c + params.d;
+    SPMV_EXPECTS(std::abs(total - 1.0) < 1e-6);
+
+    const std::int64_t n = std::int64_t{1} << scale;
+    Xoshiro256 rng(seed);
+    CooMatrix coo(n, n);
+    coo.reserve(static_cast<std::size_t>(edges));
+
+    for (std::int64_t e = 0; e < edges; ++e) {
+        std::int64_t row = 0, col = 0;
+        for (std::int64_t level = 0; level < scale; ++level) {
+            const double p = rng.uniform();
+            row <<= 1;
+            col <<= 1;
+            if (p < params.a) {
+                // top-left quadrant
+            } else if (p < params.a + params.b) {
+                col |= 1;
+            } else if (p < params.a + params.b + params.c) {
+                row |= 1;
+            } else {
+                row |= 1;
+                col |= 1;
+            }
+        }
+        coo.add(row, col, 1.0);
+    }
+    return std::move(coo).to_csr();
+}
+
+}  // namespace spmvcache::gen

@@ -1,0 +1,27 @@
+// Recursive-matrix (R-MAT) generator: produces power-law degree
+// distributions — the graph/mesh matrices (delaunay_n24, bundle_adj style)
+// with low mu_K and high CV_K that the paper identifies as the hard cases
+// for method (B).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache::gen {
+
+/// Parameters of the RMAT recursion; must sum to ~1.
+struct RmatParams {
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    double d = 0.05;
+};
+
+/// Generates a square 2^scale x 2^scale RMAT matrix with approximately
+/// `edges` distinct nonzeros (duplicates are combined, so the exact count
+/// is slightly lower). Pre: 1 <= scale <= 30, edges >= 1.
+[[nodiscard]] CsrMatrix rmat(std::int64_t scale, std::int64_t edges,
+                             std::uint64_t seed, RmatParams params = {});
+
+}  // namespace spmvcache::gen

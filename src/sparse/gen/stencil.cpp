@@ -1,0 +1,106 @@
+#include "sparse/gen/stencil.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache::gen {
+
+namespace {
+
+/// Generic 2D stencil: offsets within [-1,1]^2, chosen by a mask callback.
+template <class Keep>
+CsrMatrix grid_2d(std::int64_t nx, std::int64_t ny, Keep keep,
+                  std::size_t nnz_per_point) {
+    SPMV_EXPECTS(nx >= 1 && ny >= 1);
+    const std::int64_t n = nx * ny;
+    CsrBuilder builder(n, n, static_cast<std::size_t>(n) * nnz_per_point);
+    for (std::int64_t j = 0; j < ny; ++j) {
+        for (std::int64_t i = 0; i < nx; ++i) {
+            const std::int64_t row = j * nx + i;
+            for (std::int64_t dj = -1; dj <= 1; ++dj) {
+                for (std::int64_t di = -1; di <= 1; ++di) {
+                    if (!keep(di, dj)) continue;
+                    const std::int64_t ii = i + di;
+                    const std::int64_t jj = j + dj;
+                    if (ii < 0 || ii >= nx || jj < 0 || jj >= ny) continue;
+                    const std::int64_t col = jj * nx + ii;
+                    const double v = (di == 0 && dj == 0)
+                                         ? static_cast<double>(nnz_per_point) -
+                                               1.0
+                                         : -1.0;
+                    builder.push(row, static_cast<std::int32_t>(col), v);
+                }
+            }
+        }
+    }
+    return std::move(builder).finish();
+}
+
+template <class Keep>
+CsrMatrix grid_3d(std::int64_t nx, std::int64_t ny, std::int64_t nz, Keep keep,
+                  std::size_t nnz_per_point) {
+    SPMV_EXPECTS(nx >= 1 && ny >= 1 && nz >= 1);
+    const std::int64_t n = nx * ny * nz;
+    CsrBuilder builder(n, n, static_cast<std::size_t>(n) * nnz_per_point);
+    for (std::int64_t k = 0; k < nz; ++k) {
+        for (std::int64_t j = 0; j < ny; ++j) {
+            for (std::int64_t i = 0; i < nx; ++i) {
+                const std::int64_t row = (k * ny + j) * nx + i;
+                for (std::int64_t dk = -1; dk <= 1; ++dk) {
+                    for (std::int64_t dj = -1; dj <= 1; ++dj) {
+                        for (std::int64_t di = -1; di <= 1; ++di) {
+                            if (!keep(di, dj, dk)) continue;
+                            const std::int64_t ii = i + di;
+                            const std::int64_t jj = j + dj;
+                            const std::int64_t kk = k + dk;
+                            if (ii < 0 || ii >= nx || jj < 0 || jj >= ny ||
+                                kk < 0 || kk >= nz)
+                                continue;
+                            const std::int64_t col = (kk * ny + jj) * nx + ii;
+                            const double v =
+                                (di == 0 && dj == 0 && dk == 0)
+                                    ? static_cast<double>(nnz_per_point) - 1.0
+                                    : -1.0;
+                            builder.push(row, static_cast<std::int32_t>(col),
+                                         v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return std::move(builder).finish();
+}
+
+}  // namespace
+
+CsrMatrix stencil_2d_5pt(std::int64_t nx, std::int64_t ny) {
+    return grid_2d(
+        nx, ny,
+        [](std::int64_t di, std::int64_t dj) {
+            return (di == 0) != (dj == 0) || (di == 0 && dj == 0);
+        },
+        5);
+}
+
+CsrMatrix stencil_2d_9pt(std::int64_t nx, std::int64_t ny) {
+    return grid_2d(nx, ny, [](std::int64_t, std::int64_t) { return true; }, 9);
+}
+
+CsrMatrix stencil_3d_7pt(std::int64_t nx, std::int64_t ny, std::int64_t nz) {
+    return grid_3d(
+        nx, ny, nz,
+        [](std::int64_t di, std::int64_t dj, std::int64_t dk) {
+            const int nonzero_axes =
+                (di != 0 ? 1 : 0) + (dj != 0 ? 1 : 0) + (dk != 0 ? 1 : 0);
+            return nonzero_axes <= 1;
+        },
+        7);
+}
+
+CsrMatrix stencil_3d_27pt(std::int64_t nx, std::int64_t ny, std::int64_t nz) {
+    return grid_3d(
+        nx, ny, nz,
+        [](std::int64_t, std::int64_t, std::int64_t) { return true; }, 27);
+}
+
+}  // namespace spmvcache::gen

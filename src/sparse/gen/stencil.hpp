@@ -1,0 +1,27 @@
+// Structured-grid (stencil) matrix generators: the best-behaved patterns in
+// the collection (high spatial locality in x, low CV of nonzeros per row) —
+// analogues of the PDE/FEM matrices that dominate SuiteSparse.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache::gen {
+
+/// 5-point Laplacian stencil on an nx-by-ny 2D grid (row-major numbering).
+/// Diagonal value 4, off-diagonals -1. Pre: nx, ny >= 1.
+[[nodiscard]] CsrMatrix stencil_2d_5pt(std::int64_t nx, std::int64_t ny);
+
+/// 9-point stencil on an nx-by-ny 2D grid (full 3x3 neighborhood).
+[[nodiscard]] CsrMatrix stencil_2d_9pt(std::int64_t nx, std::int64_t ny);
+
+/// 7-point Laplacian on an nx*ny*nz 3D grid.
+[[nodiscard]] CsrMatrix stencil_3d_7pt(std::int64_t nx, std::int64_t ny,
+                                       std::int64_t nz);
+
+/// 27-point stencil on an nx*ny*nz 3D grid (full 3x3x3 neighborhood).
+[[nodiscard]] CsrMatrix stencil_3d_27pt(std::int64_t nx, std::int64_t ny,
+                                        std::int64_t nz);
+
+}  // namespace spmvcache::gen

@@ -1,0 +1,52 @@
+// The synthetic matrix collection standing in for the paper's 490
+// SuiteSparse matrices (see DESIGN.md, substitution table).
+//
+// The suite spans the two axes that drive the paper's results: working-set
+// size relative to the 8 MiB L2 segment (the §3.1 classes) and x-vector
+// locality (banded/stencil vs power-law/uniform-random). Matrices are
+// produced lazily via factories so a collection run never holds more than
+// a few of them in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache::gen {
+
+/// A named, lazily-generated matrix.
+struct MatrixSpec {
+    std::string name;
+    std::string family;
+    std::function<CsrMatrix()> factory;
+};
+
+/// Options controlling suite size; defaults complete in minutes on one core.
+struct SuiteOptions {
+    /// Approximate number of matrices (rounded up to cover all families).
+    std::int64_t count = 24;
+    /// Multiplies all matrix dimensions (1.0 = the built-in sizes, whose
+    /// working sets span ~2 MiB ... ~400 MiB around the A64FX L2 sizes).
+    double scale = 1.0;
+    /// Lower bound of the per-family size interpolation parameter in
+    /// [0, 1): raising it drops the small end of each family (e.g. 0.4
+    /// keeps only matrices large enough to stream through the 48-thread
+    /// L2 segments, the paper's ">1M nonzeros" criterion).
+    double t_min = 0.0;
+    std::uint64_t seed = 42;
+};
+
+/// Builds the synthetic collection. Matrix names encode family and size,
+/// e.g. "stencil2d5@512" for a 512x512-grid 5-point stencil.
+[[nodiscard]] std::vector<MatrixSpec> synthetic_suite(
+    const SuiteOptions& options = {});
+
+/// Loads every *.mtx file in `directory` as a MatrixSpec (sorted by name),
+/// so benches can run on real SuiteSparse data via --mm <dir>.
+[[nodiscard]] std::vector<MatrixSpec> matrix_market_suite(
+    const std::string& directory);
+
+}  // namespace spmvcache::gen

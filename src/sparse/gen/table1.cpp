@@ -1,0 +1,138 @@
+#include "sparse/gen/table1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/gen/banded.hpp"
+#include "sparse/gen/block.hpp"
+#include "sparse/gen/random.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "util/error.hpp"
+
+namespace spmvcache::gen {
+
+const std::vector<Table1Reference>& table1_reference() {
+    static const std::vector<Table1Reference> kRows = {
+        {"pdb1HYS", 0.036, 4.3, 82.9, 40.2},
+        {"Hamrle3", 1.447, 5.5, 15.9, 9.4},
+        {"G3_circuit", 1.585, 7.7, 10.8, 11.2},
+        {"shipsec1", 0.141, 7.8, 94.0, 16.7},
+        {"pwtk", 0.218, 11.5, 87.3, 94.5},
+        {"kkt_power", 2.063, 14.6, 8.6, 14.3},
+        {"Si41Ge41H72", 0.186, 15.0, 71.6, 70.3},
+        {"bundle_adj", 0.513, 20.2, 7.6, 66.6},
+        {"msdoor", 0.416, 20.2, 50.6, 53.3},
+        {"Fault_639", 0.639, 28.6, 75.7, 77.5},
+        {"af_shell10", 1.508, 52.7, 94.0, 92.3},
+        {"Serena", 1.391, 64.5, 65.6, 70.5},
+        {"bone010", 0.987, 71.7, 110.8, 118.9},
+        {"audikw_1", 0.944, 77.7, 45.1, 102.8},
+        {"channel-500", 4.802, 85.4, 42.1, 47.0},
+        {"nlpkkt120", 3.542, 96.8, 75.7, 77.2},
+        {"delaunay_n24", 16.777, 100.6, 5.8, 22.7},
+        {"ML_Geer", 1.504, 110.9, 117.8, 120.5},
+    };
+    return kRows;
+}
+
+namespace {
+
+std::int64_t scaled(double millions, double scale) {
+    return std::max<std::int64_t>(
+        1024, static_cast<std::int64_t>(millions * 1e6 * scale));
+}
+
+/// Block-FEM analogue: rows and mean nnz/row matched via block geometry.
+MatrixSpec fem_like(const char* name, double rows_m, double nnz_m,
+                    std::int64_t block_size, double span_fraction,
+                    double scale, std::uint64_t seed) {
+    const std::int64_t rows = scaled(rows_m, scale);
+    const std::int64_t blocks = std::max<std::int64_t>(2, rows / block_size);
+    const double nnz_per_row = nnz_m / rows_m;
+    const std::int64_t blocks_per_row = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(nnz_per_row / static_cast<double>(block_size))));
+    // The span must be wide enough to host blocks_per_row distinct block
+    // columns even at small scales.
+    const std::int64_t span = std::min(
+        blocks,
+        std::max(blocks_per_row,
+                 static_cast<std::int64_t>(static_cast<double>(blocks) *
+                                           span_fraction)));
+    return MatrixSpec{name, "fem",
+                      [blocks, block_size, blocks_per_row, span, seed] {
+                          return block_fem(blocks, block_size, blocks_per_row,
+                                           span, seed);
+                      }};
+}
+
+/// Circuit/KKT analogue: low mu_K with a tunable fraction of long-range
+/// couplings controlling x-vector irregularity.
+MatrixSpec circuit_like(const char* name, double rows_m, double nnz_m,
+                        double global_fraction, double scale,
+                        std::uint64_t seed) {
+    const std::int64_t rows = scaled(rows_m, scale);
+    const double extra = std::max(0.0, nnz_m / rows_m - 1.0);
+    const std::int64_t local_span = std::max<std::int64_t>(8, rows / 128);
+    return MatrixSpec{name, "circuit",
+                      [rows, extra, local_span, global_fraction, seed] {
+                          return circuit(rows, extra, local_span,
+                                         global_fraction, seed);
+                      }};
+}
+
+/// High-CV analogue for bundle adjustment (dense border rows).
+MatrixSpec skewed_like(const char* name, double rows_m, double nnz_m,
+                       double cv, double scale, std::uint64_t seed) {
+    const std::int64_t rows = scaled(rows_m, scale);
+    const double mean = nnz_m / rows_m;
+    return MatrixSpec{name, "skewed", [rows, mean, cv, seed] {
+                          return random_variable_rows(rows, rows, mean, cv,
+                                                      seed);
+                      }};
+}
+
+/// 3D-grid analogue (channel flow / nlpkkt): 27-point stencil with the
+/// side chosen to match rows.
+MatrixSpec grid3d_like(const char* name, double rows_m, double scale) {
+    const std::int64_t rows = scaled(rows_m, scale);
+    const auto side = std::max<std::int64_t>(
+        4, static_cast<std::int64_t>(std::cbrt(static_cast<double>(rows))));
+    return MatrixSpec{name, "grid3d", [side] {
+                          return stencil_3d_27pt(side, side, side);
+                      }};
+}
+
+}  // namespace
+
+std::vector<MatrixSpec> table1_suite(double scale, std::uint64_t seed) {
+    SPMV_EXPECTS(scale > 0.0 && scale <= 1.0);
+    std::vector<MatrixSpec> suite;
+    suite.reserve(18);
+    // Pattern families chosen per the SuiteSparse domain of each namesake;
+    // dimensions and nnz densities follow Table 1.
+    suite.push_back(fem_like("pdb1HYS", 0.036, 4.3, 8, 0.02, scale, seed));
+    suite.push_back(circuit_like("Hamrle3", 1.447, 5.5, 0.02, scale, seed));
+    suite.push_back(circuit_like("G3_circuit", 1.585, 7.7, 0.01, scale, seed));
+    suite.push_back(fem_like("shipsec1", 0.141, 7.8, 8, 0.02, scale, seed));
+    suite.push_back(fem_like("pwtk", 0.218, 11.5, 8, 0.01, scale, seed));
+    suite.push_back(circuit_like("kkt_power", 2.063, 14.6, 0.30, scale, seed));
+    suite.push_back(
+        fem_like("Si41Ge41H72", 0.186, 15.0, 8, 0.10, scale, seed));
+    suite.push_back(skewed_like("bundle_adj", 0.513, 20.2, 4.0, scale, seed));
+    suite.push_back(fem_like("msdoor", 0.416, 20.2, 8, 0.01, scale, seed));
+    suite.push_back(fem_like("Fault_639", 0.639, 28.6, 8, 0.01, scale, seed));
+    suite.push_back(
+        fem_like("af_shell10", 1.508, 52.7, 8, 0.005, scale, seed));
+    suite.push_back(fem_like("Serena", 1.391, 64.5, 8, 0.01, scale, seed));
+    suite.push_back(fem_like("bone010", 0.987, 71.7, 8, 0.01, scale, seed));
+    suite.push_back(fem_like("audikw_1", 0.944, 77.7, 8, 0.05, scale, seed));
+    suite.push_back(grid3d_like("channel-500", 4.802, scale));
+    suite.push_back(grid3d_like("nlpkkt120", 3.542, scale));
+    suite.push_back(
+        circuit_like("delaunay_n24", 16.777, 100.6, 0.02, scale, seed));
+    suite.push_back(fem_like("ML_Geer", 1.504, 110.9, 8, 0.005, scale, seed));
+    return suite;
+}
+
+}  // namespace spmvcache::gen

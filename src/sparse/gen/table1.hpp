@@ -1,0 +1,33 @@
+// Synthetic analogues of the 18 SuiteSparse matrices in Table 1 of the
+// paper. Each analogue matches its namesake's dimensions, nonzero count and
+// pattern family (FEM block, circuit, KKT/optimization, mesh, ...) at a
+// configurable scale factor, so bench_table1 reproduces the *shape* of the
+// paper's performance table without the proprietary files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/gen/suite.hpp"
+
+namespace spmvcache::gen {
+
+/// Reference data from Table 1 of the paper, for side-by-side reporting.
+struct Table1Reference {
+    const char* name;
+    double rows_millions;      ///< as printed in the paper
+    double nnz_millions;
+    double gflops_paper;       ///< "Ours" column
+    double gflops_alappat;     ///< "[1]" column
+};
+
+/// The 18 reference rows in the paper's order.
+[[nodiscard]] const std::vector<Table1Reference>& table1_reference();
+
+/// Builds the analogue generator for each Table 1 matrix at `scale`
+/// (dimensions multiplied by scale; nonzeros-per-row preserved).
+/// Pre: 0 < scale <= 1.
+[[nodiscard]] std::vector<MatrixSpec> table1_suite(double scale,
+                                                   std::uint64_t seed = 42);
+
+}  // namespace spmvcache::gen

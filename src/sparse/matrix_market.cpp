@@ -1,0 +1,119 @@
+#include "sparse/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+#include "util/format.hpp"
+
+namespace spmvcache {
+
+namespace {
+
+struct MmHeader {
+    bool pattern = false;
+    bool symmetric = false;
+    bool skew = false;
+};
+
+MmHeader parse_banner(const std::string& line) {
+    std::istringstream is(line);
+    std::string banner, object, format, field, symmetry;
+    is >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket")
+        throw std::runtime_error("not a Matrix Market file");
+    if (to_lower(object) != "matrix")
+        throw std::runtime_error("unsupported MatrixMarket object: " + object);
+    if (to_lower(format) != "coordinate")
+        throw std::runtime_error("only coordinate format is supported");
+    const std::string f = to_lower(field);
+    if (f != "real" && f != "integer" && f != "pattern")
+        throw std::runtime_error("unsupported MatrixMarket field: " + field);
+    const std::string s = to_lower(symmetry);
+    if (s != "general" && s != "symmetric" && s != "skew-symmetric")
+        throw std::runtime_error("unsupported MatrixMarket symmetry: " +
+                                 symmetry);
+    MmHeader h;
+    h.pattern = (f == "pattern");
+    h.symmetric = (s == "symmetric" || s == "skew-symmetric");
+    h.skew = (s == "skew-symmetric");
+    return h;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line))
+        throw std::runtime_error("empty Matrix Market stream");
+    const MmHeader header = parse_banner(line);
+
+    // Skip comments and blank lines to the size line.
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (!t.empty() && t[0] != '%') break;
+    }
+    std::int64_t rows = 0, cols = 0, declared_nnz = 0;
+    {
+        std::istringstream is(line);
+        if (!(is >> rows >> cols >> declared_nnz))
+            throw std::runtime_error("malformed Matrix Market size line");
+    }
+    if (rows < 0 || cols < 0 || declared_nnz < 0)
+        throw std::runtime_error("negative Matrix Market dimensions");
+
+    CooMatrix coo(rows, cols);
+    coo.reserve(static_cast<std::size_t>(
+        header.symmetric ? 2 * declared_nnz : declared_nnz));
+    std::int64_t seen = 0;
+    while (seen < declared_nnz && std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '%') continue;
+        std::istringstream is(t);
+        std::int64_t r = 0, c = 0;
+        double v = 1.0;
+        if (!(is >> r >> c)) throw std::runtime_error("malformed entry line");
+        if (!header.pattern && !(is >> v))
+            throw std::runtime_error("missing value on entry line");
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            throw std::runtime_error("Matrix Market index out of range");
+        coo.add(r - 1, c - 1, v);
+        if (header.symmetric && r != c)
+            coo.add(c - 1, r - 1, header.skew ? -v : v);
+        ++seen;
+    }
+    if (seen != declared_nnz)
+        throw std::runtime_error("Matrix Market stream truncated");
+    return std::move(coo).to_csr();
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open: " + path);
+    return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+    const auto rowptr = m.rowptr();
+    const auto colidx = m.colidx();
+    const auto values = m.values();
+    for (std::int64_t r = 0; r < m.rows(); ++r) {
+        for (auto i = rowptr[static_cast<std::size_t>(r)];
+             i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+            out << (r + 1) << ' '
+                << (colidx[static_cast<std::size_t>(i)] + 1) << ' '
+                << values[static_cast<std::size_t>(i)] << '\n';
+        }
+    }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open for writing: " + path);
+    write_matrix_market(out, m);
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,28 @@
+// Matrix Market (.mtx) I/O, so real SuiteSparse matrices — the paper's data
+// set — can be dropped into any bench via --mm when available.
+//
+// Supports the coordinate format with real/integer/pattern fields and
+// general/symmetric/skew-symmetric symmetry. Pattern entries get value 1.0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache {
+
+/// Parses a Matrix Market stream. Throws std::runtime_error on malformed
+/// input or unsupported format (complex field, array format).
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+
+/// Reads a .mtx file from disk. Throws std::runtime_error if unreadable.
+[[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `m` in coordinate/real/general format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& m);
+
+/// Writes `m` to a .mtx file. Throws std::runtime_error if unwritable.
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace spmvcache

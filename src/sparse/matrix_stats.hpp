@@ -1,0 +1,36 @@
+// Per-matrix statistics used throughout the paper's evaluation:
+// mean (mu_K) and coefficient of variation (CV_K) of nonzeros per row are
+// the quantities §4.5.2 filters on; the byte sizes feed the §3.1 working-set
+// classification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache {
+
+/// Summary statistics of a sparse matrix's pattern.
+struct MatrixStats {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t nnz = 0;
+    double mean_nnz_per_row = 0.0;     ///< mu_K in the paper
+    double stddev_nnz_per_row = 0.0;   ///< sigma_K
+    double cv_nnz_per_row = 0.0;       ///< CV_K = sigma_K / mu_K
+    std::int64_t max_nnz_per_row = 0;
+    std::int64_t empty_rows = 0;
+    double mean_abs_column_distance = 0.0;  ///< avg |col - row| (bandedness)
+    std::int64_t bandwidth = 0;             ///< max |col - row|
+    std::uint64_t matrix_bytes = 0;    ///< a + colidx + rowptr
+    std::uint64_t working_set_bytes = 0;  ///< matrix + x + y
+};
+
+/// Computes all statistics in a single pass.
+[[nodiscard]] MatrixStats compute_stats(const CsrMatrix& m);
+
+/// One-line human-readable rendering ("1.5M x 1.5M, 52.7M nnz, mu=35.0 ...").
+[[nodiscard]] std::string to_string(const MatrixStats& s);
+
+}  // namespace spmvcache

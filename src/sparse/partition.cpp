@@ -1,0 +1,79 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+RowPartition::RowPartition(const CsrMatrix& m, std::int64_t threads,
+                           PartitionPolicy policy) {
+    SPMV_EXPECTS(threads >= 1);
+    const auto n = m.rows();
+    ranges_.resize(static_cast<std::size_t>(threads));
+
+    if (policy == PartitionPolicy::BalancedRows) {
+        // OpenMP static schedule: ceil(n/threads) rows per thread.
+        const std::int64_t chunk = (n + threads - 1) / threads;
+        for (std::int64_t t = 0; t < threads; ++t) {
+            const std::int64_t begin = std::min(t * chunk, n);
+            const std::int64_t end = std::min(begin + chunk, n);
+            ranges_[static_cast<std::size_t>(t)] = RowRange{begin, end};
+        }
+        return;
+    }
+
+    // BalancedNonzeros: walk rowptr, cutting when the running nonzero count
+    // passes the next multiple of nnz/threads; a row straddling the target
+    // goes to whichever side brings the cut closer to it.
+    const auto rowptr = m.rowptr();
+    const std::int64_t total = m.nnz();
+    std::int64_t row = 0;
+    for (std::int64_t t = 0; t < threads; ++t) {
+        const std::int64_t target = (t + 1) * total / threads;
+        const std::int64_t begin = row;
+        while (row < n && rowptr[static_cast<std::size_t>(row) + 1] <= target)
+            ++row;
+        if (row < n) {
+            const std::int64_t below =
+                target - rowptr[static_cast<std::size_t>(row)];
+            const std::int64_t above =
+                rowptr[static_cast<std::size_t>(row) + 1] - target;
+            if (above < below) ++row;  // straddling row joins this thread
+        }
+        if (t == threads - 1) row = n;
+        ranges_[static_cast<std::size_t>(t)] = RowRange{begin, row};
+    }
+    SPMV_ENSURES(ranges_.back().end == n);
+}
+
+const RowRange& RowPartition::range(std::int64_t thread) const {
+    SPMV_EXPECTS(thread >= 0 && thread < threads());
+    return ranges_[static_cast<std::size_t>(thread)];
+}
+
+std::vector<std::int64_t> RowPartition::nnz_per_thread(
+    const CsrMatrix& m) const {
+    const auto rowptr = m.rowptr();
+    std::vector<std::int64_t> out(ranges_.size());
+    for (std::size_t t = 0; t < ranges_.size(); ++t) {
+        out[t] = rowptr[static_cast<std::size_t>(ranges_[t].end)] -
+                 rowptr[static_cast<std::size_t>(ranges_[t].begin)];
+    }
+    return out;
+}
+
+double RowPartition::imbalance(const CsrMatrix& m) const {
+    const auto per_thread = nnz_per_thread(m);
+    std::int64_t max = 0, sum = 0;
+    for (auto k : per_thread) {
+        max = std::max(max, k);
+        sum += k;
+    }
+    if (sum == 0) return 1.0;
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(per_thread.size());
+    return static_cast<double>(max) / mean;
+}
+
+}  // namespace spmvcache

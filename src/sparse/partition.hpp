@@ -1,0 +1,58 @@
+// Row partitioning of the CSR matrix across threads.
+//
+// Listing 1 of the paper uses the OpenMP static worksharing loop, i.e. a
+// balanced-rows split; Alappat et al.'s results that Table 1 compares
+// against additionally balance *nonzeros* per thread. Both policies are
+// provided, and the trace generator, simulator and kernels all consume the
+// same RowPartition so every component agrees which thread owns which rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache {
+
+/// Contiguous row range [begin, end) owned by one thread.
+struct RowRange {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+
+    [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+    friend bool operator==(const RowRange&, const RowRange&) = default;
+};
+
+/// How rows are divided among threads.
+enum class PartitionPolicy {
+    BalancedRows,     ///< OpenMP static: equal row counts (Listing 1)
+    BalancedNonzeros  ///< equal nonzero counts (Alappat et al.)
+};
+
+/// A full assignment of rows to `threads` contiguous ranges.
+class RowPartition {
+public:
+    /// Pre: threads >= 1.
+    RowPartition(const CsrMatrix& m, std::int64_t threads,
+                 PartitionPolicy policy);
+
+    [[nodiscard]] std::int64_t threads() const noexcept {
+        return static_cast<std::int64_t>(ranges_.size());
+    }
+    [[nodiscard]] const RowRange& range(std::int64_t thread) const;
+    [[nodiscard]] const std::vector<RowRange>& ranges() const noexcept {
+        return ranges_;
+    }
+
+    /// Nonzeros owned by each thread (for imbalance metrics).
+    [[nodiscard]] std::vector<std::int64_t> nnz_per_thread(
+        const CsrMatrix& m) const;
+
+    /// max(nnz per thread) / mean(nnz per thread); 1.0 = perfectly balanced.
+    [[nodiscard]] double imbalance(const CsrMatrix& m) const;
+
+private:
+    std::vector<RowRange> ranges_;
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,174 @@
+#include "sparse/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+namespace {
+
+/// Symmetrised adjacency in CSR-like arrays (pattern only, no self-loops).
+struct Graph {
+    std::vector<std::int64_t> offsets;
+    std::vector<std::int32_t> neighbors;
+
+    [[nodiscard]] std::int64_t degree(std::int32_t v) const {
+        return offsets[static_cast<std::size_t>(v) + 1] -
+               offsets[static_cast<std::size_t>(v)];
+    }
+};
+
+Graph symmetrize(const CsrMatrix& m) {
+    const auto n = m.rows();
+    const auto rowptr = m.rowptr();
+    const auto colidx = m.colidx();
+
+    // Count symmetric degree. To dedup A and A^T edges we build adjacency
+    // lists and sort/unique per vertex; memory is O(2*nnz).
+    std::vector<std::int64_t> count(static_cast<std::size_t>(n) + 1, 0);
+    for (std::int64_t r = 0; r < n; ++r) {
+        for (auto i = rowptr[static_cast<std::size_t>(r)];
+             i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+            const auto c = colidx[static_cast<std::size_t>(i)];
+            if (c == r) continue;
+            ++count[static_cast<std::size_t>(r) + 1];
+            ++count[static_cast<std::size_t>(c) + 1];
+        }
+    }
+    for (std::size_t v = 1; v < count.size(); ++v) count[v] += count[v - 1];
+
+    Graph g;
+    g.offsets = count;
+    g.neighbors.resize(static_cast<std::size_t>(g.offsets.back()));
+    std::vector<std::int64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+    for (std::int64_t r = 0; r < n; ++r) {
+        for (auto i = rowptr[static_cast<std::size_t>(r)];
+             i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+            const auto c = colidx[static_cast<std::size_t>(i)];
+            if (c == r) continue;
+            g.neighbors[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(r)]++)] = c;
+            g.neighbors[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(c)]++)] =
+                static_cast<std::int32_t>(r);
+        }
+    }
+    // Dedup each adjacency list in place.
+    std::vector<std::int64_t> new_offsets(g.offsets.size(), 0);
+    std::size_t out = 0;
+    for (std::int64_t v = 0; v < n; ++v) {
+        const auto begin = static_cast<std::size_t>(
+            g.offsets[static_cast<std::size_t>(v)]);
+        const auto end = static_cast<std::size_t>(
+            g.offsets[static_cast<std::size_t>(v) + 1]);
+        std::sort(g.neighbors.begin() + static_cast<std::ptrdiff_t>(begin),
+                  g.neighbors.begin() + static_cast<std::ptrdiff_t>(end));
+        const std::size_t start_out = out;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (out > start_out && g.neighbors[out - 1] == g.neighbors[i])
+                continue;
+            g.neighbors[out++] = g.neighbors[i];
+        }
+        new_offsets[static_cast<std::size_t>(v) + 1] =
+            static_cast<std::int64_t>(out);
+    }
+    g.neighbors.resize(out);
+    g.offsets = std::move(new_offsets);
+    return g;
+}
+
+/// Finds a pseudo-peripheral vertex by repeated BFS (George-Liu).
+std::int32_t pseudo_peripheral(const Graph& g, std::int32_t start,
+                               std::vector<std::int32_t>& level_scratch) {
+    std::int32_t current = start;
+    std::int64_t eccentricity = -1;
+    for (;;) {
+        // BFS from `current`, recording levels in scratch (-1 = unseen).
+        std::fill(level_scratch.begin(), level_scratch.end(), -1);
+        std::queue<std::int32_t> q;
+        q.push(current);
+        level_scratch[static_cast<std::size_t>(current)] = 0;
+        std::int32_t last = current;
+        std::int64_t max_level = 0;
+        while (!q.empty()) {
+            const auto v = q.front();
+            q.pop();
+            const auto lvl = level_scratch[static_cast<std::size_t>(v)];
+            if (lvl > max_level) max_level = lvl;
+            last = v;
+            for (auto i = g.offsets[static_cast<std::size_t>(v)];
+                 i < g.offsets[static_cast<std::size_t>(v) + 1]; ++i) {
+                const auto u = g.neighbors[static_cast<std::size_t>(i)];
+                if (level_scratch[static_cast<std::size_t>(u)] < 0) {
+                    level_scratch[static_cast<std::size_t>(u)] = lvl + 1;
+                    q.push(u);
+                }
+            }
+        }
+        if (max_level <= eccentricity) return current;
+        eccentricity = max_level;
+        // Among deepest-level vertices, take the one with minimum degree;
+        // the BFS above visits them in order, `last` is a cheap proxy.
+        current = last;
+    }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> rcm_ordering(const CsrMatrix& m) {
+    SPMV_EXPECTS(m.rows() == m.cols());
+    const auto n = m.rows();
+    const Graph g = symmetrize(m);
+
+    std::vector<std::int32_t> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<std::int32_t> level_scratch(static_cast<std::size_t>(n), -1);
+
+    for (std::int32_t seed = 0; seed < n; ++seed) {
+        if (visited[static_cast<std::size_t>(seed)]) continue;
+        const std::int32_t root =
+            g.degree(seed) == 0 ? seed
+                                : pseudo_peripheral(g, seed, level_scratch);
+
+        // Cuthill-McKee BFS: neighbors enqueued in increasing-degree order.
+        std::queue<std::int32_t> q;
+        q.push(root);
+        visited[static_cast<std::size_t>(root)] = true;
+        std::vector<std::int32_t> nbrs;
+        while (!q.empty()) {
+            const auto v = q.front();
+            q.pop();
+            order.push_back(v);
+            nbrs.clear();
+            for (auto i = g.offsets[static_cast<std::size_t>(v)];
+                 i < g.offsets[static_cast<std::size_t>(v) + 1]; ++i) {
+                const auto u = g.neighbors[static_cast<std::size_t>(i)];
+                if (!visited[static_cast<std::size_t>(u)]) {
+                    visited[static_cast<std::size_t>(u)] = true;
+                    nbrs.push_back(u);
+                }
+            }
+            std::sort(nbrs.begin(), nbrs.end(),
+                      [&g](std::int32_t a, std::int32_t b) {
+                          return g.degree(a) != g.degree(b)
+                                     ? g.degree(a) < g.degree(b)
+                                     : a < b;
+                      });
+            for (auto u : nbrs) q.push(u);
+        }
+    }
+    // Reverse for RCM.
+    std::reverse(order.begin(), order.end());
+    SPMV_ENSURES(order.size() == static_cast<std::size_t>(n));
+    return order;
+}
+
+CsrMatrix rcm_reorder(const CsrMatrix& m) {
+    const auto perm = rcm_ordering(m);
+    return m.permuted_symmetric(perm);
+}
+
+}  // namespace spmvcache

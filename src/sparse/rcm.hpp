@@ -1,0 +1,26 @@
+// Reverse Cuthill-McKee reordering.
+//
+// Table 1's discussion attributes part of the performance gap for
+// kkt_power, bundle_adj, audikw_1 and delaunay_n24 to Alappat et al.'s use
+// of RCM reordering; this module implements it so the ablation bench can
+// quantify the effect (bench_ablation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmvcache {
+
+/// Computes the Reverse Cuthill-McKee ordering of the symmetrised pattern
+/// of `m` (edges of A union A^T, self-loops ignored). Returns perm with
+/// perm[new_index] = old_index, covering every row even in disconnected
+/// graphs (each component is seeded from a pseudo-peripheral vertex).
+/// Pre: m is square.
+[[nodiscard]] std::vector<std::int32_t> rcm_ordering(const CsrMatrix& m);
+
+/// Convenience: applies rcm_ordering via CsrMatrix::permuted_symmetric.
+[[nodiscard]] CsrMatrix rcm_reorder(const CsrMatrix& m);
+
+}  // namespace spmvcache

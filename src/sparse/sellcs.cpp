@@ -1,0 +1,130 @@
+#include "sparse/sellcs.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+SellCSigmaMatrix::SellCSigmaMatrix(const CsrMatrix& csr,
+                                   std::int64_t chunk_height,
+                                   std::int64_t sigma)
+    : rows_(csr.rows()), cols_(csr.cols()), nnz_(csr.nnz()),
+      c_(chunk_height), sigma_(sigma) {
+    SPMV_EXPECTS(chunk_height >= 1);
+    SPMV_EXPECTS(sigma >= 1);
+    SPMV_EXPECTS(sigma == 1 || sigma % chunk_height == 0);
+
+    const auto rowptr = csr.rowptr();
+    const auto csr_colidx = csr.colidx();
+    const auto csr_values = csr.values();
+
+    // Sort rows by descending length within windows of sigma rows.
+    perm_.resize(static_cast<std::size_t>(rows_));
+    std::iota(perm_.begin(), perm_.end(), 0);
+    auto row_len = [&](std::int32_t r) {
+        return rowptr[static_cast<std::size_t>(r) + 1] -
+               rowptr[static_cast<std::size_t>(r)];
+    };
+    for (std::int64_t window = 0; window < rows_; window += sigma_) {
+        const auto begin = perm_.begin() + static_cast<std::ptrdiff_t>(window);
+        const auto end =
+            perm_.begin() +
+            static_cast<std::ptrdiff_t>(std::min(window + sigma_, rows_));
+        std::stable_sort(begin, end, [&](std::int32_t a, std::int32_t b) {
+            return row_len(a) > row_len(b);
+        });
+    }
+
+    row_lengths_.resize(static_cast<std::size_t>(rows_));
+    for (std::int64_t p = 0; p < rows_; ++p)
+        row_lengths_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(
+            row_len(perm_[static_cast<std::size_t>(p)]));
+
+    // Chunk geometry: width of chunk k = longest row in it.
+    const std::int64_t num_chunks = (rows_ + c_ - 1) / c_;
+    chunk_width_.resize(static_cast<std::size_t>(num_chunks));
+    chunk_offset_.resize(static_cast<std::size_t>(num_chunks) + 1);
+    chunk_offset_[0] = 0;
+    for (std::int64_t k = 0; k < num_chunks; ++k) {
+        std::int64_t width = 0;
+        for (std::int64_t i = 0; i < c_; ++i) {
+            const std::int64_t p = k * c_ + i;
+            if (p < rows_)
+                width = std::max<std::int64_t>(
+                    width, row_lengths_[static_cast<std::size_t>(p)]);
+        }
+        chunk_width_[static_cast<std::size_t>(k)] = width;
+        chunk_offset_[static_cast<std::size_t>(k) + 1] =
+            chunk_offset_[static_cast<std::size_t>(k)] + width * c_;
+    }
+
+    // Fill column-major chunks; padding uses column 0 and value 0 so the
+    // kernel needs no branches.
+    const auto total = static_cast<std::size_t>(chunk_offset_.back());
+    values_.assign(total, 0.0);
+    colidx_.assign(total, 0);
+    for (std::int64_t k = 0; k < num_chunks; ++k) {
+        const std::int64_t base = chunk_offset_[static_cast<std::size_t>(k)];
+        const std::int64_t width = chunk_width_[static_cast<std::size_t>(k)];
+        for (std::int64_t i = 0; i < c_; ++i) {
+            const std::int64_t p = k * c_ + i;
+            if (p >= rows_) continue;
+            const auto row = perm_[static_cast<std::size_t>(p)];
+            const auto begin = rowptr[static_cast<std::size_t>(row)];
+            const auto len = row_lengths_[static_cast<std::size_t>(p)];
+            for (std::int64_t j = 0; j < width; ++j) {
+                const std::size_t slot =
+                    static_cast<std::size_t>(base + j * c_ + i);
+                if (j < len) {
+                    values_[slot] =
+                        csr_values[static_cast<std::size_t>(begin + j)];
+                    colidx_[slot] =
+                        csr_colidx[static_cast<std::size_t>(begin + j)];
+                }
+            }
+        }
+    }
+}
+
+std::int64_t SellCSigmaMatrix::chunk_width(std::int64_t k) const {
+    SPMV_EXPECTS(k >= 0 && k < chunks());
+    return chunk_width_[static_cast<std::size_t>(k)];
+}
+
+std::int64_t SellCSigmaMatrix::chunk_offset(std::int64_t k) const {
+    SPMV_EXPECTS(k >= 0 && k < chunks());
+    return chunk_offset_[static_cast<std::size_t>(k)];
+}
+
+void spmv_sell(const SellCSigmaMatrix& a, std::span<const double> x,
+               std::span<double> y) {
+    SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
+    SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
+    const auto values = a.values();
+    const auto colidx = a.colidx();
+    const auto perm = a.perm();
+    const std::int64_t c = a.chunk_height();
+
+    for (std::int64_t k = 0; k < a.chunks(); ++k) {
+        const std::int64_t base = a.chunk_offset(k);
+        const std::int64_t width = a.chunk_width(k);
+        const std::int64_t rows_in_chunk =
+            std::min(c, a.rows() - k * c);
+        // Column-major accumulation: the i-loop vectorises over the chunk.
+        for (std::int64_t i = 0; i < rows_in_chunk; ++i) {
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < width; ++j) {
+                const std::size_t slot =
+                    static_cast<std::size_t>(base + j * c + i);
+                acc += values[slot] *
+                       x[static_cast<std::size_t>(colidx[slot])];
+            }
+            y[static_cast<std::size_t>(
+                perm[static_cast<std::size_t>(k * c + i)])] += acc;
+        }
+    }
+}
+
+}  // namespace spmvcache

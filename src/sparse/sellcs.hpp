@@ -1,0 +1,98 @@
+// SELL-C-sigma sparse matrix format (Kreutzer et al.), the format the
+// paper's related work (Alappat et al.) found faster than CSR on the
+// A64FX and names as future work for the sector cache ("it is worth
+// investigating how the sector cache can be applied in the case of other
+// sparse matrix storage formats").
+//
+// Rows are sorted by length within windows of sigma rows, grouped into
+// chunks of C rows, and each chunk is stored column-major, padded to the
+// length of its longest row — SIMD-friendly on 512-bit SVE (C = multiple
+// of 8 doubles).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "util/align.hpp"
+
+namespace spmvcache {
+
+/// Immutable SELL-C-sigma matrix, built from a CSR matrix.
+class SellCSigmaMatrix {
+public:
+    /// Converts `csr`. Pre: chunk_height >= 1; sigma >= 1 and a multiple
+    /// of chunk_height (or 1 for no sorting).
+    SellCSigmaMatrix(const CsrMatrix& csr, std::int64_t chunk_height,
+                     std::int64_t sigma);
+
+    [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+    /// Logical nonzeros (excluding padding).
+    [[nodiscard]] std::int64_t nnz() const noexcept { return nnz_; }
+    [[nodiscard]] std::int64_t chunk_height() const noexcept { return c_; }
+    [[nodiscard]] std::int64_t sigma() const noexcept { return sigma_; }
+    [[nodiscard]] std::int64_t chunks() const noexcept {
+        return static_cast<std::int64_t>(chunk_width_.size());
+    }
+
+    /// Stored elements including zero padding.
+    [[nodiscard]] std::int64_t padded_nnz() const noexcept {
+        return static_cast<std::int64_t>(values_.size());
+    }
+    /// Padding overhead beta = padded / logical (1.0 = no padding).
+    [[nodiscard]] double padding_factor() const noexcept {
+        return nnz_ > 0 ? static_cast<double>(padded_nnz()) /
+                              static_cast<double>(nnz_)
+                        : 1.0;
+    }
+
+    /// Width (longest row) of chunk `k`. Pre: 0 <= k < chunks().
+    [[nodiscard]] std::int64_t chunk_width(std::int64_t k) const;
+    /// Offset of chunk k's first element in values()/colidx().
+    [[nodiscard]] std::int64_t chunk_offset(std::int64_t k) const;
+
+    /// Row permutation: perm()[sorted_position] = original row.
+    [[nodiscard]] std::span<const std::int32_t> perm() const noexcept {
+        return {perm_.data(), perm_.size()};
+    }
+    [[nodiscard]] std::span<const double> values() const noexcept {
+        return {values_.data(), values_.size()};
+    }
+    [[nodiscard]] std::span<const std::int32_t> colidx() const noexcept {
+        return {colidx_.data(), colidx_.size()};
+    }
+    /// Nonzeros (unpadded length) of sorted row position p.
+    [[nodiscard]] std::span<const std::int32_t> row_lengths() const noexcept {
+        return {row_lengths_.data(), row_lengths_.size()};
+    }
+
+    /// Byte sizes for working-set classification.
+    [[nodiscard]] std::uint64_t values_bytes() const noexcept {
+        return values_.size() * sizeof(double);
+    }
+    [[nodiscard]] std::uint64_t colidx_bytes() const noexcept {
+        return colidx_.size() * sizeof(std::int32_t);
+    }
+
+private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::int64_t nnz_ = 0;
+    std::int64_t c_ = 1;
+    std::int64_t sigma_ = 1;
+    aligned_vector<double> values_;
+    aligned_vector<std::int32_t> colidx_;
+    aligned_vector<std::int64_t> chunk_offset_;  ///< chunks()+1 entries
+    std::vector<std::int64_t> chunk_width_;
+    std::vector<std::int32_t> perm_;
+    std::vector<std::int32_t> row_lengths_;
+};
+
+/// y <- y + A x with A in SELL-C-sigma form (results land at the original
+/// row positions via the permutation).
+/// Pre: x.size() == cols, y.size() == rows.
+void spmv_sell(const SellCSigmaMatrix& a, std::span<const double> x,
+               std::span<double> y);
+
+}  // namespace spmvcache

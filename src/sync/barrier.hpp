@@ -1,0 +1,42 @@
+// Sense-reversing spin barrier for the multi-threaded trace recorders.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+/// Reusable barrier for a fixed number of participants.
+class SpinBarrier {
+public:
+    explicit SpinBarrier(std::size_t participants)
+        : participants_(participants), remaining_(participants) {
+        SPMV_EXPECTS(participants > 0);
+    }
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    /// Blocks until all participants have arrived; reusable across phases.
+    void arrive_and_wait() noexcept {
+        const bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            remaining_.store(participants_, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            while (sense_.load(std::memory_order_acquire) != my_sense) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+private:
+    const std::size_t participants_;
+    std::atomic<std::size_t> remaining_;
+    std::atomic<bool> sense_{false};
+};
+
+}  // namespace spmvcache

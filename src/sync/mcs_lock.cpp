@@ -1,0 +1,41 @@
+#include "sync/mcs_lock.hpp"
+
+#include <thread>
+
+namespace spmvcache {
+
+void McsLock::acquire(QNode& node) noexcept {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.locked.store(true, std::memory_order_relaxed);
+
+    QNode* prev = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (prev == nullptr) return;  // lock was free; we own it now
+
+    // Link behind the previous tail and spin on our own flag (local
+    // spinning is the defining property of the MCS lock).
+    prev->next.store(&node, std::memory_order_release);
+    while (node.locked.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+    }
+}
+
+void McsLock::release(QNode& node) noexcept {
+    QNode* successor = node.next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+        // No known successor: try to swing the tail back to empty.
+        QNode* expected = &node;
+        if (tail_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+            return;
+        }
+        // A thread is in the middle of enqueueing; wait for its link.
+        while ((successor = node.next.load(std::memory_order_acquire)) ==
+               nullptr) {
+            std::this_thread::yield();
+        }
+    }
+    successor->locked.store(false, std::memory_order_release);
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,59 @@
+// MCS queue lock (Mellor-Crummey & Scott, 1991).
+//
+// The paper (§3.2.1) interleaves the per-thread memory traces of parallel
+// SpMV through an MCS lock "because it provides starvation freedom and
+// fairness (FIFO ordering)". This is a faithful implementation: each
+// waiting thread spins on its own queue node (local spinning), and the lock
+// hands over in strict arrival order.
+#pragma once
+
+#include <atomic>
+
+namespace spmvcache {
+
+/// Queue-based FIFO spin lock. Each acquire/release pair uses a caller-
+/// provided QNode which must stay alive (and not be reused for a second
+/// concurrent acquisition) until release() returns.
+class McsLock {
+public:
+    struct QNode {
+        std::atomic<QNode*> next{nullptr};
+        std::atomic<bool> locked{false};
+    };
+
+    McsLock() = default;
+    McsLock(const McsLock&) = delete;
+    McsLock& operator=(const McsLock&) = delete;
+
+    /// Enqueues `node` and spins until the lock is granted.
+    void acquire(QNode& node) noexcept;
+
+    /// Releases the lock, handing it to the next queued thread if any.
+    void release(QNode& node) noexcept;
+
+    /// True if some thread currently holds or is queued for the lock.
+    /// Only a heuristic (racy by nature); used by tests.
+    [[nodiscard]] bool appears_held() const noexcept {
+        return tail_.load(std::memory_order_acquire) != nullptr;
+    }
+
+private:
+    std::atomic<QNode*> tail_{nullptr};
+};
+
+/// RAII guard for McsLock; owns its queue node on the stack.
+class McsGuard {
+public:
+    explicit McsGuard(McsLock& lock) noexcept : lock_(lock) {
+        lock_.acquire(node_);
+    }
+    ~McsGuard() { lock_.release(node_); }
+    McsGuard(const McsGuard&) = delete;
+    McsGuard& operator=(const McsGuard&) = delete;
+
+private:
+    McsLock& lock_;
+    McsLock::QNode node_;
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,67 @@
+#include "sync/thread_pool.hpp"
+
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    SPMV_EXPECTS(workers >= 1);
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutting_down_)
+            throw std::runtime_error("submit() on shutting-down ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    for (std::size_t i = 0; i < n; ++i) submit([&fn, i] { fn(i); });
+    wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(
+                lock, [this] { return shutting_down_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // shutting down
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0) idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,52 @@
+// Small work-queue thread pool used to run per-matrix experiments in
+// parallel on the host (each experiment is independent, so the collection
+// drivers simply fan matrices out over the pool).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spmvcache {
+
+/// Fixed-size pool executing void() tasks FIFO. Exceptions escaping a task
+/// terminate (tasks are expected to handle their own errors).
+class ThreadPool {
+public:
+    /// Pre: workers >= 1.
+    explicit ThreadPool(std::size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task; throws if wait_idle() raced with shutdown.
+    void submit(std::function<void()> task);
+
+    /// Blocks until the queue is empty and all workers are idle.
+    void wait_idle();
+
+    [[nodiscard]] std::size_t worker_count() const noexcept {
+        return threads_.size();
+    }
+
+    /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    std::size_t active_ = 0;
+    bool shutting_down_ = false;
+};
+
+}  // namespace spmvcache

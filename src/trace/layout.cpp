@@ -1,0 +1,63 @@
+#include "trace/layout.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+SpmvLayout::SpmvLayout(std::int64_t rows, std::int64_t cols, std::int64_t nnz,
+                       std::uint64_t line_bytes)
+    : line_bytes_(line_bytes) {
+    SPMV_EXPECTS(rows >= 0 && cols >= 0 && nnz >= 0);
+    SPMV_EXPECTS(line_bytes >= 8);
+    SPMV_EXPECTS((line_bytes & (line_bytes - 1)) == 0);
+    per_line8_ = line_bytes / 8;
+    per_line4_ = line_bytes / 4;
+
+    auto lines_for = [&](std::uint64_t elements, std::uint64_t elem_bytes) {
+        return (elements * elem_bytes + line_bytes - 1) / line_bytes;
+    };
+    size_[static_cast<int>(DataObject::X)] =
+        lines_for(static_cast<std::uint64_t>(cols), 8);
+    size_[static_cast<int>(DataObject::Y)] =
+        lines_for(static_cast<std::uint64_t>(rows), 8);
+    size_[static_cast<int>(DataObject::Values)] =
+        lines_for(static_cast<std::uint64_t>(nnz), 8);
+    size_[static_cast<int>(DataObject::ColIdx)] =
+        lines_for(static_cast<std::uint64_t>(nnz), 4);
+    size_[static_cast<int>(DataObject::RowPtr)] =
+        lines_for(static_cast<std::uint64_t>(rows) + 1, 8);
+
+    std::uint64_t cursor = 0;
+    for (int o = 0; o < kDataObjectCount; ++o) {
+        base_[o] = cursor;
+        cursor += size_[o];
+    }
+    total_ = cursor;
+}
+
+std::uint64_t SpmvLayout::line_of(DataObject object,
+                                  std::int64_t i) const noexcept {
+    switch (object) {
+        case DataObject::X:
+            return x_line(i);
+        case DataObject::Y:
+            return y_line(i);
+        case DataObject::Values:
+            return values_line(i);
+        case DataObject::ColIdx:
+            return colidx_line(i);
+        case DataObject::RowPtr:
+            return rowptr_line(i);
+    }
+    return 0;
+}
+
+DataObject SpmvLayout::object_of(std::uint64_t line) const {
+    SPMV_EXPECTS(line < total_);
+    for (int o = kDataObjectCount - 1; o >= 0; --o) {
+        if (line >= base_[o]) return static_cast<DataObject>(o);
+    }
+    return DataObject::X;
+}
+
+}  // namespace spmvcache

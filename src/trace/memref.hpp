@@ -1,0 +1,71 @@
+// Memory-reference records at cache-line granularity.
+//
+// The paper's model works on traces of cache-line numbers (Fig. 1) where
+// each reference carries the data object it touches; the sector a reference
+// belongs to is a *policy* decision layered on top (on real A64FX hardware
+// the sector ID rides in the top byte of the virtual address; here it is
+// derived from the object by SectorPolicy).
+#pragma once
+
+#include <cstdint>
+
+namespace spmvcache {
+
+/// The five data objects of CSR SpMV (Listing 1 of the paper).
+enum class DataObject : std::uint8_t {
+    X = 0,       ///< input vector, indirectly accessed via colidx
+    Y = 1,       ///< output vector
+    Values = 2,  ///< nonzero values `a`
+    ColIdx = 3,  ///< column indices
+    RowPtr = 4,  ///< row pointers
+};
+
+inline constexpr int kDataObjectCount = 5;
+
+/// Which data objects are isolated into sector 1 (the "non-reusable"
+/// partition); everything else lives in sector 0.
+enum class SectorPolicy : std::uint8_t {
+    /// Sector cache disabled; every reference counts in partition 0.
+    NoPartition,
+    /// Listing 1: `a` and `colidx` to sector 1 (the paper's main policy).
+    IsolateMatrix,
+    /// §3.1 class-(3) variant: `a`, `colidx`, `rowptr` and `y` to sector 1,
+    /// leaving all of sector 0 to x.
+    IsolateMatrixRowptrY,
+    /// §3.2.2 case (3): only x in sector 0, everything else in sector 1.
+    IsolateX,
+};
+
+/// Sector of `object` under `policy` (0 or 1).
+[[nodiscard]] constexpr int sector_of(DataObject object,
+                                      SectorPolicy policy) noexcept {
+    switch (policy) {
+        case SectorPolicy::NoPartition:
+            return 0;
+        case SectorPolicy::IsolateMatrix:
+            return (object == DataObject::Values ||
+                    object == DataObject::ColIdx)
+                       ? 1
+                       : 0;
+        case SectorPolicy::IsolateMatrixRowptrY:
+            return object == DataObject::X ? 0 : 1;
+        case SectorPolicy::IsolateX:
+            return object == DataObject::X ? 0 : 1;
+    }
+    return 0;
+}
+
+/// One cache-line access. `line` is a global line number in the unified
+/// layout of all five SpMV arrays (see SpmvLayout).
+struct MemRef {
+    std::uint64_t line = 0;
+    std::uint32_t thread = 0;
+    DataObject object = DataObject::X;
+    bool is_write = false;
+    /// Software-prefetch hint (prfm): fetches the line without demanding
+    /// it — the paper's "software prefetching in conjunction with the
+    /// sector cache" future-work direction.
+    bool is_prefetch = false;
+};
+
+}  // namespace spmvcache

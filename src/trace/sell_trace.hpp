@@ -1,0 +1,78 @@
+// Memory-trace generation for SELL-C-sigma SpMV — the "can be extended to
+// other kernels" claim of the paper's conclusion, realised: the same
+// MemRef/sector machinery models the chunked, column-major access pattern
+// of spmv_sell, so methods (A)/(B)-style analyses and the simulator apply
+// unchanged.
+//
+// Simplifications (documented): the chunk-offset array is laid out where
+// CSR's rowptr would be (it plays the same role), and the row-permutation
+// lookups are folded into the y references (perm is consulted exactly
+// once per row, immediately before the y update, and occupies a few KiB).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/sellcs.hpp"
+#include "trace/layout.hpp"
+#include "trace/memref.hpp"
+
+namespace spmvcache {
+
+/// References of one SELL-C-sigma SpMV iteration: 2 chunk-offset loads
+/// per chunk, and per stored (padded) element a values, colidx and x
+/// load, plus the per-row y read-modify-write.
+[[nodiscard]] constexpr std::uint64_t sell_trace_length(
+    std::int64_t rows, std::int64_t chunks,
+    std::int64_t padded_nnz) noexcept {
+    return 2 * static_cast<std::uint64_t>(chunks) +
+           2 * static_cast<std::uint64_t>(rows) +
+           3 * static_cast<std::uint64_t>(padded_nnz);
+}
+
+/// Builds the layout for a SELL matrix: x, y, values and colidx sized by
+/// the *padded* element count, the metadata (chunk offsets) in the
+/// rowptr slot.
+[[nodiscard]] inline SpmvLayout sell_layout(const SellCSigmaMatrix& m,
+                                            std::uint64_t line_bytes) {
+    return SpmvLayout(m.rows(), m.cols(), m.padded_nnz(), line_bytes);
+}
+
+/// Generates the trace of one sequential SELL SpMV iteration, calling
+/// sink(const MemRef&) per reference. Thread id is always 0 (the SELL
+/// analysis in this repository is sequential; chunk-parallel traces would
+/// partition chunks the way generate_spmv_trace partitions rows).
+template <class Sink>
+void generate_sell_trace(const SellCSigmaMatrix& m, const SpmvLayout& layout,
+                         Sink&& sink) {
+    const auto colidx = m.colidx();
+    const auto perm = m.perm();
+    const std::int64_t c = m.chunk_height();
+    for (std::int64_t k = 0; k < m.chunks(); ++k) {
+        // Chunk header: offsets of this and the next chunk.
+        sink(MemRef{layout.rowptr_line(k), 0, DataObject::RowPtr, false});
+        sink(MemRef{layout.rowptr_line(k + 1), 0, DataObject::RowPtr, false});
+        const std::int64_t base = m.chunk_offset(k);
+        const std::int64_t width = m.chunk_width(k);
+        const std::int64_t rows_in_chunk = std::min(c, m.rows() - k * c);
+        // The kernel walks the chunk column-major: for each j, all C rows.
+        for (std::int64_t j = 0; j < width; ++j) {
+            for (std::int64_t i = 0; i < rows_in_chunk; ++i) {
+                const std::int64_t slot = base + j * c + i;
+                sink(MemRef{layout.values_line(slot), 0, DataObject::Values,
+                            false});
+                sink(MemRef{layout.colidx_line(slot), 0, DataObject::ColIdx,
+                            false});
+                sink(MemRef{layout.x_line(colidx[static_cast<std::size_t>(
+                                slot)]),
+                            0, DataObject::X, false});
+            }
+        }
+        for (std::int64_t i = 0; i < rows_in_chunk; ++i) {
+            const auto row = perm[static_cast<std::size_t>(k * c + i)];
+            sink(MemRef{layout.y_line(row), 0, DataObject::Y, false});
+            sink(MemRef{layout.y_line(row), 0, DataObject::Y, true});
+        }
+    }
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,70 @@
+#include "trace/spmv_trace.hpp"
+
+#include <thread>
+
+#include "sync/mcs_lock.hpp"
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
+                                       const SpmvLayout& layout,
+                                       const TraceConfig& cfg) {
+    std::vector<MemRef> trace;
+    trace.reserve(spmv_trace_length(m.rows(), m.nnz()));
+    generate_spmv_trace(m, layout, cfg,
+                        [&trace](const MemRef& ref) { trace.push_back(ref); });
+    return trace;
+}
+
+std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
+                                          const SpmvLayout& layout,
+                                          std::int64_t threads,
+                                          std::int64_t chunk_refs,
+                                          PartitionPolicy partition) {
+    SPMV_EXPECTS(threads >= 1);
+    SPMV_EXPECTS(chunk_refs >= 1);
+
+    std::vector<MemRef> shared;
+    shared.reserve(spmv_trace_length(m.rows(), m.nnz()));
+    McsLock lock;
+    const RowPartition row_partition(m, threads, partition);
+
+    auto worker = [&](std::int64_t t) {
+        const auto& range = row_partition.range(t);
+        detail::TraceCursor cursor{range.begin, range.end, 0, 0, false};
+        std::vector<MemRef> chunk;
+        chunk.reserve(static_cast<std::size_t>(chunk_refs) + 8);
+
+        auto flush = [&] {
+            if (chunk.empty()) return;
+            McsGuard guard(lock);
+            shared.insert(shared.end(), chunk.begin(), chunk.end());
+            chunk.clear();
+        };
+
+        bool active = true;
+        while (active) {
+            // Advance until the local chunk reaches the submission size,
+            // then publish it under the MCS lock.
+            while (active &&
+                   static_cast<std::int64_t>(chunk.size()) < chunk_refs) {
+                active = detail::advance(
+                    m, layout, static_cast<std::uint32_t>(t), cursor,
+                    /*quantum=*/1,
+                    [&chunk](const MemRef& ref) { chunk.push_back(ref); });
+            }
+            flush();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (std::int64_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+
+    SPMV_ENSURES(shared.size() == spmv_trace_length(m.rows(), m.nnz()));
+    return shared;
+}
+
+}  // namespace spmvcache

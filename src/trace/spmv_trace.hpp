@@ -1,0 +1,169 @@
+// SpMV memory-trace generation from the sparsity pattern (§3.2.1, Fig. 1b).
+//
+// The trace is *derived*, never recorded from an instrumented run: for each
+// row the generator emits the references the CSR kernel of Listing 1 would
+// make — rowptr[r], rowptr[r+1], then per nonzero a[i], colidx[i],
+// x[colidx[i]], and finally the y[r] read-modify-write — mapped to cache
+// lines by SpmvLayout.
+//
+// Parallel traces interleave the per-thread reference streams. Two
+// interleavings are provided:
+//  * generate_spmv_trace: deterministic round-robin at a configurable
+//    quantum (default: one nonzero per thread per turn), the reproducible
+//    stand-in for concurrent execution;
+//  * record_spmv_trace_mcs: real std::threads submitting chunks through an
+//    MCS queue lock, exactly the mechanism the paper describes (§3.2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+#include "trace/layout.hpp"
+#include "trace/memref.hpp"
+
+namespace spmvcache {
+
+/// Options for trace generation.
+struct TraceConfig {
+    std::int64_t threads = 1;
+    PartitionPolicy partition = PartitionPolicy::BalancedRows;
+    /// Nonzeros each thread advances per round-robin turn.
+    std::int64_t quantum = 1;
+    /// Software-prefetch distance for the x vector, in nonzeros: at
+    /// nonzero i the kernel additionally issues prfm x[colidx[i + D]]
+    /// (within the current row). 0 disables. This models the paper's
+    /// future-work idea of software prefetching the irregular x accesses.
+    std::int64_t x_prefetch_distance = 0;
+};
+
+/// Number of references one SpMV iteration generates:
+/// 2 rowptr loads + y load + y store per row, and 3 loads per nonzero.
+[[nodiscard]] constexpr std::uint64_t spmv_trace_length(
+    std::int64_t rows, std::int64_t nnz) noexcept {
+    return 4 * static_cast<std::uint64_t>(rows) +
+           3 * static_cast<std::uint64_t>(nnz);
+}
+
+namespace detail {
+
+/// Per-thread generation cursor over its contiguous row range.
+struct TraceCursor {
+    std::int64_t row = 0;
+    std::int64_t row_end = 0;   ///< one past the last owned row
+    std::int64_t i = 0;         ///< next nonzero index within current row
+    std::int64_t i_end = 0;     ///< end of current row's nonzeros
+    bool row_opened = false;
+
+    [[nodiscard]] bool done() const noexcept {
+        return row >= row_end && !row_opened;
+    }
+};
+
+/// Emits the references of up to `quantum` nonzeros (plus any row-boundary
+/// references) for one thread. Returns false once the cursor is exhausted.
+/// `x_prefetch_distance` > 0 interleaves prfm hints for x (see
+/// TraceConfig::x_prefetch_distance).
+template <class Sink>
+bool advance(const CsrMatrix& m, const SpmvLayout& layout, std::uint32_t t,
+             TraceCursor& cur, std::int64_t quantum, Sink&& sink,
+             std::int64_t x_prefetch_distance = 0) {
+    if (cur.done()) return false;
+    const auto rowptr = m.rowptr();
+    const auto colidx = m.colidx();
+
+    std::int64_t budget = quantum;
+    while (budget > 0 && !cur.done()) {
+        if (!cur.row_opened) {
+            // Row header: the kernel loads rowptr[r] and rowptr[r+1].
+            sink(MemRef{layout.rowptr_line(cur.row), t, DataObject::RowPtr,
+                        false});
+            sink(MemRef{layout.rowptr_line(cur.row + 1), t, DataObject::RowPtr,
+                        false});
+            cur.i = rowptr[static_cast<std::size_t>(cur.row)];
+            cur.i_end = rowptr[static_cast<std::size_t>(cur.row) + 1];
+            cur.row_opened = true;
+            if (x_prefetch_distance > 0) {
+                // Priming prefetches for the first elements of the row.
+                const std::int64_t prime_end =
+                    std::min(cur.i + x_prefetch_distance, cur.i_end);
+                for (std::int64_t p = cur.i; p < prime_end; ++p) {
+                    sink(MemRef{
+                        layout.x_line(colidx[static_cast<std::size_t>(p)]),
+                        t, DataObject::X, false, /*is_prefetch=*/true});
+                }
+            }
+        }
+        while (budget > 0 && cur.i < cur.i_end) {
+            const std::int64_t i = cur.i++;
+            sink(MemRef{layout.values_line(i), t, DataObject::Values, false});
+            sink(MemRef{layout.colidx_line(i), t, DataObject::ColIdx, false});
+            if (x_prefetch_distance > 0 &&
+                i + x_prefetch_distance < cur.i_end) {
+                sink(MemRef{layout.x_line(colidx[static_cast<std::size_t>(
+                                i + x_prefetch_distance)]),
+                            t, DataObject::X, false, /*is_prefetch=*/true});
+            }
+            sink(MemRef{
+                layout.x_line(colidx[static_cast<std::size_t>(i)]), t,
+                DataObject::X, false});
+            --budget;
+        }
+        if (cur.i >= cur.i_end) {
+            // Row footer: accumulate into y[r] (read-modify-write).
+            sink(MemRef{layout.y_line(cur.row), t, DataObject::Y, false});
+            sink(MemRef{layout.y_line(cur.row), t, DataObject::Y, true});
+            cur.row_opened = false;
+            ++cur.row;
+        }
+    }
+    return !cur.done();
+}
+
+}  // namespace detail
+
+/// Generates one SpMV iteration's trace, calling sink(const MemRef&) for
+/// every reference. With cfg.threads == 1 this is the sequential program
+/// order; otherwise the per-thread streams are interleaved round-robin,
+/// cfg.quantum nonzeros per thread per turn.
+template <class Sink>
+void generate_spmv_trace(const CsrMatrix& m, const SpmvLayout& layout,
+                         const TraceConfig& cfg, Sink&& sink) {
+    const RowPartition partition(m, cfg.threads, cfg.partition);
+    std::vector<detail::TraceCursor> cursors(
+        static_cast<std::size_t>(cfg.threads));
+    for (std::int64_t t = 0; t < cfg.threads; ++t) {
+        const auto& range = partition.range(t);
+        cursors[static_cast<std::size_t>(t)] =
+            detail::TraceCursor{range.begin, range.end, 0, 0, false};
+    }
+
+    bool any_active = true;
+    while (any_active) {
+        any_active = false;
+        for (std::int64_t t = 0; t < cfg.threads; ++t) {
+            if (detail::advance(m, layout, static_cast<std::uint32_t>(t),
+                                cursors[static_cast<std::size_t>(t)],
+                                cfg.quantum, sink, cfg.x_prefetch_distance))
+                any_active = true;
+        }
+    }
+}
+
+/// Materialises a trace into a vector (small matrices / tests).
+[[nodiscard]] std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
+                                                     const SpmvLayout& layout,
+                                                     const TraceConfig& cfg);
+
+/// Records a parallel trace with real threads: each worker generates the
+/// references of its row range and submits them in chunks of `chunk_refs`
+/// through an MCS queue lock (starvation-free, FIFO hand-off), exactly as
+/// §3.2.1 describes. The resulting interleaving is a valid concurrent
+/// ordering but not deterministic across runs.
+[[nodiscard]] std::vector<MemRef> record_spmv_trace_mcs(
+    const CsrMatrix& m, const SpmvLayout& layout, std::int64_t threads,
+    std::int64_t chunk_refs = 64,
+    PartitionPolicy partition = PartitionPolicy::BalancedRows);
+
+}  // namespace spmvcache

@@ -1,0 +1,62 @@
+// Cache-line-aligned storage.
+//
+// The A64FX has 256-byte cache lines, and the paper's locality layout
+// (Fig. 1c) assumes every SpMV array starts on a cache-line boundary.
+// aligned_vector<T> guarantees that alignment on the host as well, so the
+// real kernels, the trace generator, and the simulator all agree on where
+// line boundaries fall.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace spmvcache {
+
+/// Cache-line size of the Fujitsu A64FX in bytes.
+inline constexpr std::size_t kA64fxLineBytes = 256;
+
+/// Minimal allocator aligning allocations to `Alignment` bytes.
+template <class T, std::size_t Alignment = kA64fxLineBytes>
+struct AlignedAllocator {
+    using value_type = T;
+
+    static_assert(Alignment >= alignof(T));
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+
+    AlignedAllocator() noexcept = default;
+    template <class U>
+    explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+    [[nodiscard]] T* allocate(std::size_t n) {
+        if (n == 0) return nullptr;
+        void* p = std::aligned_alloc(Alignment, round_up(n * sizeof(T)));
+        if (p == nullptr) throw std::bad_alloc();
+        return static_cast<T*>(p);
+    }
+
+    void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+    template <class U>
+    struct rebind {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+        return true;
+    }
+
+private:
+    // std::aligned_alloc requires the size to be a multiple of the alignment.
+    static std::size_t round_up(std::size_t bytes) {
+        return (bytes + Alignment - 1) / Alignment * Alignment;
+    }
+};
+
+/// Vector whose data() is aligned to an A64FX cache-line boundary.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace spmvcache

@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace spmvcache {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+    program_ = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        options_[name] = value;
+    }
+}
+
+bool CliParser::has(const std::string& name) const {
+    return options_.count(name) != 0;
+}
+
+std::optional<std::string> CliParser::find(const std::string& name) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::string CliParser::get(const std::string& name,
+                           const std::string& fallback) const {
+    const auto v = find(name);
+    return v && !v->empty() ? *v : fallback;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+    const auto v = find(name);
+    if (!v || v->empty()) return fallback;
+    return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+    const auto v = find(name);
+    if (!v || v->empty()) return fallback;
+    return std::strtod(v->c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+    const auto v = find(name);
+    if (!v) return fallback;
+    if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+    return false;
+}
+
+}  // namespace spmvcache

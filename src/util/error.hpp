@@ -1,0 +1,44 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6, I.8).
+//
+// SPMV_EXPECTS/SPMV_ENSURES check pre-/post-conditions and throw
+// spmvcache::ContractViolation on failure so tests can assert on them.
+// They stay enabled in release builds: this library computes models whose
+// numbers are compared against a paper, and silent out-of-contract input
+// is worse than the (negligible) branch cost.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spmvcache {
+
+/// Thrown when a precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                            file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace spmvcache
+
+#define SPMV_EXPECTS(cond)                                                    \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::spmvcache::detail::contract_fail("precondition", #cond,         \
+                                               __FILE__, __LINE__);           \
+    } while (0)
+
+#define SPMV_ENSURES(cond)                                                    \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::spmvcache::detail::contract_fail("postcondition", #cond,        \
+                                               __FILE__, __LINE__);           \
+    } while (0)

@@ -1,0 +1,44 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace spmvcache {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == delim) {
+            out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    out.push_back(std::move(cur));
+    return out;
+}
+
+std::string trim(const std::string& s) {
+    auto is_space = [](unsigned char ch) { return std::isspace(ch) != 0; };
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && is_space(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && is_space(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.size() >= prefix.size() &&
+           std::equal(prefix.begin(), prefix.end(), s.begin());
+}
+
+std::string to_lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char ch) {
+        return static_cast<char>(std::tolower(ch));
+    });
+    return s;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,22 @@
+// String helpers shared by harness output code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spmvcache {
+
+/// Splits on a single-character delimiter; empty fields preserved.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& s,
+                               const std::string& prefix);
+
+/// Lower-cases ASCII letters.
+[[nodiscard]] std::string to_lower(std::string s);
+
+}  // namespace spmvcache

@@ -1,0 +1,135 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+double quantile(std::span<const double> data, double q) {
+    SPMV_EXPECTS(!data.empty());
+    SPMV_EXPECTS(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted(data.begin(), data.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BoxplotSummary boxplot(std::span<const double> data) {
+    SPMV_EXPECTS(!data.empty());
+    std::vector<double> sorted(data.begin(), data.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    auto q_sorted = [&](double q) {
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    };
+
+    BoxplotSummary s;
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.q1 = q_sorted(0.25);
+    s.median = q_sorted(0.5);
+    s.q3 = q_sorted(0.75);
+
+    double sum = 0.0;
+    for (double x : sorted) sum += x;
+    s.mean = sum / static_cast<double>(sorted.size());
+
+    const double iqr = s.q3 - s.q1;
+    const double lo_fence = s.q1 - 1.5 * iqr;
+    const double hi_fence = s.q3 + 1.5 * iqr;
+    s.whisker_lo = s.max;
+    s.whisker_hi = s.min;
+    for (double x : sorted) {
+        if (x >= lo_fence && x < s.whisker_lo) s.whisker_lo = x;
+        if (x <= hi_fence && x > s.whisker_hi) s.whisker_hi = x;
+        if (x < lo_fence || x > hi_fence) s.outliers.push_back(x);
+    }
+    return s;
+}
+
+double mean(std::span<const double> data) {
+    SPMV_EXPECTS(!data.empty());
+    double sum = 0.0;
+    for (double x : data) sum += x;
+    return sum / static_cast<double>(data.size());
+}
+
+double stddev(std::span<const double> data) {
+    if (data.size() < 2) return 0.0;
+    const double mu = mean(data);
+    double acc = 0.0;
+    for (double x : data) acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / static_cast<double>(data.size() - 1));
+}
+
+double median(std::span<const double> data) { return quantile(data, 0.5); }
+
+namespace {
+std::vector<double> abs_percentage_errors(std::span<const double> measured,
+                                          std::span<const double> predicted) {
+    SPMV_EXPECTS(measured.size() == predicted.size());
+    std::vector<double> apes;
+    apes.reserve(measured.size());
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] == 0.0) continue;
+        apes.push_back(100.0 * std::abs((measured[i] - predicted[i]) /
+                                        measured[i]));
+    }
+    return apes;
+}
+}  // namespace
+
+double mape(std::span<const double> measured,
+            std::span<const double> predicted) {
+    const auto apes = abs_percentage_errors(measured, predicted);
+    if (apes.empty()) return 0.0;
+    return mean(apes);
+}
+
+double ape_stddev(std::span<const double> measured,
+                  std::span<const double> predicted) {
+    const auto apes = abs_percentage_errors(measured, predicted);
+    return stddev(apes);
+}
+
+void RunningMoments::add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::stddev() const noexcept {
+    return std::sqrt(variance());
+}
+
+double RunningMoments::cv() const noexcept {
+    if (mean_ == 0.0) return 0.0;
+    return stddev() / mean_;
+}
+
+std::string to_string(const BoxplotSummary& s) {
+    std::ostringstream os;
+    os << "n=" << s.count << " min=" << s.min << " q1=" << s.q1
+       << " med=" << s.median << " q3=" << s.q3 << " max=" << s.max
+       << " mean=" << s.mean << " outliers=" << s.outliers.size();
+    return os.str();
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,76 @@
+// Descriptive statistics used throughout the evaluation harness:
+// boxplot summaries for Figs. 2 and 3, MAPE for Tables 2 and 3 (Eq. 3 of the
+// paper), and simple running moments for matrix statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spmvcache {
+
+/// Five-number summary plus mean; the quantities a boxplot displays.
+struct BoxplotSummary {
+    std::size_t count = 0;
+    double min = 0.0;
+    double q1 = 0.0;      ///< lower quartile
+    double median = 0.0;
+    double q3 = 0.0;      ///< upper quartile
+    double max = 0.0;
+    double mean = 0.0;
+    double whisker_lo = 0.0;  ///< lowest datum >= q1 - 1.5*IQR
+    double whisker_hi = 0.0;  ///< highest datum <= q3 + 1.5*IQR
+    std::vector<double> outliers;  ///< data outside the whiskers
+};
+
+/// Linear-interpolated quantile (same convention as numpy's default).
+/// Pre: data non-empty, 0 <= q <= 1. Data need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> data, double q);
+
+/// Computes the five-number summary with 1.5*IQR whiskers.
+/// Pre: data non-empty.
+[[nodiscard]] BoxplotSummary boxplot(std::span<const double> data);
+
+/// Arithmetic mean. Pre: data non-empty.
+[[nodiscard]] double mean(std::span<const double> data);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+[[nodiscard]] double stddev(std::span<const double> data);
+
+/// Median. Pre: data non-empty.
+[[nodiscard]] double median(std::span<const double> data);
+
+/// Mean Absolute Percentage Error between measured and predicted values
+/// (Eq. 3 of the paper), in percent. Entries with measured == 0 are skipped.
+/// Pre: measured.size() == predicted.size().
+[[nodiscard]] double mape(std::span<const double> measured,
+                          std::span<const double> predicted);
+
+/// Standard deviation of the absolute percentage error, in percent,
+/// as reported next to the MAPE in the paper's Tables 2 and 3.
+[[nodiscard]] double ape_stddev(std::span<const double> measured,
+                                std::span<const double> predicted);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningMoments {
+public:
+    void add(double x) noexcept;
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Sample variance (n-1); 0 for fewer than 2 samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    /// Coefficient of variation sigma/mu; 0 if the mean is 0.
+    [[nodiscard]] double cv() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Renders a boxplot summary as a one-line string for harness output.
+[[nodiscard]] std::string to_string(const BoxplotSummary& s);
+
+}  // namespace spmvcache

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> alignments)
+    : headers_(std::move(headers)), align_(std::move(alignments)) {
+    SPMV_EXPECTS(!headers_.empty());
+    if (align_.empty()) {
+        align_.assign(headers_.size(), Align::Right);
+        align_[0] = Align::Left;
+    }
+    SPMV_EXPECTS(align_.size() == headers_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    SPMV_EXPECTS(cells.size() <= headers_.size());
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::render(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0) os << "  ";
+            os << (align_[c] == Align::Left ? std::left : std::right)
+               << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << '\n';
+    };
+
+    if (!title.empty()) os << title << '\n';
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int prec) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+std::string fmt_count(unsigned long long v) {
+    std::string digits = std::to_string(v);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - first) % 3 == 0 && i >= first) out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+std::string fmt_bytes(unsigned long long bytes) {
+    static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int unit = 0;
+    while (v >= 1024.0 && unit < 4) {
+        v /= 1024.0;
+        ++unit;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << ' '
+       << kUnits[unit];
+    return os.str();
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,47 @@
+// Plain-text table renderer for the benchmark harnesses: every bench binary
+// prints rows in the same layout as the corresponding table or figure of the
+// paper, and this is the formatter they share.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spmvcache {
+
+/// Column alignment inside a rendered table.
+enum class Align { Left, Right };
+
+/// A simple monospaced table: set headers, add rows of strings, render.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers,
+                       std::vector<Align> alignments = {});
+
+    /// Adds one row; missing trailing cells render empty.
+    /// Pre: cells.size() <= number of headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with a header rule, column padding and optional title.
+    void render(std::ostream& os, const std::string& title = "") const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<Align> align_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+[[nodiscard]] std::string fmt(double v, int prec = 2);
+
+/// Formats a count with thousands separators for readability (1234567 ->
+/// "1,234,567").
+[[nodiscard]] std::string fmt_count(unsigned long long v);
+
+/// Formats a byte count with a binary-prefix unit ("11.2 MiB").
+[[nodiscard]] std::string fmt_bytes(unsigned long long bytes);
+
+}  // namespace spmvcache

@@ -1,0 +1,26 @@
+// Wall-clock timing for the model-overhead experiment (paper §4.5.1 reports
+// the runtime ratio t_A / t_B of the two prediction methods).
+#pragma once
+
+#include <chrono>
+
+namespace spmvcache {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+public:
+    Timer() noexcept : start_(clock::now()) {}
+
+    void reset() noexcept { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction or last reset.
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace spmvcache

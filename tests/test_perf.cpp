@@ -1,0 +1,97 @@
+// Tests for the ECM-style timing model.
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hpp"
+#include "perf/timing.hpp"
+
+namespace spmvcache {
+namespace {
+
+A64fxConfig tiny_machine() {
+    A64fxConfig cfg;
+    cfg.cores = 2;
+    cfg.cores_per_numa = 2;
+    cfg.l1 = CacheConfig{4 * 2 * 16, 16, 2, 0};
+    cfg.l2 = CacheConfig{8 * 4 * 16, 16, 4, 0};
+    cfg.l1_prefetch.enabled = false;
+    cfg.l2_prefetch.enabled = false;
+    return cfg;
+}
+
+TEST(Timing, ZeroWorkZeroTime) {
+    MemoryHierarchy sim(tiny_machine());
+    const auto t = estimate_timing(sim, {0, 0});
+    EXPECT_DOUBLE_EQ(t.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(t.gflops, 0.0);
+}
+
+TEST(Timing, PureComputeBoundByCoreTerm) {
+    MemoryHierarchy sim(tiny_machine());
+    TimingParameters params;
+    params.cycles_per_nnz = 2.0;
+    const auto t = estimate_timing(sim, {1000, 1000}, params);
+    // No memory traffic: time = 1000 nnz * 2 cycles on the slowest core.
+    EXPECT_DOUBLE_EQ(t.total_cycles, 2000.0);
+    EXPECT_DOUBLE_EQ(t.core_cycles, 2000.0);
+    EXPECT_DOUBLE_EQ(t.bandwidth_cycles, 0.0);
+    EXPECT_NEAR(t.gflops,
+                2.0 * 2000 / (2000.0 / (params.clock_ghz * 1e9)) / 1e9,
+                1e-9);
+}
+
+TEST(Timing, LoadImbalanceGovernedBySlowestCore) {
+    MemoryHierarchy sim(tiny_machine());
+    TimingParameters params;
+    params.cycles_per_nnz = 1.0;
+    const auto balanced = estimate_timing(sim, {500, 500}, params);
+    const auto skewed = estimate_timing(sim, {900, 100}, params);
+    EXPECT_GT(skewed.total_cycles, balanced.total_cycles);
+    EXPECT_DOUBLE_EQ(skewed.total_cycles, 900.0);
+}
+
+TEST(Timing, DemandMissesAddLatencyCost) {
+    MemoryHierarchy sim(tiny_machine());
+    // 64 distinct lines -> 64 demand fills on core 0.
+    for (std::uint64_t line = 0; line < 64; ++line)
+        sim.demand_access(0, line * 8, 0, false);
+    TimingParameters params;
+    params.cycles_per_nnz = 0.0;
+    params.cycles_per_l1_refill = 0.0;
+    params.memory_latency_cycles = 100.0;
+    params.mlp = 10.0;
+    params.segment_bandwidth_bytes_per_cycle = 1e9;  // disable BW bound
+    const auto t = estimate_timing(sim, {0, 0}, params);
+    EXPECT_DOUBLE_EQ(t.total_cycles, 64.0 * 100.0 / 10.0);
+}
+
+TEST(Timing, BandwidthBoundKicksInForStreaming) {
+    MemoryHierarchy sim(tiny_machine());
+    for (std::uint64_t line = 0; line < 1000; ++line)
+        sim.demand_access(0, line * 8, 0, false);
+    TimingParameters params;
+    params.cycles_per_nnz = 0.0;
+    params.cycles_per_l1_refill = 0.0;
+    params.memory_latency_cycles = 0.0;
+    params.segment_bandwidth_bytes_per_cycle = 4.0;
+    const auto t = estimate_timing(sim, {0, 0}, params);
+    // 1000 fills x 16 B / 4 B per cycle.
+    EXPECT_DOUBLE_EQ(t.total_cycles, 1000.0 * 16 / 4.0);
+    EXPECT_GT(t.bandwidth_gbs, 0.0);
+}
+
+TEST(Timing, FewerMissesNeverSlower) {
+    // Two runs differing only in L2 miss count: the one with fewer demand
+    // misses can not be estimated slower (all else equal).
+    MemoryHierarchy many(tiny_machine());
+    MemoryHierarchy few(tiny_machine());
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        many.demand_access(0, (i * 8) % 4096, 0, false);
+        few.demand_access(0, (i * 8) % 64, 0, false);
+    }
+    const auto t_many = estimate_timing(many, {100, 100});
+    const auto t_few = estimate_timing(few, {100, 100});
+    EXPECT_LE(t_few.total_cycles, t_many.total_cycles);
+}
+
+}  // namespace
+}  // namespace spmvcache

@@ -1,0 +1,95 @@
+// Unit tests for Reverse Cuthill-McKee reordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/gen/random.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "sparse/rcm.hpp"
+
+namespace spmvcache {
+namespace {
+
+bool is_permutation_of_identity(const std::vector<std::int32_t>& perm) {
+    std::vector<std::int32_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        if (sorted[i] != static_cast<std::int32_t>(i)) return false;
+    return true;
+}
+
+TEST(Rcm, ProducesValidPermutation) {
+    const CsrMatrix m = gen::random_uniform(200, 200, 5, 13);
+    const auto perm = rcm_ordering(m);
+    ASSERT_EQ(perm.size(), 200u);
+    EXPECT_TRUE(is_permutation_of_identity(perm));
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledStencil) {
+    // A stencil has small natural bandwidth; shuffle it, then check RCM
+    // recovers a bandwidth close to the original.
+    const CsrMatrix original = gen::stencil_2d_5pt(20, 20);
+    const auto base_bw = compute_stats(original).bandwidth;
+
+    // Deterministic shuffle permutation.
+    std::vector<std::int32_t> shuffle(400);
+    std::iota(shuffle.begin(), shuffle.end(), 0);
+    for (std::size_t i = shuffle.size() - 1; i > 0; --i)
+        std::swap(shuffle[i], shuffle[(i * 7919 + 13) % (i + 1)]);
+    const CsrMatrix shuffled = original.permuted_symmetric(shuffle);
+    const auto shuffled_bw = compute_stats(shuffled).bandwidth;
+    ASSERT_GT(shuffled_bw, 4 * base_bw);  // shuffle destroyed locality
+
+    const CsrMatrix restored = rcm_reorder(shuffled);
+    restored.validate();
+    const auto restored_bw = compute_stats(restored).bandwidth;
+    EXPECT_LT(restored_bw, shuffled_bw / 4);
+    EXPECT_LE(restored_bw, 3 * base_bw);
+}
+
+TEST(Rcm, PreservesSpectrumProxyRowSums) {
+    // Symmetric permutation preserves the multiset of row sums.
+    const CsrMatrix m = gen::stencil_2d_9pt(8, 8);
+    const CsrMatrix r = rcm_reorder(m);
+    auto row_sums = [](const CsrMatrix& mat) {
+        std::vector<double> sums;
+        const auto rowptr = mat.rowptr();
+        const auto values = mat.values();
+        for (std::int64_t row = 0; row < mat.rows(); ++row) {
+            double s = 0.0;
+            for (auto i = rowptr[static_cast<std::size_t>(row)];
+                 i < rowptr[static_cast<std::size_t>(row) + 1]; ++i)
+                s += values[static_cast<std::size_t>(i)];
+            sums.push_back(s);
+        }
+        std::sort(sums.begin(), sums.end());
+        return sums;
+    };
+    EXPECT_EQ(row_sums(m), row_sums(r));
+}
+
+TEST(Rcm, HandlesDisconnectedComponentsAndIsolatedRows) {
+    // Two 2-cliques and two isolated vertices.
+    CsrBuilder b(6, 6);
+    b.push(0, 1, 1.0);
+    b.push(1, 0, 1.0);
+    b.push(3, 4, 1.0);
+    b.push(4, 3, 1.0);
+    const CsrMatrix m = std::move(b).finish();
+    const auto perm = rcm_ordering(m);
+    EXPECT_TRUE(is_permutation_of_identity(perm));
+}
+
+TEST(Rcm, SingleRowMatrix) {
+    CsrBuilder b(1, 1);
+    b.push(0, 0, 2.0);
+    const CsrMatrix m = std::move(b).finish();
+    const auto perm = rcm_ordering(m);
+    ASSERT_EQ(perm.size(), 1u);
+    EXPECT_EQ(perm[0], 0);
+}
+
+}  // namespace
+}  // namespace spmvcache

@@ -1,0 +1,284 @@
+// Unit tests for src/sparse: COO assembly, CSR invariants, Matrix Market
+// I/O, matrix statistics, row partitioning.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+#include "sparse/gen/suite.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "sparse/partition.hpp"
+#include "util/error.hpp"
+
+namespace spmvcache {
+namespace {
+
+CsrMatrix small_matrix() {
+    // The 4x4, 7-nonzero example of Fig. 1a:
+    // row 0: cols 1,2;  row 1: col 0;  row 2: cols 2,3;  row 3: cols 1,3.
+    CooMatrix coo(4, 4);
+    coo.add(0, 1, 1.0);
+    coo.add(0, 2, 2.0);
+    coo.add(1, 0, 3.0);
+    coo.add(2, 2, 4.0);
+    coo.add(2, 3, 5.0);
+    coo.add(3, 1, 6.0);
+    coo.add(3, 3, 7.0);
+    return std::move(coo).to_csr();
+}
+
+TEST(Coo, ConvertsToCsrSorted) {
+    CooMatrix coo(3, 3);
+    coo.add(2, 1, 1.0);
+    coo.add(0, 2, 2.0);
+    coo.add(0, 0, 3.0);
+    const CsrMatrix m = std::move(coo).to_csr();
+    m.validate();
+    EXPECT_EQ(m.nnz(), 3);
+    EXPECT_EQ(m.rowptr()[0], 0);
+    EXPECT_EQ(m.rowptr()[1], 2);
+    EXPECT_EQ(m.colidx()[0], 0);
+    EXPECT_EQ(m.colidx()[1], 2);
+    EXPECT_DOUBLE_EQ(m.values()[0], 3.0);
+}
+
+TEST(Coo, CombinesDuplicates) {
+    CooMatrix coo(2, 2);
+    coo.add(1, 1, 1.5);
+    coo.add(1, 1, 2.5);
+    const CsrMatrix m = std::move(coo).to_csr();
+    EXPECT_EQ(m.nnz(), 1);
+    EXPECT_DOUBLE_EQ(m.values()[0], 4.0);
+}
+
+TEST(Coo, RejectsOutOfRange) {
+    CooMatrix coo(2, 2);
+    EXPECT_THROW(coo.add(2, 0, 1.0), ContractViolation);
+    EXPECT_THROW(coo.add(0, -1, 1.0), ContractViolation);
+}
+
+TEST(CsrBuilder, HandlesEmptyRows) {
+    CsrBuilder b(5, 5);
+    b.push(1, 2, 1.0);
+    b.push(3, 0, 2.0);
+    b.push(3, 4, 3.0);
+    const CsrMatrix m = std::move(b).finish();
+    m.validate();
+    EXPECT_EQ(m.row_nnz(0), 0);
+    EXPECT_EQ(m.row_nnz(1), 1);
+    EXPECT_EQ(m.row_nnz(2), 0);
+    EXPECT_EQ(m.row_nnz(3), 2);
+    EXPECT_EQ(m.row_nnz(4), 0);
+}
+
+TEST(CsrBuilder, RejectsUnsortedColumns) {
+    CsrBuilder b(2, 4);
+    b.push(0, 2, 1.0);
+    EXPECT_THROW(b.push(0, 1, 1.0), ContractViolation);
+}
+
+TEST(CsrBuilder, RejectsBackwardRows) {
+    CsrBuilder b(3, 3);
+    b.push(2, 0, 1.0);
+    EXPECT_THROW(b.push(1, 0, 1.0), ContractViolation);
+}
+
+TEST(Csr, ByteSizesFollowPaperLayout) {
+    const CsrMatrix m = small_matrix();
+    // 8-byte values, 4-byte colidx, 8-byte rowptr (M+1 entries).
+    EXPECT_EQ(m.values_bytes(), 7u * 8);
+    EXPECT_EQ(m.colidx_bytes(), 7u * 4);
+    EXPECT_EQ(m.rowptr_bytes(), 5u * 8);
+    EXPECT_EQ(m.x_bytes(), 4u * 8);
+    EXPECT_EQ(m.y_bytes(), 4u * 8);
+    EXPECT_EQ(m.working_set_bytes(),
+              m.values_bytes() + m.colidx_bytes() + m.rowptr_bytes() +
+                  m.x_bytes() + m.y_bytes());
+}
+
+TEST(Csr, PermutedSymmetricPreservesEntries) {
+    const CsrMatrix m = small_matrix();
+    const std::vector<std::int32_t> perm = {2, 0, 3, 1};  // new -> old
+    const CsrMatrix p = m.permuted_symmetric(perm);
+    p.validate();
+    EXPECT_EQ(p.nnz(), m.nnz());
+    // Entry (0,1)=1.0 in m maps to (new_of(0), new_of(1)) = (1, 3).
+    const auto dense_m = to_dense(m);
+    const auto dense_p = to_dense(p);
+    std::vector<std::int32_t> new_of(4);
+    for (int n = 0; n < 4; ++n) new_of[static_cast<std::size_t>(perm[n])] = n;
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_DOUBLE_EQ(
+                dense_p[static_cast<std::size_t>(new_of[r]) * 4 +
+                        static_cast<std::size_t>(new_of[c])],
+                dense_m[static_cast<std::size_t>(r) * 4 +
+                        static_cast<std::size_t>(c)]);
+}
+
+TEST(MatrixMarket, RoundTripsGeneral) {
+    const CsrMatrix m = small_matrix();
+    std::stringstream ss;
+    write_matrix_market(ss, m);
+    const CsrMatrix back = read_matrix_market(ss);
+    back.validate();
+    EXPECT_EQ(back.rows(), m.rows());
+    EXPECT_EQ(back.nnz(), m.nnz());
+    EXPECT_EQ(to_dense(back), to_dense(m));
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "% comment\n"
+        "3 3 3\n"
+        "1 1 2.0\n"
+        "2 1 -1.0\n"
+        "3 2 -1.0\n");
+    const CsrMatrix m = read_matrix_market(ss);
+    m.validate();
+    EXPECT_EQ(m.nnz(), 5);  // diagonal once, off-diagonals mirrored
+    const auto dense = to_dense(m);
+    EXPECT_DOUBLE_EQ(dense[0 * 3 + 1], -1.0);
+    EXPECT_DOUBLE_EQ(dense[1 * 3 + 0], -1.0);
+}
+
+TEST(MatrixMarket, ReadsPatternAsOnes) {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const CsrMatrix m = read_matrix_market(ss);
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.values()[0], 1.0);
+}
+
+TEST(MatrixMarket, RejectsComplexField) {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate complex general\n"
+        "1 1 1\n"
+        "1 1 1.0 0.0\n");
+    EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedStream) {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixStats, ComputesPaperQuantities) {
+    const CsrMatrix m = small_matrix();
+    const MatrixStats s = compute_stats(m);
+    EXPECT_EQ(s.rows, 4);
+    EXPECT_EQ(s.nnz, 7);
+    EXPECT_DOUBLE_EQ(s.mean_nnz_per_row, 7.0 / 4.0);  // mu_K
+    EXPECT_GT(s.cv_nnz_per_row, 0.0);
+    EXPECT_EQ(s.max_nnz_per_row, 2);
+    EXPECT_EQ(s.empty_rows, 0);
+    EXPECT_EQ(s.bandwidth, 2);  // entry (3,1)
+}
+
+TEST(MatrixStats, CvZeroForUniformRows) {
+    CsrBuilder b(3, 3);
+    for (int r = 0; r < 3; ++r) b.push(r, static_cast<std::int32_t>(r), 1.0);
+    const auto s = compute_stats(std::move(b).finish());
+    EXPECT_DOUBLE_EQ(s.cv_nnz_per_row, 0.0);
+}
+
+TEST(Partition, BalancedRowsMatchesOpenMpStatic) {
+    const CsrMatrix m = small_matrix();
+    const RowPartition p(m, 3, PartitionPolicy::BalancedRows);
+    // ceil(4/3) = 2 rows per thread: [0,2), [2,4), [4,4).
+    EXPECT_EQ(p.range(0), (RowRange{0, 2}));
+    EXPECT_EQ(p.range(1), (RowRange{2, 4}));
+    EXPECT_EQ(p.range(2), (RowRange{4, 4}));
+}
+
+TEST(Partition, RangesCoverAllRowsExactlyOnce) {
+    const CsrMatrix m = small_matrix();
+    for (const auto policy :
+         {PartitionPolicy::BalancedRows, PartitionPolicy::BalancedNonzeros}) {
+        for (std::int64_t threads : {1, 2, 3, 4, 7}) {
+            const RowPartition p(m, threads, policy);
+            std::int64_t covered = 0;
+            std::int64_t expected_begin = 0;
+            for (const auto& range : p.ranges()) {
+                EXPECT_EQ(range.begin, expected_begin);
+                EXPECT_LE(range.begin, range.end);
+                covered += range.size();
+                expected_begin = range.end;
+            }
+            EXPECT_EQ(covered, m.rows());
+        }
+    }
+}
+
+TEST(Partition, BalancedNonzerosEvensOutSkewedRows) {
+    // One dense row of 90 nonzeros plus 30 single-entry rows.
+    CsrBuilder b(31, 128);
+    for (int c = 0; c < 90; ++c) b.push(0, c, 1.0);
+    for (int r = 1; r <= 30; ++r) b.push(r, 0, 1.0);
+    const CsrMatrix m = std::move(b).finish();
+
+    const RowPartition rows(m, 2, PartitionPolicy::BalancedRows);
+    const RowPartition nnz(m, 2, PartitionPolicy::BalancedNonzeros);
+    EXPECT_GT(rows.imbalance(m), 1.4);
+    EXPECT_LT(nnz.imbalance(m), rows.imbalance(m));
+}
+
+TEST(MatrixMarket, SuiteReadsDirectory) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(testing::TempDir()) / "spmv_mm_suite";
+    fs::create_directories(dir);
+    write_matrix_market_file((dir / "b_second.mtx").string(),
+                             small_matrix());
+    write_matrix_market_file((dir / "a_first.mtx").string(), small_matrix());
+    {
+        std::ofstream ignored(dir / "notes.txt");
+        ignored << "not a matrix\n";
+    }
+    const auto suite = gen::matrix_market_suite(dir.string());
+    ASSERT_EQ(suite.size(), 2u);  // .txt ignored
+    EXPECT_EQ(suite[0].name, "a_first");
+    EXPECT_EQ(suite[1].name, "b_second");
+    const CsrMatrix loaded = suite[0].factory();
+    EXPECT_EQ(loaded.nnz(), small_matrix().nnz());
+    fs::remove_all(dir);
+}
+
+TEST(Csr, PermutedSymmetricRejectsNonSquare) {
+    CsrBuilder b(2, 3);
+    b.push(0, 1, 1.0);
+    const CsrMatrix m = std::move(b).finish();
+    const std::vector<std::int32_t> perm = {0, 1};
+    EXPECT_THROW((void)m.permuted_symmetric(perm), ContractViolation);
+}
+
+TEST(Partition, MoreThreadsThanRows) {
+    const CsrMatrix m = small_matrix();  // 4 rows
+    const RowPartition p(m, 9, PartitionPolicy::BalancedRows);
+    std::int64_t covered = 0;
+    for (const auto& range : p.ranges()) covered += range.size();
+    EXPECT_EQ(covered, 4);
+    // Later threads get empty ranges, never negative ones.
+    for (const auto& range : p.ranges()) EXPECT_GE(range.size(), 0);
+}
+
+TEST(Partition, ImbalanceIsOneForUniformMatrix) {
+    CsrBuilder b(8, 8);
+    for (int r = 0; r < 8; ++r) b.push(r, static_cast<std::int32_t>(r), 1.0);
+    const CsrMatrix m = std::move(b).finish();
+    const RowPartition p(m, 4, PartitionPolicy::BalancedRows);
+    EXPECT_DOUBLE_EQ(p.imbalance(m), 1.0);
+}
+
+}  // namespace
+}  // namespace spmvcache

@@ -1,0 +1,219 @@
+// Unit tests for src/util: statistics, formatting, CSV, CLI, PRNG,
+// aligned allocation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/align.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace spmvcache {
+namespace {
+
+TEST(Stats, QuantileInterpolates) {
+    const std::vector<double> data = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(data, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(data, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(data, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileSingleElement) {
+    const std::vector<double> data = {7.0};
+    EXPECT_DOUBLE_EQ(quantile(data, 0.5), 7.0);
+    EXPECT_DOUBLE_EQ(quantile(data, 0.0), 7.0);
+}
+
+TEST(Stats, QuantileRejectsEmptyAndOutOfRange) {
+    EXPECT_THROW((void)quantile({}, 0.5), ContractViolation);
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW((void)quantile(one, 1.5), ContractViolation);
+}
+
+TEST(Stats, BoxplotFiveNumberSummary) {
+    std::vector<double> data;
+    for (int i = 1; i <= 100; ++i) data.push_back(i);
+    const auto box = boxplot(data);
+    EXPECT_EQ(box.count, 100u);
+    EXPECT_DOUBLE_EQ(box.min, 1.0);
+    EXPECT_DOUBLE_EQ(box.max, 100.0);
+    EXPECT_DOUBLE_EQ(box.median, 50.5);
+    EXPECT_NEAR(box.q1, 25.75, 1e-12);
+    EXPECT_NEAR(box.q3, 75.25, 1e-12);
+    EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(Stats, BoxplotFlagsOutliers) {
+    std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 1000};
+    const auto box = boxplot(data);
+    ASSERT_EQ(box.outliers.size(), 1u);
+    EXPECT_DOUBLE_EQ(box.outliers.front(), 1000.0);
+    EXPECT_LE(box.whisker_hi, 8.0);
+}
+
+TEST(Stats, MapeMatchesPaperDefinition) {
+    // Eq. 3: mean of |measured - predicted| / measured * 100.
+    const std::vector<double> measured = {100, 200};
+    const std::vector<double> predicted = {90, 220};
+    EXPECT_DOUBLE_EQ(mape(measured, predicted), (10.0 + 10.0) / 2.0);
+}
+
+TEST(Stats, MapeSkipsZeroMeasured) {
+    const std::vector<double> measured = {0, 100};
+    const std::vector<double> predicted = {50, 110};
+    EXPECT_DOUBLE_EQ(mape(measured, predicted), 10.0);
+}
+
+TEST(Stats, ApeStddevZeroForConstantError) {
+    const std::vector<double> measured = {100, 200, 400};
+    const std::vector<double> predicted = {110, 220, 440};
+    EXPECT_NEAR(ape_stddev(measured, predicted), 0.0, 1e-9);
+}
+
+TEST(Stats, RunningMomentsMatchBatch) {
+    RunningMoments rm;
+    const std::vector<double> data = {3, 1, 4, 1, 5, 9, 2, 6};
+    for (double x : data) rm.add(x);
+    EXPECT_NEAR(rm.mean(), mean(data), 1e-12);
+    EXPECT_NEAR(rm.stddev(), stddev(data), 1e-12);
+    EXPECT_NEAR(rm.cv(), stddev(data) / mean(data), 1e-12);
+}
+
+TEST(Prng, DeterministicForSeed) {
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, BoundedStaysInRange) {
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.bounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Prng, BoundedCoversAllResidues) {
+    Xoshiro256 rng(11);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i) ++seen[rng.bounded(8)];
+    for (int count : seen) EXPECT_GT(count, 300);  // ~500 expected
+}
+
+TEST(Prng, UniformInUnitInterval) {
+    Xoshiro256 rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, NormalHasUnitVariance) {
+    Xoshiro256 rng(17);
+    RunningMoments rm;
+    for (int i = 0; i < 20000; ++i) rm.add(rng.normal());
+    EXPECT_NEAR(rm.mean(), 0.0, 0.03);
+    EXPECT_NEAR(rm.stddev(), 1.0, 0.03);
+}
+
+TEST(Prng, JumpDecorrelatesStreams) {
+    Xoshiro256 a(123);
+    Xoshiro256 b(123);
+    b.jump();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Align, VectorDataIsLineAligned) {
+    aligned_vector<double> v(1000);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kA64fxLineBytes,
+              0u);
+    aligned_vector<std::int32_t> w(3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kA64fxLineBytes,
+              0u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    std::ostringstream os;
+    t.render(os, "Title");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+    TextTable t({"a"});
+    EXPECT_THROW(t.add_row({"1", "2"}), ContractViolation);
+}
+
+TEST(Table, FormatHelpers) {
+    EXPECT_EQ(fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(fmt_count(1234567), "1,234,567");
+    EXPECT_EQ(fmt_count(999), "999");
+    EXPECT_EQ(fmt_bytes(11ull * 1024 * 1024), "11.0 MiB");
+}
+
+TEST(Csv, RoundTripsRows) {
+    const std::string path = testing::TempDir() + "/spmvcache_test.csv";
+    {
+        CsvWriter w(path, {"a", "b"});
+        w.write_row({"1", "x,y"});
+        w.write_row({"2", "quote\"inside"});
+        EXPECT_EQ(w.rows_written(), 2u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,\"x,y\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2,\"quote\"\"inside\"");
+    std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesAllForms) {
+    // Note: a bare --flag greedily consumes a following non-flag token as
+    // its value, so positionals must precede flags (or use --flag=value).
+    const char* argv[] = {"prog",      "pos1",   "--count", "7",
+                          "--scale=0.5", "--name", "x",       "--verbose"};
+    CliParser cli(8, argv);
+    EXPECT_EQ(cli.get_int("count", 0), 7);
+    EXPECT_DOUBLE_EQ(cli.get_double("scale", 0.0), 0.5);
+    EXPECT_TRUE(cli.get_bool("verbose", false));
+    EXPECT_FALSE(cli.get_bool("absent", false));
+    EXPECT_EQ(cli.get("name", ""), "x");
+    ASSERT_EQ(cli.positionals().size(), 1u);
+    EXPECT_EQ(cli.positionals().front(), "pos1");
+    EXPECT_EQ(cli.get_int("missing", -3), -3);
+}
+
+TEST(Format, SplitTrimLower) {
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_TRUE(starts_with("%%MatrixMarket", "%%"));
+    EXPECT_EQ(to_lower("ReAL"), "real");
+}
+
+}  // namespace
+}  // namespace spmvcache

@@ -1,0 +1,248 @@
+// spmvcache — command-line front end to the library.
+//
+//   spmvcache stats    <matrix.mtx>                  matrix statistics
+//   spmvcache classify <matrix.mtx> [--ways N]       §3.1 size class
+//   spmvcache predict  <matrix.mtx> [--threads T]    method A/B misses
+//   spmvcache simulate <matrix.mtx> [--threads T] [--l2-ways N] [--l1-ways N]
+//   spmvcache tune     <matrix.mtx> [--threads T]    best sector config
+//   spmvcache convert  <in.mtx> <out.mtx> [--rcm]    reorder / normalise
+//
+// Every subcommand also accepts --gen FAMILY:ARG (e.g. --gen stencil2d5:512)
+// instead of a .mtx path, for experimentation without input files.
+#include <iostream>
+#include <string>
+
+#include "core/spmvcache.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spmvcache;
+
+[[noreturn]] void usage() {
+    std::cerr
+        << "usage: spmvcache <command> [<matrix.mtx> | --gen FAMILY:N] "
+           "[options]\n"
+           "commands:\n"
+           "  stats     matrix statistics (mu_K, CV_K, working set)\n"
+           "  classify  working-set class per Breiter et al. §3.1\n"
+           "  predict   model the L2 misses of every sector config\n"
+           "  simulate  run one config on the simulated A64FX\n"
+           "  tune      recommend the best sector configuration\n"
+           "  convert   rewrite a matrix (optionally RCM-reordered)\n"
+           "options: --threads T --l2-ways N --l1-ways N --method a|b "
+           "--rcm --gen FAMILY:N\n"
+           "families: stencil2d5 stencil3d27 banded circuit random "
+           "randomcv blockfem\n";
+    std::exit(2);
+}
+
+CsrMatrix generated(const std::string& spec, std::uint64_t seed) {
+    const auto colon = spec.find(':');
+    const std::string family =
+        colon == std::string::npos ? spec : spec.substr(0, colon);
+    const std::int64_t n =
+        colon == std::string::npos
+            ? 512
+            : std::strtoll(spec.c_str() + colon + 1, nullptr, 10);
+    if (family == "stencil2d5") return gen::stencil_2d_5pt(n, n);
+    if (family == "stencil3d27") return gen::stencil_3d_27pt(n, n, n);
+    if (family == "banded") return gen::banded(n, 16, n / 256 + 1, seed);
+    if (family == "circuit") return gen::circuit(n, 3.0, n / 64 + 1, 0.05, seed);
+    if (family == "random") return gen::random_uniform(n, n, 24, seed);
+    if (family == "randomcv")
+        return gen::random_variable_rows(n, n, 8.0, 2.0, seed);
+    if (family == "blockfem")
+        return gen::block_fem(std::max<std::int64_t>(2, n / 8), 8, 6,
+                              std::max<std::int64_t>(6, n / 64), seed);
+    std::cerr << "unknown generator family: " << family << "\n";
+    std::exit(2);
+}
+
+CsrMatrix load_matrix(const CliParser& cli, std::size_t arg_index) {
+    if (cli.has("gen"))
+        return generated(cli.get("gen", ""),
+                         static_cast<std::uint64_t>(cli.get_int("seed", 42)));
+    if (cli.positionals().size() <= arg_index) usage();
+    return read_matrix_market_file(cli.positionals()[arg_index]);
+}
+
+int cmd_stats(const CliParser& cli) {
+    const CsrMatrix m = load_matrix(cli, 1);
+    const auto stats = compute_stats(m);
+    std::cout << to_string(stats) << "\n";
+    TextTable t({"quantity", "value"});
+    t.add_row({"rows", fmt_count(static_cast<unsigned long long>(stats.rows))});
+    t.add_row({"cols", fmt_count(static_cast<unsigned long long>(stats.cols))});
+    t.add_row({"nonzeros",
+               fmt_count(static_cast<unsigned long long>(stats.nnz))});
+    t.add_row({"mu_K (mean nnz/row)", fmt(stats.mean_nnz_per_row, 2)});
+    t.add_row({"sigma_K", fmt(stats.stddev_nnz_per_row, 2)});
+    t.add_row({"CV_K", fmt(stats.cv_nnz_per_row, 3)});
+    t.add_row({"max nnz/row", fmt_count(static_cast<unsigned long long>(
+                                  stats.max_nnz_per_row))});
+    t.add_row({"empty rows", fmt_count(static_cast<unsigned long long>(
+                                 stats.empty_rows))});
+    t.add_row({"bandwidth", fmt_count(static_cast<unsigned long long>(
+                                stats.bandwidth))});
+    t.add_row({"matrix bytes", fmt_bytes(stats.matrix_bytes)});
+    t.add_row({"working set", fmt_bytes(stats.working_set_bytes)});
+    t.render(std::cout);
+    return 0;
+}
+
+int cmd_classify(const CliParser& cli) {
+    const CsrMatrix m = load_matrix(cli, 1);
+    const auto ways = static_cast<std::uint32_t>(cli.get_int("ways", 5));
+    const A64fxConfig machine = a64fx_default();
+    const std::uint64_t sector0 =
+        ways_to_lines(machine.l2, machine.l2.ways - ways) *
+        machine.l2.line_bytes;
+    const auto cls = classify(m, machine.l2.size_bytes, sector0);
+    std::cout << "class " << to_string(cls) << " with " << ways
+              << " L2 ways isolated (sector 0 = " << fmt_bytes(sector0)
+              << " of " << fmt_bytes(machine.l2.size_bytes)
+              << " per segment)\n";
+    switch (cls) {
+        case MatrixClass::Class1:
+            std::cout << "everything fits in cache: no capacity misses, "
+                         "sector cache not expected to help\n";
+            break;
+        case MatrixClass::Class2:
+            std::cout << "matrix data streams but x+y+rowptr fit in sector "
+                         "0: the best case for the sector cache\n";
+            break;
+        case MatrixClass::Class3a:
+            std::cout << "x alone fits in sector 0; isolating rowptr and y "
+                         "too (IsolateMatrixRowptrY) may help further\n";
+            break;
+        case MatrixClass::Class3b:
+            std::cout << "x exceeds sector 0: partitioning only lowers x's "
+                         "reuse distances, diminishing benefit\n";
+            break;
+    }
+    return 0;
+}
+
+int cmd_predict(const CliParser& cli) {
+    const CsrMatrix m = load_matrix(cli, 1);
+    ModelOptions options;
+    options.machine = a64fx_default();
+    options.threads = cli.get_int("threads", 48);
+    options.l2_way_options = {2, 3, 4, 5, 6, 7};
+    const bool use_b = to_lower(cli.get("method", "a")) == "b";
+    const ModelResult result =
+        use_b ? run_method_b(m, options) : run_method_a(m, options);
+    TextTable t({"L2 ways (sector 1)", "predicted L2 misses",
+                 "x share [%]"});
+    for (const auto& config : result.configs) {
+        t.add_row({config.l2_sector_ways == 0
+                       ? "off"
+                       : std::to_string(config.l2_sector_ways),
+                   fmt_count(static_cast<unsigned long long>(
+                       config.l2_misses)),
+                   fmt(config.l2_misses > 0
+                           ? 100.0 * config.l2_x_misses / config.l2_misses
+                           : 0.0,
+                       1)});
+    }
+    t.render(std::cout, std::string("method (") + (use_b ? "B" : "A") +
+                            "), " + std::to_string(options.threads) +
+                            " threads:");
+    std::cout << "model runtime: " << fmt(result.seconds, 2) << " s\n";
+    return 0;
+}
+
+int cmd_simulate(const CliParser& cli) {
+    const CsrMatrix m = load_matrix(cli, 1);
+    ExperimentOptions options;
+    options.machine = a64fx_default();
+    options.threads = cli.get_int("threads", 48);
+    const SectorWays ways{
+        static_cast<std::uint32_t>(cli.get_int("l2-ways", 0)),
+        static_cast<std::uint32_t>(cli.get_int("l1-ways", 0))};
+    const auto results =
+        run_sector_sweep(m, {SectorWays{0, 0}, ways}, options);
+    const auto& base = results[0];
+    const auto& cfg = results[1];
+    TextTable t({"quantity", "no sector cache",
+                 "L2=" + std::to_string(ways.l2) +
+                     " L1=" + std::to_string(ways.l1)});
+    t.add_row({"L2 misses (corrected)", fmt_count(base.l2.fills()),
+               fmt_count(cfg.l2.fills())});
+    t.add_row({"L2 demand misses", fmt_count(base.l2.demand_misses()),
+               fmt_count(cfg.l2.demand_misses())});
+    t.add_row({"L1 refills", fmt_count(base.l1.refills),
+               fmt_count(cfg.l1.refills)});
+    t.add_row({"Gflop/s", fmt(base.timing.gflops, 1),
+               fmt(cfg.timing.gflops, 1)});
+    t.add_row({"bandwidth [GB/s]", fmt(base.timing.bandwidth_gbs, 1),
+               fmt(cfg.timing.bandwidth_gbs, 1)});
+    t.add_row({"speedup", "1.000", fmt(cfg.speedup_over(base), 3)});
+    t.render(std::cout);
+    return 0;
+}
+
+int cmd_tune(const CliParser& cli) {
+    const CsrMatrix m = load_matrix(cli, 1);
+    ModelOptions options;
+    options.machine = a64fx_default();
+    options.threads = cli.get_int("threads", 48);
+    options.l2_way_options = {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14};
+    options.predict_l1 = false;
+    const auto result = run_method_a(m, options);
+    const ConfigPrediction* best = &result.configs.front();
+    for (const auto& config : result.configs)
+        if (config.l2_misses < best->l2_misses) best = &config;
+    if (best->l2_sector_ways == 0) {
+        std::cout << "recommendation: leave the sector cache off\n";
+    } else {
+        std::cout << "recommendation:\n"
+                  << "  #pragma procedure scache_isolate_way L2="
+                  << best->l2_sector_ways << "\n"
+                  << "  #pragma procedure scache_isolate_assign a colidx\n"
+                  << "predicted L2 miss reduction: "
+                  << fmt(100.0 *
+                             (result.configs.front().l2_misses -
+                              best->l2_misses) /
+                             result.configs.front().l2_misses,
+                         1)
+                  << " %\n";
+    }
+    return 0;
+}
+
+int cmd_convert(const CliParser& cli) {
+    if (cli.positionals().size() < 3 && !cli.has("gen")) usage();
+    const CsrMatrix m = load_matrix(cli, 1);
+    const std::string out = cli.positionals().back();
+    const CsrMatrix result = cli.has("rcm") ? rcm_reorder(m) : m;
+    write_matrix_market_file(out, result);
+    std::cout << "wrote " << out << " ("
+              << fmt_count(static_cast<unsigned long long>(result.nnz()))
+              << " nonzeros" << (cli.has("rcm") ? ", RCM-reordered" : "")
+              << ")\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const CliParser cli(argc, argv);
+    if (cli.positionals().empty()) usage();
+    const std::string command = cli.positionals().front();
+    try {
+        if (command == "stats") return cmd_stats(cli);
+        if (command == "classify") return cmd_classify(cli);
+        if (command == "predict") return cmd_predict(cli);
+        if (command == "simulate") return cmd_simulate(cli);
+        if (command == "tune") return cmd_tune(cli);
+        if (command == "convert") return cmd_convert(cli);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    usage();
+}
