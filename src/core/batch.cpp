@@ -1,0 +1,291 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "model/method_a.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "util/fault.hpp"
+#include "util/format.hpp"
+
+namespace spmvcache {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_transient(ErrorCode code) {
+    return code == ErrorCode::ResourceError ||
+           code == ErrorCode::FaultInjected;
+}
+
+/// One attempt at one matrix; every stage failure is captured in the
+/// returned item, never thrown.
+BatchItemResult attempt_one(const std::string& path,
+                            const BatchOptions& options) {
+    BatchItemResult item;
+    item.path = path;
+    item.name = fs::path(path).stem().string();
+    const auto started = std::chrono::steady_clock::now();
+    const auto finish = [&](BatchItemResult r) {
+        r.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+        return r;
+    };
+    const auto fail = [&](BatchItemResult r, Error e) {
+        r.ok = false;
+        r.code = e.code;
+        r.message = e.render();
+        return finish(std::move(r));
+    };
+
+    try {
+        item.stage = BatchStage::Parse;
+        if (Status s = fault::maybe_fail("batch.item"); !s.ok())
+            return fail(std::move(item), std::move(s).to_error());
+        MmReadOptions mm;
+        mm.strict = options.strict_parse;
+        Result<CsrMatrix> parsed = try_read_matrix_market_file(path, mm);
+        if (!parsed.ok())
+            return fail(std::move(item), std::move(parsed).to_error());
+        const CsrMatrix m = std::move(parsed).value();
+        item.rows = m.rows();
+        item.cols = m.cols();
+        item.nnz = m.nnz();
+
+        item.stage = BatchStage::Validate;
+        if (Status s = m.check(); !s.ok())
+            return fail(std::move(item),
+                        std::move(s).wrap("validating '" + path + "'")
+                            .to_error());
+
+        item.stage = BatchStage::Stats;
+        (void)compute_stats(m);
+
+        if (options.run_model) {
+            item.stage = BatchStage::Model;
+            ModelOptions model;
+            model.threads = options.threads;
+            model.l2_way_options = options.l2_way_options;
+            model.predict_l1 = false;
+            const ModelResult result = run_method_a(m, model);
+            const ConfigPrediction* best = &result.configs.front();
+            for (const auto& config : result.configs)
+                if (config.l2_misses < best->l2_misses) best = &config;
+            item.best_l2_ways = best->l2_sector_ways;
+            item.best_l2_misses = best->l2_misses;
+        }
+        item.ok = true;
+        item.code = ErrorCode::Ok;
+        return finish(std::move(item));
+    } catch (const std::exception& e) {
+        return fail(std::move(item), error_from_exception(e));
+    } catch (...) {
+        return fail(std::move(item),
+                    Error(ErrorCode::InternalError, "unknown exception"));
+    }
+}
+
+/// attempt_one under a wall-clock budget. On timeout the worker thread is
+/// abandoned (detached) and the matrix recorded as TimeoutError; threads
+/// cannot be killed portably, so a stuck parse may keep a core busy until
+/// process exit — the sweep itself continues.
+BatchItemResult attempt_with_timeout(const std::string& path,
+                                     const BatchOptions& options) {
+    if (options.timeout_seconds <= 0.0) return attempt_one(path, options);
+
+    std::packaged_task<BatchItemResult()> task(
+        [path, options] { return attempt_one(path, options); });
+    std::future<BatchItemResult> future = task.get_future();
+    std::thread worker(std::move(task));
+    const auto budget =
+        std::chrono::duration<double>(options.timeout_seconds);
+    if (future.wait_for(budget) == std::future_status::ready) {
+        worker.join();
+        return future.get();
+    }
+    worker.detach();
+    BatchItemResult item;
+    item.path = path;
+    item.name = fs::path(path).stem().string();
+    item.ok = false;
+    item.stage = BatchStage::Parse;
+    item.code = ErrorCode::TimeoutError;
+    item.seconds = options.timeout_seconds;
+    item.message =
+        Error(ErrorCode::TimeoutError,
+              "exceeded per-matrix budget of " +
+                  std::to_string(options.timeout_seconds) + " s")
+            .render();
+    return item;
+}
+
+std::string csv_quote(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char ch : s) {
+        if (ch == '"') quoted += "\"\"";
+        else quoted += ch;
+    }
+    quoted += "\"";
+    return quoted;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+const char* to_string(BatchStage stage) noexcept {
+    switch (stage) {
+        case BatchStage::Parse: return "parse";
+        case BatchStage::Validate: return "validate";
+        case BatchStage::Stats: return "stats";
+        case BatchStage::Model: return "model";
+    }
+    return "unknown";
+}
+
+std::size_t BatchReport::succeeded() const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(items.begin(), items.end(),
+                      [](const BatchItemResult& i) { return i.ok; }));
+}
+
+std::size_t BatchReport::failed() const noexcept {
+    return items.size() - succeeded();
+}
+
+int BatchReport::exit_code() const noexcept {
+    return failed() == 0 ? kExitOk : kExitSomeFailed;
+}
+
+Result<std::vector<std::string>> collect_matrix_paths(
+    const std::string& spec) {
+    std::error_code ec;
+    if (fs::is_directory(spec, ec)) {
+        std::vector<std::string> paths;
+        for (const auto& entry : fs::directory_iterator(spec, ec)) {
+            if (!entry.is_regular_file()) continue;
+            if (entry.path().extension() != ".mtx") continue;
+            paths.push_back(entry.path().string());
+        }
+        if (ec)
+            return Error(ErrorCode::ResourceError,
+                         "cannot list directory '" + spec +
+                             "': " + ec.message());
+        std::sort(paths.begin(), paths.end());
+        if (paths.empty())
+            return Error(ErrorCode::ResourceError,
+                         "no .mtx files in directory '" + spec + "'");
+        return paths;
+    }
+    if (!fs::is_regular_file(spec, ec)) {
+        if (fs::exists(spec, ec))
+            return Error(ErrorCode::ResourceError,
+                         "'" + spec + "' is not a regular file or directory");
+        return Error(ErrorCode::ResourceError,
+                     "no such file or directory: '" + spec + "'");
+    }
+    if (fs::path(spec).extension() == ".mtx")
+        return std::vector<std::string>{spec};
+    // Anything else is a list file: one matrix path per line.
+    std::ifstream in(spec);
+    if (!in)
+        return Error(ErrorCode::ResourceError,
+                     "cannot open list file '" + spec + "'");
+    std::vector<std::string> paths;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#') continue;
+        paths.push_back(t);
+    }
+    if (paths.empty())
+        return Error(ErrorCode::ValidationError,
+                     "list file '" + spec + "' names no matrices");
+    return paths;
+}
+
+BatchReport run_batch(const std::vector<std::string>& paths,
+                      const BatchOptions& options) {
+    BatchReport report;
+    report.items.reserve(paths.size());
+    for (const auto& path : paths) {
+        BatchItemResult item = attempt_with_timeout(path, options);
+        if (!item.ok && options.retry_transient && is_transient(item.code)) {
+            item = attempt_with_timeout(path, options);
+            item.retried = true;
+        }
+        report.items.push_back(std::move(item));
+    }
+    return report;
+}
+
+void write_batch_report_csv(std::ostream& out, const BatchReport& report) {
+    out << "name,path,status,stage,error_code,message,retried,seconds,"
+           "rows,cols,nnz,best_l2_ways,best_l2_misses\n";
+    for (const auto& i : report.items) {
+        out << csv_quote(i.name) << ',' << csv_quote(i.path) << ','
+            << (i.ok ? "ok" : "failed") << ',' << to_string(i.stage) << ','
+            << to_string(i.code) << ',' << csv_quote(i.message) << ','
+            << (i.retried ? 1 : 0) << ',' << i.seconds << ',' << i.rows
+            << ',' << i.cols << ',' << i.nnz << ',' << i.best_l2_ways << ','
+            << i.best_l2_misses << '\n';
+    }
+}
+
+void write_batch_report_json(std::ostream& out, const BatchReport& report) {
+    out << "{\n  \"total\": " << report.items.size()
+        << ",\n  \"succeeded\": " << report.succeeded()
+        << ",\n  \"failed\": " << report.failed()
+        << ",\n  \"exit_code\": " << report.exit_code()
+        << ",\n  \"items\": [\n";
+    for (std::size_t n = 0; n < report.items.size(); ++n) {
+        const auto& i = report.items[n];
+        out << "    {\"name\": \"" << json_escape(i.name)
+            << "\", \"path\": \"" << json_escape(i.path)
+            << "\", \"ok\": " << (i.ok ? "true" : "false")
+            << ", \"stage\": \"" << to_string(i.stage)
+            << "\", \"error_code\": \"" << to_string(i.code)
+            << "\", \"message\": \"" << json_escape(i.message)
+            << "\", \"retried\": " << (i.retried ? "true" : "false")
+            << ", \"seconds\": " << i.seconds << ", \"rows\": " << i.rows
+            << ", \"cols\": " << i.cols << ", \"nnz\": " << i.nnz
+            << ", \"best_l2_ways\": " << i.best_l2_ways
+            << ", \"best_l2_misses\": " << i.best_l2_misses << "}"
+            << (n + 1 < report.items.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+}  // namespace spmvcache

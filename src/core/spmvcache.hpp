@@ -9,6 +9,7 @@
 
 #include "cachesim/a64fx.hpp"
 #include "cachesim/hierarchy.hpp"
+#include "core/batch.hpp"
 #include "core/collection.hpp"
 #include "core/experiment.hpp"
 #include "kernels/cg.hpp"
@@ -36,3 +37,5 @@
 #include "sparse/partition.hpp"
 #include "sparse/rcm.hpp"
 #include "trace/spmv_trace.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"

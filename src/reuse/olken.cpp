@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace spmvcache {
 
 namespace {
@@ -31,6 +33,9 @@ std::uint64_t OlkenEngine::fenwick_prefix(std::size_t index) const noexcept {
 }
 
 std::uint64_t OlkenEngine::access(std::uint64_t line) {
+    // Disarmed this is one relaxed load; armed it lets chaos tests abort a
+    // model run mid-pass to exercise the batch runner's stage isolation.
+    fault::maybe_throw("reuse.access");
     if (now_ == slots_) compact();
 
     std::uint64_t distance = kInfiniteDistance;

@@ -22,12 +22,13 @@ void CooMatrix::add(std::int64_t row, std::int64_t col, double value) {
         CooEntry{row, static_cast<std::int32_t>(col), value});
 }
 
-void CooMatrix::sort_and_combine() {
+std::size_t CooMatrix::sort_and_combine() {
     std::sort(entries_.begin(), entries_.end(),
               [](const CooEntry& a, const CooEntry& b) {
                   return a.row != b.row ? a.row < b.row : a.col < b.col;
               });
     // Merge duplicates in place.
+    const std::size_t before = entries_.size();
     std::size_t out = 0;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         if (out > 0 && entries_[out - 1].row == entries_[i].row &&
@@ -38,6 +39,7 @@ void CooMatrix::sort_and_combine() {
         }
     }
     entries_.resize(out);
+    return before - out;
 }
 
 CsrMatrix CooMatrix::to_csr() && {
@@ -48,6 +50,22 @@ CsrMatrix CooMatrix::to_csr() && {
     entries_.clear();
     entries_.shrink_to_fit();
     return std::move(builder).finish();
+}
+
+Result<CsrMatrix> CooMatrix::try_to_csr(std::size_t* duplicates) && {
+    const std::size_t merged = sort_and_combine();
+    if (duplicates != nullptr) *duplicates = merged;
+    try {
+        CsrBuilder builder(rows_, cols_, entries_.size());
+        for (const auto& e : entries_) builder.push(e.row, e.col, e.value);
+        entries_.clear();
+        entries_.shrink_to_fit();
+        return std::move(builder).finish();
+    } catch (const std::bad_alloc&) {
+        return Error(ErrorCode::ResourceError,
+                     "out of memory assembling CSR (" +
+                         std::to_string(entries_.size()) + " entries)");
+    }
 }
 
 }  // namespace spmvcache

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace spmvcache {
 
 class CsrMatrix;  // forward declaration (csr.hpp)
@@ -31,10 +33,17 @@ public:
     void reserve(std::size_t n) { entries_.reserve(n); }
 
     /// Sorts entries row-major and merges duplicates by summing values.
-    void sort_and_combine();
+    /// Returns the number of entries removed by merging (0 = no duplicates).
+    std::size_t sort_and_combine();
 
     /// Converts to CSR; sorts and combines duplicates first.
     [[nodiscard]] CsrMatrix to_csr() &&;
+
+    /// Typed conversion for input pipelines: never throws for data the
+    /// add() contract admitted; reports merged duplicates through
+    /// `duplicates` (may be null) so strict parsers can reject them.
+    [[nodiscard]] Result<CsrMatrix> try_to_csr(
+        std::size_t* duplicates = nullptr) &&;
 
     [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
     [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }

@@ -16,21 +16,39 @@ std::int64_t CsrMatrix::row_nnz(std::int64_t r) const {
 }
 
 void CsrMatrix::validate() const {
-    SPMV_ENSURES(rowptr_.size() == static_cast<std::size_t>(rows_) + 1);
-    SPMV_ENSURES(rowptr_.front() == 0);
-    SPMV_ENSURES(colidx_.size() == values_.size());
-    SPMV_ENSURES(rowptr_.back() == static_cast<std::int64_t>(colidx_.size()));
+    if (const Status s = check(); !s.ok())
+        throw ContractViolation("CsrMatrix::validate: " + s.render());
+}
+
+Status CsrMatrix::check() const {
+    const auto invalid = [](std::string what) {
+        return Status(ErrorCode::ValidationError, std::move(what));
+    };
+    if (rowptr_.size() != static_cast<std::size_t>(rows_) + 1)
+        return invalid("rowptr has " + std::to_string(rowptr_.size()) +
+                       " entries, expected rows+1 = " +
+                       std::to_string(rows_ + 1));
+    if (rowptr_.front() != 0) return invalid("rowptr[0] != 0");
+    if (colidx_.size() != values_.size())
+        return invalid("colidx/values length mismatch");
+    if (rowptr_.back() != static_cast<std::int64_t>(colidx_.size()))
+        return invalid("rowptr[rows] != nnz");
     for (std::int64_t r = 0; r < rows_; ++r) {
         const auto begin = rowptr_[static_cast<std::size_t>(r)];
         const auto end = rowptr_[static_cast<std::size_t>(r) + 1];
-        SPMV_ENSURES(begin <= end);
+        if (begin > end)
+            return invalid("rowptr not monotone at row " + std::to_string(r));
         for (std::int64_t i = begin; i < end; ++i) {
             const auto c = colidx_[static_cast<std::size_t>(i)];
-            SPMV_ENSURES(c >= 0 && c < cols_);
-            if (i > begin)
-                SPMV_ENSURES(colidx_[static_cast<std::size_t>(i - 1)] < c);
+            if (c < 0 || c >= cols_)
+                return invalid("column index " + std::to_string(c) +
+                               " out of range in row " + std::to_string(r));
+            if (i > begin && colidx_[static_cast<std::size_t>(i - 1)] >= c)
+                return invalid("columns not strictly increasing in row " +
+                               std::to_string(r));
         }
     }
+    return OkStatus();
 }
 
 CsrMatrix CsrMatrix::permuted_symmetric(

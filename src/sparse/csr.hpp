@@ -10,6 +10,7 @@
 #include <string>
 
 #include "util/align.hpp"
+#include "util/status.hpp"
 
 namespace spmvcache {
 
@@ -69,6 +70,11 @@ public:
     /// Checks structural invariants (monotone rowptr, indices in range,
     /// sorted columns within each row). Throws ContractViolation on failure.
     void validate() const;
+
+    /// Typed form of validate() for input pipelines: never throws, reports
+    /// the first violated invariant (with the offending row) as a
+    /// ValidationError Status.
+    [[nodiscard]] Status check() const;
 
     /// Returns a new matrix with rows and columns permuted by `perm`,
     /// where perm[new_index] = old_index. Pre: square matrix, perm is a

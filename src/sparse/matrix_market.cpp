@@ -1,10 +1,17 @@
 #include "sparse/matrix_market.hpp"
 
+#include <charconv>
+#include <cmath>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
 
 #include "sparse/coo.hpp"
+#include "util/fault.hpp"
 #include "util/format.hpp"
 
 namespace spmvcache {
@@ -17,23 +24,112 @@ struct MmHeader {
     bool skew = false;
 };
 
-MmHeader parse_banner(const std::string& line) {
-    std::istringstream is(line);
+/// Reads lines through istream::getline into a fixed buffer, so a single
+/// pathological line can never allocate more than max_line_bytes. Tracks
+/// 1-based line numbers for diagnostics.
+class LineReader {
+public:
+    LineReader(std::istream& in, std::size_t max_line_bytes)
+        : in_(in), buf_(max_line_bytes + 2) {}
+
+    /// true = a line is available via view(); false = clean end of input.
+    [[nodiscard]] Result<bool> next() {
+        in_.getline(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+        const auto got = in_.gcount();
+        if (in_.fail()) {
+            // Buffer filled without finding a newline: bounded-length guard.
+            if (got == static_cast<std::streamsize>(buf_.size()) - 1)
+                return Error(ErrorCode::ParseError,
+                             "line exceeds maximum length of " +
+                                 std::to_string(buf_.size() - 2) + " bytes",
+                             line_no_ + 1);
+            return false;  // end of input
+        }
+        ++line_no_;
+        // gcount() includes the consumed newline unless EOF ended the line.
+        auto len = static_cast<std::size_t>(got);
+        if (!in_.eof() && len > 0) --len;
+        view_ = std::string_view(buf_.data(), len);
+        return true;
+    }
+
+    [[nodiscard]] std::string_view view() const noexcept { return view_; }
+    [[nodiscard]] std::int64_t line_no() const noexcept { return line_no_; }
+
+private:
+    std::istream& in_;
+    std::vector<char> buf_;
+    std::string_view view_;
+    std::int64_t line_no_ = 0;
+};
+
+const char* skip_ws(const char* p, const char* end) {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    return p;
+}
+
+bool rest_is_blank(const char* p, const char* end) {
+    return skip_ws(p, end) == end;
+}
+
+bool parse_i64(const char*& p, const char* end, std::int64_t& out) {
+    p = skip_ws(p, end);
+    if (p < end && *p == '+') ++p;  // from_chars rejects a leading '+'
+    const auto [ptr, ec] = std::from_chars(p, end, out);
+    if (ec != std::errc{} || ptr == p) return false;
+    p = ptr;
+    return true;
+}
+
+bool parse_f64(const char*& p, const char* end, double& out) {
+    p = skip_ws(p, end);
+    if (p < end && *p == '+') ++p;
+    const auto [ptr, ec] = std::from_chars(p, end, out);
+    if (ec != std::errc{} || ptr == p) return false;
+    p = ptr;
+    return true;
+}
+
+bool is_comment_or_blank(std::string_view line) {
+    const char* p = skip_ws(line.data(), line.data() + line.size());
+    return p == line.data() + line.size() || *p == '%';
+}
+
+/// rows * cols without overflow; false if the product exceeds int64.
+bool checked_mul(std::int64_t a, std::int64_t b, std::int64_t& out) {
+#if defined(__GNUC__) || defined(__clang__)
+    return !__builtin_mul_overflow(a, b, &out);
+#else
+    if (a != 0 && b > std::numeric_limits<std::int64_t>::max() / a)
+        return false;
+    out = a * b;
+    return true;
+#endif
+}
+
+Result<MmHeader> parse_banner(std::string_view line, std::int64_t line_no) {
+    std::istringstream is{std::string(line)};
     std::string banner, object, format, field, symmetry;
     is >> banner >> object >> format >> field >> symmetry;
-    if (banner != "%%MatrixMarket")
-        throw std::runtime_error("not a Matrix Market file");
+    const auto bad = [line_no](std::string what) {
+        return Error(ErrorCode::ParseError, std::move(what), line_no);
+    };
+    if (banner != "%%MatrixMarket") return bad("not a Matrix Market file");
     if (to_lower(object) != "matrix")
-        throw std::runtime_error("unsupported MatrixMarket object: " + object);
+        return Error(ErrorCode::UnsupportedError,
+                     "unsupported MatrixMarket object: " + object, line_no);
     if (to_lower(format) != "coordinate")
-        throw std::runtime_error("only coordinate format is supported");
+        return Error(ErrorCode::UnsupportedError,
+                     "only coordinate format is supported", line_no);
     const std::string f = to_lower(field);
     if (f != "real" && f != "integer" && f != "pattern")
-        throw std::runtime_error("unsupported MatrixMarket field: " + field);
+        return Error(ErrorCode::UnsupportedError,
+                     "unsupported MatrixMarket field: " + field, line_no);
     const std::string s = to_lower(symmetry);
     if (s != "general" && s != "symmetric" && s != "skew-symmetric")
-        throw std::runtime_error("unsupported MatrixMarket symmetry: " +
-                                 symmetry);
+        return Error(ErrorCode::UnsupportedError,
+                     "unsupported MatrixMarket symmetry: " + symmetry,
+                     line_no);
     MmHeader h;
     h.pattern = (f == "pattern");
     h.symmetric = (s == "symmetric" || s == "skew-symmetric");
@@ -41,57 +137,196 @@ MmHeader parse_banner(const std::string& line) {
     return h;
 }
 
-}  // namespace
+struct MmSize {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t nnz = 0;
+};
 
-CsrMatrix read_matrix_market(std::istream& in) {
-    std::string line;
-    if (!std::getline(in, line))
-        throw std::runtime_error("empty Matrix Market stream");
-    const MmHeader header = parse_banner(line);
+Result<MmSize> parse_size_line(std::string_view line, std::int64_t line_no,
+                               const MmHeader& header) {
+    SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.size_line"));
+    MmSize size;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    if (!parse_i64(p, end, size.rows) || !parse_i64(p, end, size.cols) ||
+        !parse_i64(p, end, size.nnz))
+        return Error(ErrorCode::ParseError,
+                     "malformed size line (expected 'rows cols nnz')",
+                     line_no);
+    // A fourth token means this is not a coordinate size line (array
+    // format, or a corrupted file) — never accept trailing garbage here.
+    if (!rest_is_blank(p, end))
+        return Error(ErrorCode::ParseError,
+                     "trailing garbage after size line", line_no);
+    if (size.rows < 0 || size.cols < 0 || size.nnz < 0)
+        return Error(ErrorCode::ValidationError,
+                     "negative Matrix Market dimensions", line_no);
+    if (header.symmetric && size.rows != size.cols)
+        return Error(ErrorCode::ValidationError,
+                     "symmetric file with non-square dimensions", line_no);
+    if (size.cols > std::numeric_limits<std::int32_t>::max())
+        return Error(ErrorCode::UnsupportedError,
+                     "cols exceed int32 (CSR layout stores 4-byte column "
+                     "indices)",
+                     line_no);
+    if (header.symmetric &&
+        size.rows > std::numeric_limits<std::int32_t>::max())
+        return Error(ErrorCode::UnsupportedError,
+                     "symmetric expansion needs rows to fit int32", line_no);
+    std::int64_t cells = 0;
+    if (!checked_mul(size.rows, size.cols, cells))
+        return Error(ErrorCode::OverflowError,
+                     "rows*cols overflows int64", line_no);
+    if (size.nnz > cells)
+        return Error(ErrorCode::ValidationError,
+                     "declared nnz " + std::to_string(size.nnz) +
+                         " exceeds rows*cols = " + std::to_string(cells),
+                     line_no);
+    std::int64_t logical = size.nnz;
+    if (header.symmetric && !checked_mul(size.nnz, 2, logical))
+        return Error(ErrorCode::OverflowError,
+                     "symmetric nnz expansion overflows int64", line_no);
+    (void)logical;
+    return size;
+}
+
+Result<CsrMatrix> read_impl(std::istream& in, const MmReadOptions& options) {
+    SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.header"));
+    LineReader reader(in, options.max_line_bytes);
+
+    SPMV_ASSIGN_OR_RETURN(bool have_banner, reader.next());
+    if (!have_banner)
+        return Error(ErrorCode::ParseError, "empty Matrix Market stream", 1);
+    SPMV_ASSIGN_OR_RETURN(
+        const MmHeader header,
+        parse_banner(reader.view(), reader.line_no()));
 
     // Skip comments and blank lines to the size line.
-    while (std::getline(in, line)) {
-        const std::string t = trim(line);
-        if (!t.empty() && t[0] != '%') break;
+    for (;;) {
+        SPMV_ASSIGN_OR_RETURN(bool have_line, reader.next());
+        if (!have_line)
+            return Error(ErrorCode::ParseError, "missing size line",
+                         reader.line_no() + 1);
+        if (!is_comment_or_blank(reader.view())) break;
     }
-    std::int64_t rows = 0, cols = 0, declared_nnz = 0;
-    {
-        std::istringstream is(line);
-        if (!(is >> rows >> cols >> declared_nnz))
-            throw std::runtime_error("malformed Matrix Market size line");
-    }
-    if (rows < 0 || cols < 0 || declared_nnz < 0)
-        throw std::runtime_error("negative Matrix Market dimensions");
+    SPMV_ASSIGN_OR_RETURN(
+        const MmSize size,
+        parse_size_line(reader.view(), reader.line_no(), header));
 
-    CooMatrix coo(rows, cols);
+    CooMatrix coo(size.rows, size.cols);
+    const std::int64_t logical_nnz =
+        header.symmetric ? 2 * size.nnz : size.nnz;
+    // Cap the up-front reservation: a lying size line must not be able to
+    // trigger a huge allocation before the truncation check catches it.
     coo.reserve(static_cast<std::size_t>(
-        header.symmetric ? 2 * declared_nnz : declared_nnz));
+        std::min<std::int64_t>(logical_nnz, std::int64_t{1} << 24)));
+
+    std::unordered_set<std::int64_t> seen_keys;
+    if (options.strict)
+        seen_keys.reserve(static_cast<std::size_t>(
+            std::min<std::int64_t>(size.nnz, std::int64_t{1} << 24)));
+
     std::int64_t seen = 0;
-    while (seen < declared_nnz && std::getline(in, line)) {
-        const std::string t = trim(line);
-        if (t.empty() || t[0] == '%') continue;
-        std::istringstream is(t);
+    while (seen < size.nnz) {
+        SPMV_ASSIGN_OR_RETURN(bool have_line, reader.next());
+        if (!have_line) break;
+        const std::string_view line = reader.view();
+        if (is_comment_or_blank(line)) continue;
+        const std::int64_t line_no = reader.line_no();
+        if (Status s = fault::maybe_fail("mm.read_entry"); !s.ok())
+            return std::move(s).wrap("entry " + std::to_string(seen + 1));
+
+        const char* p = line.data();
+        const char* end = line.data() + line.size();
         std::int64_t r = 0, c = 0;
         double v = 1.0;
-        if (!(is >> r >> c)) throw std::runtime_error("malformed entry line");
-        if (!header.pattern && !(is >> v))
-            throw std::runtime_error("missing value on entry line");
-        if (r < 1 || r > rows || c < 1 || c > cols)
-            throw std::runtime_error("Matrix Market index out of range");
+        if (!parse_i64(p, end, r) || !parse_i64(p, end, c))
+            return Error(ErrorCode::ParseError,
+                         "malformed entry line (expected 'row col[ value]')",
+                         line_no);
+        if (!header.pattern && !parse_f64(p, end, v))
+            return Error(ErrorCode::ParseError,
+                         "missing or non-numeric value on entry line",
+                         line_no);
+        if (options.strict && !rest_is_blank(p, end))
+            return Error(ErrorCode::ParseError,
+                         "trailing garbage after entry", line_no);
+        if (r < 1 || r > size.rows || c < 1 || c > size.cols)
+            return Error(ErrorCode::ValidationError,
+                         "index (" + std::to_string(r) + ", " +
+                             std::to_string(c) + ") out of range for " +
+                             std::to_string(size.rows) + "x" +
+                             std::to_string(size.cols) + " matrix",
+                         line_no);
+        if (options.strict) {
+            if (!std::isfinite(v))
+                return Error(ErrorCode::ValidationError,
+                             "non-finite value on entry line", line_no);
+            if (header.symmetric && c > r)
+                return Error(ErrorCode::ValidationError,
+                             "entry above the diagonal in a symmetric file",
+                             line_no);
+            if (!seen_keys.insert((r - 1) * size.cols + (c - 1)).second)
+                return Error(ErrorCode::ValidationError,
+                             "duplicate entry (" + std::to_string(r) + ", " +
+                                 std::to_string(c) + ")",
+                             line_no);
+        }
         coo.add(r - 1, c - 1, v);
         if (header.symmetric && r != c)
             coo.add(c - 1, r - 1, header.skew ? -v : v);
         ++seen;
     }
-    if (seen != declared_nnz)
-        throw std::runtime_error("Matrix Market stream truncated");
-    return std::move(coo).to_csr();
+    if (seen != size.nnz)
+        return Error(ErrorCode::ParseError,
+                     "truncated: size line declares " +
+                         std::to_string(size.nnz) + " entries, found " +
+                         std::to_string(seen),
+                     std::max<std::int64_t>(reader.line_no(), 1));
+    if (options.strict) {
+        // Anything but comments and blanks after the final entry means the
+        // size line undercounts — reject rather than silently drop data.
+        for (;;) {
+            SPMV_ASSIGN_OR_RETURN(bool have_line, reader.next());
+            if (!have_line) break;
+            if (!is_comment_or_blank(reader.view()))
+                return Error(ErrorCode::ParseError,
+                             "data after the declared final entry",
+                             reader.line_no());
+        }
+    }
+    return std::move(coo).try_to_csr();
+}
+
+}  // namespace
+
+Result<CsrMatrix> try_read_matrix_market(std::istream& in,
+                                         const MmReadOptions& options) {
+    return std::move(read_impl(in, options))
+        .wrap("reading Matrix Market stream");
+}
+
+Result<CsrMatrix> try_read_matrix_market_file(const std::string& path,
+                                              const MmReadOptions& options) {
+    if (const Status s = fault::maybe_fail("mm.open"); !s.ok())
+        return Status(s).wrap("reading '" + path + "'");
+    std::ifstream in(path);
+    if (!in)
+        return Error(ErrorCode::ResourceError, "cannot open '" + path + "'");
+    return std::move(read_impl(in, options)).wrap("reading '" + path + "'");
+}
+
+CsrMatrix read_matrix_market(std::istream& in) {
+    Result<CsrMatrix> r = try_read_matrix_market(in);
+    if (!r.ok()) throw_status(std::move(r).to_error());
+    return std::move(r).value();
 }
 
 CsrMatrix read_matrix_market_file(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) throw std::runtime_error("cannot open: " + path);
-    return read_matrix_market(in);
+    Result<CsrMatrix> r = try_read_matrix_market_file(path);
+    if (!r.ok()) throw_status(std::move(r).to_error());
+    return std::move(r).value();
 }
 
 void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
@@ -112,8 +347,14 @@ void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
 
 void write_matrix_market_file(const std::string& path, const CsrMatrix& m) {
     std::ofstream out(path);
-    if (!out) throw std::runtime_error("cannot open for writing: " + path);
+    if (!out)
+        throw_status(Error(ErrorCode::ResourceError,
+                           "cannot open '" + path + "' for writing"));
     write_matrix_market(out, m);
+    out.flush();
+    if (!out)
+        throw_status(Error(ErrorCode::ResourceError,
+                           "write failed for '" + path + "'"));
 }
 
 }  // namespace spmvcache

@@ -3,26 +3,55 @@
 //
 // Supports the coordinate format with real/integer/pattern fields and
 // general/symmetric/skew-symmetric symmetry. Pattern entries get value 1.0.
+//
+// The parser is hardened for unattended batch sweeps over hundreds of
+// downloaded matrices: every failure is a typed Error (util/status.hpp)
+// carrying the 1-based input line, dimension and nnz arithmetic is
+// overflow-checked, line length is bounded, and a strict mode rejects
+// trailing garbage, duplicate entries and upper-triangle entries in
+// symmetric files instead of silently repairing them.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "sparse/csr.hpp"
+#include "util/status.hpp"
 
 namespace spmvcache {
 
-/// Parses a Matrix Market stream. Throws std::runtime_error on malformed
-/// input or unsupported format (complex field, array format).
+/// Parser knobs; default-constructed == lenient (historical behaviour).
+struct MmReadOptions {
+    /// Strict mode rejects what lenient mode repairs: trailing tokens after
+    /// the size line or an entry, duplicate (row, col) entries (lenient
+    /// sums them), and entries above the diagonal in symmetric files
+    /// (lenient mirrors them anyway).
+    bool strict = false;
+    /// Any input line longer than this is a ParseError; guards the parser
+    /// against pathological single-line files.
+    std::size_t max_line_bytes = std::size_t{1} << 20;
+};
+
+/// Parses a Matrix Market stream. Errors carry the 1-based line number of
+/// the offending input line.
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market(
+    std::istream& in, const MmReadOptions& options = {});
+
+/// Reads a .mtx file from disk; the error chain names the file.
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_file(
+    const std::string& path, const MmReadOptions& options = {});
+
+/// Legacy throwing wrapper: throws StatusError (a std::runtime_error) on
+/// malformed input or unsupported format (complex field, array format).
 [[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
 
-/// Reads a .mtx file from disk. Throws std::runtime_error if unreadable.
+/// Legacy throwing wrapper: throws StatusError if unreadable or malformed.
 [[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
 
 /// Writes `m` in coordinate/real/general format.
 void write_matrix_market(std::ostream& out, const CsrMatrix& m);
 
-/// Writes `m` to a .mtx file. Throws std::runtime_error if unwritable.
+/// Writes `m` to a .mtx file. Throws StatusError if unwritable.
 void write_matrix_market_file(const std::string& path, const CsrMatrix& m);
 
 }  // namespace spmvcache

@@ -1,15 +1,19 @@
 #include "trace/spmv_trace.hpp"
 
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "sync/mcs_lock.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace spmvcache {
 
 std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
                                        const SpmvLayout& layout,
                                        const TraceConfig& cfg) {
+    fault::maybe_throw("trace.generate");
     std::vector<MemRef> trace;
     trace.reserve(spmv_trace_length(m.rows(), m.nnz()));
     generate_spmv_trace(m, layout, cfg,
@@ -24,6 +28,13 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
                                           PartitionPolicy partition) {
     SPMV_EXPECTS(threads >= 1);
     SPMV_EXPECTS(chunk_refs >= 1);
+    fault::maybe_throw("trace.generate");
+
+    // Workers must not let exceptions escape their thread (std::terminate);
+    // the first failure is captured and rethrown on the calling thread
+    // after all workers have drained.
+    std::mutex failure_mutex;
+    std::exception_ptr failure;
 
     std::vector<MemRef> shared;
     shared.reserve(spmv_trace_length(m.rows(), m.nnz()));
@@ -45,6 +56,7 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
 
         bool active = true;
         while (active) {
+            fault::maybe_throw("trace.worker");
             // Advance until the local chunk reaches the submission size,
             // then publish it under the MCS lock.
             while (active &&
@@ -58,10 +70,21 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
         }
     };
 
+    auto guarded_worker = [&](std::int64_t t) {
+        try {
+            worker(t);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(failure_mutex);
+            if (!failure) failure = std::current_exception();
+        }
+    };
+
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (std::int64_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::int64_t t = 0; t < threads; ++t)
+        pool.emplace_back(guarded_worker, t);
     for (auto& th : pool) th.join();
+    if (failure) std::rethrow_exception(failure);
 
     SPMV_ENSURES(shared.size() == spmv_trace_length(m.rows(), m.nnz()));
     return shared;

@@ -1,0 +1,125 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/prng.hpp"
+
+namespace spmvcache::fault {
+
+namespace {
+
+struct PointState {
+    FaultSpec spec;
+    std::int64_t hits = 0;
+    Xoshiro256 prng{0};
+    bool fired = false;
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, PointState> points;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+// Number of armed points; the disarmed fast path is one relaxed load of
+// this counter, so hot loops (reuse engine) pay a single predictable branch.
+std::atomic<std::int64_t> g_armed{0};
+
+}  // namespace
+
+void arm(std::string point, FaultSpec spec) {
+    auto& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    auto [it, inserted] = r.points.insert_or_assign(
+        std::move(point), PointState{spec, 0, Xoshiro256(spec.seed), false});
+    (void)it;
+    if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& point) {
+    auto& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.points.erase(point) > 0)
+        g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+    auto& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    g_armed.fetch_sub(static_cast<std::int64_t>(r.points.size()),
+                      std::memory_order_relaxed);
+    r.points.clear();
+}
+
+bool any_armed() noexcept {
+    return g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+std::int64_t hits(const std::string& point) {
+    auto& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(point);
+    return it == r.points.end() ? 0 : it->second.hits;
+}
+
+bool should_fail(const char* point) {
+    if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+    auto& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(point);
+    if (it == r.points.end()) return false;
+    PointState& state = it->second;
+    if (state.fired && state.spec.once) return false;
+    const std::int64_t hit = state.hits++;
+    bool fire;
+    if (state.spec.probability < 1.0) {
+        fire = state.prng.uniform() < state.spec.probability;
+    } else {
+        fire = hit >= state.spec.fail_after;
+    }
+    if (fire) state.fired = true;
+    return fire;
+}
+
+namespace {
+
+ErrorCode armed_code(const char* point) {
+    auto& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(point);
+    return it == r.points.end() ? ErrorCode::FaultInjected
+                                : it->second.spec.code;
+}
+
+Error make_error(const char* point) {
+    return Error(armed_code(point),
+                 std::string("injected fault at '") + point + "'");
+}
+
+}  // namespace
+
+Status maybe_fail(const char* point) {
+    if (!should_fail(point)) return OkStatus();
+    return make_error(point);
+}
+
+void maybe_throw(const char* point) {
+    if (!should_fail(point)) return;
+    throw FaultInjectedError(make_error(point));
+}
+
+ScopedFault::ScopedFault(std::string point, FaultSpec spec)
+    : point_(std::move(point)) {
+    arm(point_, spec);
+}
+
+ScopedFault::~ScopedFault() { disarm(point_); }
+
+}  // namespace spmvcache::fault

@@ -1,0 +1,55 @@
+#include "util/status.hpp"
+
+#include <new>
+
+namespace spmvcache {
+
+const char* to_string(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::Ok: return "Ok";
+        case ErrorCode::ParseError: return "ParseError";
+        case ErrorCode::ValidationError: return "ValidationError";
+        case ErrorCode::UnsupportedError: return "UnsupportedError";
+        case ErrorCode::OverflowError: return "OverflowError";
+        case ErrorCode::ResourceError: return "ResourceError";
+        case ErrorCode::TimeoutError: return "TimeoutError";
+        case ErrorCode::Cancelled: return "Cancelled";
+        case ErrorCode::FaultInjected: return "FaultInjected";
+        case ErrorCode::InternalError: return "InternalError";
+    }
+    return "UnknownError";
+}
+
+std::string Error::render() const {
+    std::string s;
+    // Outermost context first, so the rendered message reads top-down:
+    // "reading 'a.mtx': parsing entry 7: bad column (line 12) [ParseError]".
+    for (auto it = context.rbegin(); it != context.rend(); ++it) {
+        s += *it;
+        s += ": ";
+    }
+    s += message;
+    if (line > 0) {
+        s += " (line ";
+        s += std::to_string(line);
+        s += ")";
+    }
+    s += " [";
+    s += to_string(code);
+    s += "]";
+    return s;
+}
+
+Error error_from_exception(const std::exception& e) {
+    if (const auto* se = dynamic_cast<const StatusError*>(&e))
+        return se->error();
+    if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr)
+        return Error(ErrorCode::ResourceError, "out of memory");
+    if (const auto* cv = dynamic_cast<const ContractViolation*>(&e))
+        return Error(ErrorCode::InternalError,
+                     std::string("contract violation: ") + cv->what());
+    return Error(ErrorCode::InternalError,
+                 std::string("unexpected exception: ") + e.what());
+}
+
+}  // namespace spmvcache

@@ -280,5 +280,183 @@ TEST(Partition, ImbalanceIsOneForUniformMatrix) {
     EXPECT_DOUBLE_EQ(p.imbalance(m), 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// Typed-result parser: hardened paths and the malformed-input corpus.
+
+Result<CsrMatrix> parse(const std::string& text, bool strict = false) {
+    std::stringstream ss(text);
+    MmReadOptions options;
+    options.strict = strict;
+    return try_read_matrix_market(ss, options);
+}
+
+TEST(MatrixMarketHardened, TypedReadSucceedsOnValidInput) {
+    std::stringstream ss;
+    write_matrix_market(ss, small_matrix());
+    const Result<CsrMatrix> r = try_read_matrix_market(ss);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().nnz(), 7);
+}
+
+TEST(MatrixMarketHardened, SizeLineTrailingGarbageRejectedInBothModes) {
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2 surprise\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n";
+    for (const bool strict : {false, true}) {
+        const Result<CsrMatrix> r = parse(text, strict);
+        ASSERT_FALSE(r.ok()) << "strict=" << strict;
+        EXPECT_EQ(r.code(), ErrorCode::ParseError);
+        EXPECT_EQ(r.error().line, 2);
+    }
+}
+
+TEST(MatrixMarketHardened, NnzExceedingCellCountRejected) {
+    const Result<CsrMatrix> r = parse(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 7\n"
+        "1 1 1.0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::ValidationError);
+    EXPECT_EQ(r.error().line, 2);
+    EXPECT_NE(r.error().message.find("exceeds"), std::string::npos);
+}
+
+TEST(MatrixMarketHardened, DimensionOverflowIsTypedNotUb) {
+    // rows*cols overflows int64 but each factor parses fine.
+    const Result<CsrMatrix> r = parse(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "9223372036854775 2000000000 10\n"
+        "1 1 1.0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::OverflowError);
+    EXPECT_EQ(r.error().line, 2);
+}
+
+TEST(MatrixMarketHardened, DuplicatesCombinedLenientlyRejectedStrictly) {
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3\n"
+        "1 1 1.5\n"
+        "2 2 2.0\n"
+        "1 1 0.5\n";
+    const Result<CsrMatrix> lenient = parse(text, /*strict=*/false);
+    ASSERT_TRUE(lenient.ok());
+    EXPECT_EQ(lenient.value().nnz(), 2);  // duplicates summed
+    EXPECT_DOUBLE_EQ(to_dense(lenient.value())[0], 2.0);
+
+    const Result<CsrMatrix> strict = parse(text, /*strict=*/true);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.code(), ErrorCode::ValidationError);
+    EXPECT_EQ(strict.error().line, 5);  // the duplicate, not the original
+}
+
+TEST(MatrixMarketHardened, StrictRejectsEntryTrailingGarbage) {
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0 extra\n";
+    EXPECT_TRUE(parse(text, /*strict=*/false).ok());
+    const Result<CsrMatrix> strict = parse(text, /*strict=*/true);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.code(), ErrorCode::ParseError);
+    EXPECT_EQ(strict.error().line, 3);
+}
+
+TEST(MatrixMarketHardened, StrictRejectsDataAfterFinalEntry) {
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0\n"
+        "2 2 9.0\n";
+    EXPECT_TRUE(parse(text, /*strict=*/false).ok());
+    const Result<CsrMatrix> strict = parse(text, /*strict=*/true);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.code(), ErrorCode::ParseError);
+    EXPECT_EQ(strict.error().line, 4);
+}
+
+TEST(MatrixMarketHardened, OverlongLineRejectedNotBuffered) {
+    MmReadOptions options;
+    options.max_line_bytes = 64;
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n" +
+                         std::string(1000, 'x') + "\n");
+    const Result<CsrMatrix> r = try_read_matrix_market(ss, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::ParseError);
+    EXPECT_NE(r.error().message.find("exceeds maximum length"),
+              std::string::npos);
+}
+
+TEST(MatrixMarketHardened, SymmetricNonSquareRejected) {
+    const Result<CsrMatrix> r = parse(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 3 1\n"
+        "1 1 1.0\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::ValidationError);
+    EXPECT_EQ(r.error().line, 2);
+}
+
+TEST(MatrixMarketHardened, MissingFileIsResourceErrorWithPathContext) {
+    const Result<CsrMatrix> r =
+        try_read_matrix_market_file("/definitely/not/here.mtx");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::ResourceError);
+    EXPECT_NE(r.error().render().find("/definitely/not/here.mtx"),
+              std::string::npos);
+}
+
+TEST(MatrixMarketHardened, LegacyWrapperStillThrowsRuntimeError) {
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n"
+                         "2 2 7\n");
+    EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+    try {
+        std::stringstream again("garbage\n");
+        (void)read_matrix_market(again);
+        FAIL() << "must throw";
+    } catch (const StatusError& e) {  // typed error rides along
+        EXPECT_EQ(e.code(), ErrorCode::ParseError);
+        EXPECT_EQ(e.error().line, 1);
+    }
+}
+
+TEST(MatrixMarketHardened, CorruptCorpusAlwaysYieldsTypedLineNumberedError) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(SPMVCACHE_TEST_DATA_DIR) / "corrupt";
+    ASSERT_TRUE(fs::is_directory(dir)) << dir;
+    std::size_t files = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() != ".mtx") continue;
+        ++files;
+        const Result<CsrMatrix> r = try_read_matrix_market_file(
+            entry.path().string(), MmReadOptions{.strict = true});
+        ASSERT_FALSE(r.ok()) << entry.path();
+        EXPECT_NE(r.code(), ErrorCode::Ok) << entry.path();
+        EXPECT_NE(r.code(), ErrorCode::InternalError) << entry.path();
+        EXPECT_GT(r.error().line, 0)
+            << entry.path() << ": " << r.error().render();
+    }
+    EXPECT_GE(files, 9u);  // the corpus must actually be exercised
+}
+
+TEST(Coo, TryToCsrReportsDuplicateCount) {
+    CooMatrix coo(3, 3);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 0, 2.0);
+    coo.add(1, 1, 3.0);
+    std::size_t duplicates = 0;
+    Result<CsrMatrix> r = std::move(coo).try_to_csr(&duplicates);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(duplicates, 1u);
+    EXPECT_EQ(r.value().nnz(), 2);
+}
+
+TEST(Csr, CheckReportsFirstViolatedInvariant) {
+    const CsrMatrix good = small_matrix();
+    EXPECT_TRUE(good.check().ok());
+}
+
 }  // namespace
 }  // namespace spmvcache

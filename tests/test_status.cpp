@@ -1,0 +1,205 @@
+// Unit tests for util/status: Status/Result semantics, context chaining,
+// propagation macros, and the exception bridge.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace spmvcache {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_EQ(s.render(), "ok");
+    EXPECT_TRUE(OkStatus().ok());
+}
+
+TEST(Status, CarriesCodeMessageAndLine) {
+    const Status s(ErrorCode::ParseError, "malformed size line", 3);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::ParseError);
+    EXPECT_EQ(s.error().message, "malformed size line");
+    EXPECT_EQ(s.error().line, 3);
+}
+
+TEST(Status, RenderIncludesLineAndCode) {
+    const Status s(ErrorCode::ValidationError, "index out of range", 12);
+    const std::string text = s.render();
+    EXPECT_NE(text.find("index out of range"), std::string::npos);
+    EXPECT_NE(text.find("line 12"), std::string::npos);
+    EXPECT_NE(text.find("ValidationError"), std::string::npos);
+}
+
+TEST(Status, WrapChainsContextOutermostFirst) {
+    const Status s = Status(ErrorCode::ParseError, "bad token", 7)
+                         .wrap("parsing entry 3")
+                         .wrap("reading 'm.mtx'");
+    const std::string text = s.render();
+    // Outermost context renders first, so the message reads top-down.
+    const auto outer = text.find("reading 'm.mtx'");
+    const auto inner = text.find("parsing entry 3");
+    const auto msg = text.find("bad token");
+    ASSERT_NE(outer, std::string::npos);
+    ASSERT_NE(inner, std::string::npos);
+    ASSERT_NE(msg, std::string::npos);
+    EXPECT_LT(outer, inner);
+    EXPECT_LT(inner, msg);
+}
+
+TEST(Status, WrapOnOkIsNoOp) {
+    const Status s = OkStatus().wrap("context");
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.render(), "ok");
+}
+
+TEST(ErrorCodeNames, AreStable) {
+    EXPECT_STREQ(to_string(ErrorCode::Ok), "Ok");
+    EXPECT_STREQ(to_string(ErrorCode::ParseError), "ParseError");
+    EXPECT_STREQ(to_string(ErrorCode::ValidationError), "ValidationError");
+    EXPECT_STREQ(to_string(ErrorCode::UnsupportedError), "UnsupportedError");
+    EXPECT_STREQ(to_string(ErrorCode::OverflowError), "OverflowError");
+    EXPECT_STREQ(to_string(ErrorCode::ResourceError), "ResourceError");
+    EXPECT_STREQ(to_string(ErrorCode::TimeoutError), "TimeoutError");
+    EXPECT_STREQ(to_string(ErrorCode::Cancelled), "Cancelled");
+    EXPECT_STREQ(to_string(ErrorCode::FaultInjected), "FaultInjected");
+    EXPECT_STREQ(to_string(ErrorCode::InternalError), "InternalError");
+}
+
+TEST(Result, HoldsValue) {
+    const Result<int> r = 42;
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.code(), ErrorCode::Ok);
+    EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+    const Result<int> r = Error(ErrorCode::ResourceError, "cannot open");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::ResourceError);
+    EXPECT_EQ(r.error().message, "cannot open");
+    EXPECT_EQ(r.value_or(-1), -1);
+    EXPECT_FALSE(r.status().ok());
+}
+
+TEST(Result, ConstructsFromFailedStatus) {
+    Status s(ErrorCode::ParseError, "bad", 2);
+    const Result<std::string> r = std::move(s);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::ParseError);
+    EXPECT_EQ(r.error().line, 2);
+}
+
+TEST(Result, SupportsMoveOnlyTypes) {
+    Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+    ASSERT_TRUE(r.ok());
+    const std::unique_ptr<int> p = std::move(r).value();
+    EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, WrapAddsContextOnErrorPath) {
+    const Result<int> r =
+        Result<int>(Error(ErrorCode::ParseError, "bad entry", 4))
+            .wrap("reading stream");
+    const std::string text = r.error().render();
+    EXPECT_NE(text.find("reading stream: bad entry"), std::string::npos);
+}
+
+namespace macros {
+
+Status fail_if(bool fail) {
+    if (fail) return Status(ErrorCode::ValidationError, "told to fail", 9);
+    return OkStatus();
+}
+
+Status passthrough(bool fail) {
+    SPMV_RETURN_IF_ERROR(fail_if(fail));
+    return OkStatus();
+}
+
+Result<int> half(int v) {
+    if (v % 2 != 0) return Error(ErrorCode::ValidationError, "odd input");
+    return v / 2;
+}
+
+Result<int> quarter(int v) {
+    SPMV_ASSIGN_OR_RETURN(const int h, half(v));
+    SPMV_ASSIGN_OR_RETURN(const int q, half(h));
+    return q;
+}
+
+Result<int> wrapped_fail() {
+    SPMV_RETURN_IF_ERROR(
+        Status(ErrorCode::ParseError, "inner", 1).wrap("outer context"));
+    return 0;
+}
+
+}  // namespace macros
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+    EXPECT_TRUE(macros::passthrough(false).ok());
+    const Status s = macros::passthrough(true);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::ValidationError);
+    EXPECT_EQ(s.error().line, 9);
+}
+
+TEST(StatusMacros, AssignOrReturnUnwrapsAndPropagates) {
+    const Result<int> ok = macros::quarter(8);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 2);
+
+    const Result<int> err = macros::quarter(6);  // half ok, quarter odd
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.code(), ErrorCode::ValidationError);
+}
+
+TEST(StatusMacros, ReturnIfErrorSurvivesWrapTemporaries) {
+    const Result<int> r = macros::wrapped_fail();
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().render().find("outer context: inner"),
+              std::string::npos);
+}
+
+TEST(StatusError, BridgesToRuntimeError) {
+    try {
+        throw_status(Error(ErrorCode::ParseError, "bad banner", 1));
+        FAIL() << "throw_status must throw";
+    } catch (const std::runtime_error& e) {  // catchable as runtime_error
+        EXPECT_NE(std::string(e.what()).find("bad banner"),
+                  std::string::npos);
+    }
+    try {
+        throw_status(Error(ErrorCode::OverflowError, "rows*cols", 2));
+        FAIL() << "throw_status must throw";
+    } catch (const StatusError& e) {  // and as the typed bridge
+        EXPECT_EQ(e.code(), ErrorCode::OverflowError);
+        EXPECT_EQ(e.error().line, 2);
+    }
+}
+
+TEST(ErrorFromException, MapsKnownExceptionTypes) {
+    const Error from_status =
+        error_from_exception(StatusError(Error(ErrorCode::ParseError, "x")));
+    EXPECT_EQ(from_status.code, ErrorCode::ParseError);
+
+    const Error from_contract =
+        error_from_exception(ContractViolation("cond failed"));
+    EXPECT_EQ(from_contract.code, ErrorCode::InternalError);
+
+    const Error from_alloc = error_from_exception(std::bad_alloc{});
+    EXPECT_EQ(from_alloc.code, ErrorCode::ResourceError);
+
+    const Error from_other =
+        error_from_exception(std::runtime_error("mystery"));
+    EXPECT_EQ(from_other.code, ErrorCode::InternalError);
+    EXPECT_NE(from_other.message.find("mystery"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmvcache

@@ -6,9 +6,16 @@
 //   spmvcache simulate <matrix.mtx> [--threads T] [--l2-ways N] [--l1-ways N]
 //   spmvcache tune     <matrix.mtx> [--threads T]    best sector config
 //   spmvcache convert  <in.mtx> <out.mtx> [--rcm]    reorder / normalise
+//   spmvcache batch    <dir|list|matrix.mtx>         isolated sweep + report
 //
 // Every subcommand also accepts --gen FAMILY:ARG (e.g. --gen stencil2d5:512)
 // instead of a .mtx path, for experimentation without input files.
+//
+// Exit codes are standardised: 0 = success, 1 = input/matrix errors (for
+// `batch`: some matrices failed), 2 = usage error or unexpected fatal
+// condition. All input failures flow through the typed Status layer
+// (util/status.hpp); the top-level catch only sees programmer errors.
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -32,14 +39,23 @@ using namespace spmvcache;
            "  simulate  run one config on the simulated A64FX\n"
            "  tune      recommend the best sector configuration\n"
            "  convert   rewrite a matrix (optionally RCM-reordered)\n"
+           "  batch     model a directory/list of matrices with per-matrix\n"
+           "            isolation and a machine-readable failure report\n"
            "options: --threads T --l2-ways N --l1-ways N --method a|b "
-           "--rcm --gen FAMILY:N\n"
+           "--rcm --gen FAMILY:N --strict\n"
+           "batch:   --report FILE --format csv|json --timeout SECONDS\n"
+           "         --no-model --no-retry\n"
            "families: stencil2d5 stencil3d27 banded circuit random "
-           "randomcv blockfem\n";
-    std::exit(2);
+           "randomcv blockfem\n"
+           "exit codes: 0 ok, 1 input/matrix failures, 2 usage or fatal\n";
+    std::exit(kExitUsage);
 }
 
-CsrMatrix generated(const std::string& spec, std::uint64_t seed) {
+void report_error(const Error& e) {
+    std::cerr << "error: " << e.render() << "\n";
+}
+
+Result<CsrMatrix> generated(const std::string& spec, std::uint64_t seed) {
     const auto colon = spec.find(':');
     const std::string family =
         colon == std::string::npos ? spec : spec.substr(0, colon);
@@ -47,30 +63,41 @@ CsrMatrix generated(const std::string& spec, std::uint64_t seed) {
         colon == std::string::npos
             ? 512
             : std::strtoll(spec.c_str() + colon + 1, nullptr, 10);
+    if (n <= 0)
+        return Error(ErrorCode::ValidationError,
+                     "generator size must be positive in '" + spec + "'");
     if (family == "stencil2d5") return gen::stencil_2d_5pt(n, n);
     if (family == "stencil3d27") return gen::stencil_3d_27pt(n, n, n);
     if (family == "banded") return gen::banded(n, 16, n / 256 + 1, seed);
-    if (family == "circuit") return gen::circuit(n, 3.0, n / 64 + 1, 0.05, seed);
+    if (family == "circuit")
+        return gen::circuit(n, 3.0, n / 64 + 1, 0.05, seed);
     if (family == "random") return gen::random_uniform(n, n, 24, seed);
     if (family == "randomcv")
         return gen::random_variable_rows(n, n, 8.0, 2.0, seed);
     if (family == "blockfem")
         return gen::block_fem(std::max<std::int64_t>(2, n / 8), 8, 6,
                               std::max<std::int64_t>(6, n / 64), seed);
-    std::cerr << "unknown generator family: " << family << "\n";
-    std::exit(2);
+    return Error(ErrorCode::ValidationError,
+                 "unknown generator family: " + family);
 }
 
-CsrMatrix load_matrix(const CliParser& cli, std::size_t arg_index) {
+Result<CsrMatrix> load_matrix(const CliParser& cli, std::size_t arg_index) {
     if (cli.has("gen"))
         return generated(cli.get("gen", ""),
                          static_cast<std::uint64_t>(cli.get_int("seed", 42)));
     if (cli.positionals().size() <= arg_index) usage();
-    return read_matrix_market_file(cli.positionals()[arg_index]);
+    MmReadOptions options;
+    options.strict = cli.has("strict");
+    return try_read_matrix_market_file(cli.positionals()[arg_index], options);
 }
 
 int cmd_stats(const CliParser& cli) {
-    const CsrMatrix m = load_matrix(cli, 1);
+    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    if (!loaded.ok()) {
+        report_error(loaded.error());
+        return 1;
+    }
+    const CsrMatrix& m = loaded.value();
     const auto stats = compute_stats(m);
     std::cout << to_string(stats) << "\n";
     TextTable t({"quantity", "value"});
@@ -94,7 +121,12 @@ int cmd_stats(const CliParser& cli) {
 }
 
 int cmd_classify(const CliParser& cli) {
-    const CsrMatrix m = load_matrix(cli, 1);
+    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    if (!loaded.ok()) {
+        report_error(loaded.error());
+        return 1;
+    }
+    const CsrMatrix& m = loaded.value();
     const auto ways = static_cast<std::uint32_t>(cli.get_int("ways", 5));
     const A64fxConfig machine = a64fx_default();
     const std::uint64_t sector0 =
@@ -127,7 +159,12 @@ int cmd_classify(const CliParser& cli) {
 }
 
 int cmd_predict(const CliParser& cli) {
-    const CsrMatrix m = load_matrix(cli, 1);
+    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    if (!loaded.ok()) {
+        report_error(loaded.error());
+        return 1;
+    }
+    const CsrMatrix& m = loaded.value();
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -156,7 +193,12 @@ int cmd_predict(const CliParser& cli) {
 }
 
 int cmd_simulate(const CliParser& cli) {
-    const CsrMatrix m = load_matrix(cli, 1);
+    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    if (!loaded.ok()) {
+        report_error(loaded.error());
+        return 1;
+    }
+    const CsrMatrix& m = loaded.value();
     ExperimentOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -186,7 +228,12 @@ int cmd_simulate(const CliParser& cli) {
 }
 
 int cmd_tune(const CliParser& cli) {
-    const CsrMatrix m = load_matrix(cli, 1);
+    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    if (!loaded.ok()) {
+        report_error(loaded.error());
+        return 1;
+    }
+    const CsrMatrix& m = loaded.value();
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -216,15 +263,90 @@ int cmd_tune(const CliParser& cli) {
 
 int cmd_convert(const CliParser& cli) {
     if (cli.positionals().size() < 3 && !cli.has("gen")) usage();
-    const CsrMatrix m = load_matrix(cli, 1);
+    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    if (!loaded.ok()) {
+        report_error(loaded.error());
+        return 1;
+    }
+    const CsrMatrix& m = loaded.value();
     const std::string out = cli.positionals().back();
     const CsrMatrix result = cli.has("rcm") ? rcm_reorder(m) : m;
-    write_matrix_market_file(out, result);
+    try {
+        write_matrix_market_file(out, result);
+    } catch (const StatusError& e) {
+        report_error(e.error());
+        return 1;
+    }
     std::cout << "wrote " << out << " ("
               << fmt_count(static_cast<unsigned long long>(result.nnz()))
               << " nonzeros" << (cli.has("rcm") ? ", RCM-reordered" : "")
               << ")\n";
     return 0;
+}
+
+int cmd_batch(const CliParser& cli) {
+    if (cli.positionals().size() < 2) usage();
+    const Result<std::vector<std::string>> paths =
+        collect_matrix_paths(cli.positionals()[1]);
+    if (!paths.ok()) {
+        report_error(paths.error());
+        return kExitUsage;
+    }
+
+    BatchOptions options;
+    options.strict_parse = cli.has("strict");
+    options.run_model = !cli.has("no-model");
+    options.threads = cli.get_int("threads", 48);
+    options.timeout_seconds = cli.get_double("timeout", 0.0);
+    options.retry_transient = !cli.has("no-retry");
+
+    const BatchReport report = run_batch(paths.value(), options);
+
+    TextTable t({"matrix", "status", "stage", "error", "rows", "nnz",
+                 "best L2 ways"});
+    for (const auto& item : report.items) {
+        t.add_row({item.name, item.ok ? "ok" : "FAILED",
+                   to_string(item.stage),
+                   item.ok ? "-" : to_string(item.code),
+                   fmt_count(static_cast<unsigned long long>(item.rows)),
+                   fmt_count(static_cast<unsigned long long>(item.nnz)),
+                   item.ok && options.run_model
+                       ? (item.best_l2_ways == 0
+                              ? std::string("off")
+                              : std::to_string(item.best_l2_ways))
+                       : "-"});
+    }
+    t.render(std::cout);
+    std::cout << report.succeeded() << "/" << report.items.size()
+              << " matrices ok, " << report.failed() << " failed\n";
+    for (const auto& item : report.items)
+        if (!item.ok)
+            std::cerr << "failed: " << item.name << " [" << to_string(item.stage)
+                      << "/" << to_string(item.code) << "] " << item.message
+                      << "\n";
+
+    const std::string report_path = cli.get("report", "");
+    if (!report_path.empty()) {
+        std::ofstream out(report_path);
+        if (!out) {
+            report_error(Error(ErrorCode::ResourceError,
+                               "cannot write report '" + report_path + "'"));
+            return kExitUsage;
+        }
+        const std::string format = to_lower(cli.get(
+            "format", report_path.size() > 5 &&
+                              report_path.substr(report_path.size() - 5) ==
+                                  ".json"
+                          ? "json"
+                          : "csv"));
+        if (format == "json")
+            write_batch_report_json(out, report);
+        else
+            write_batch_report_csv(out, report);
+        std::cout << "report written to " << report_path << " (" << format
+                  << ")\n";
+    }
+    return report.exit_code();
 }
 
 }  // namespace
@@ -240,9 +362,12 @@ int main(int argc, char** argv) {
         if (command == "simulate") return cmd_simulate(cli);
         if (command == "tune") return cmd_tune(cli);
         if (command == "convert") return cmd_convert(cli);
+        if (command == "batch") return cmd_batch(cli);
     } catch (const std::exception& e) {
-        std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        // Input errors are handled through the Status layer above; anything
+        // landing here is a programmer error or resource exhaustion.
+        std::cerr << "fatal: " << e.what() << "\n";
+        return kExitUsage;
     }
     usage();
 }
