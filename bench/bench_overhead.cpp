@@ -1,7 +1,12 @@
 // Reproduces §4.5.1: the runtime overhead of method (A) relative to
 // method (B) (paper: 4.21x sequential, 3.02x with 48 threads; average
 // method (B) runtime 6.54 s / 9.22 s at paper scale), plus a comparison
-// of the Olken and Kim stack-processing engines inside method (A).
+// of the Olken and Kim stack-processing engines inside method (A), plus
+// the serial-vs-parallel wall-clock of the host-sharded model (--jobs);
+// the latter is emitted as a perf-trajectory point to
+// BENCH_model_parallel.json (--out overrides the path).
+#include <fstream>
+
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -45,5 +50,58 @@ int main(int argc, char** argv) {
     }
     std::cout << '\n';
     table.render(std::cout);
+
+    // ---- Host-parallel sharded execution: serial vs --jobs J -------------
+    // Same predictions by construction (the differential suite asserts
+    // bit-identity); only the wall-clock should move.
+    const std::int64_t par_jobs = cli.get_int("jobs", 4);
+    std::cout << "\nSharded method (A), " << common.threads
+              << " simulated threads: jobs=1 vs jobs=" << par_jobs << "\n";
+    TextTable par_table(
+        {"matrix", "shards", "t serial [s]", "t parallel [s]", "speedup"});
+    double serial_total = 0.0, parallel_total = 0.0;
+    std::size_t matrices = 0;
+    for (const auto& spec : suite) {
+        const CsrMatrix m = spec.factory();
+        ModelOptions options;
+        options.machine = a64fx_default();
+        options.threads = common.threads;
+        options.predict_l1 = false;
+        options.jobs = 1;
+        const auto serial = run_method_a(m, options);
+        options.jobs = par_jobs;
+        const auto parallel = run_method_a(m, options);
+        serial_total += serial.seconds;
+        parallel_total += parallel.seconds;
+        ++matrices;
+        par_table.add_row(
+            {spec.name, std::to_string(parallel.shards.size()),
+             fmt(serial.seconds, 3), fmt(parallel.seconds, 3),
+             fmt(parallel.seconds > 0 ? serial.seconds / parallel.seconds
+                                      : 0.0,
+                 2)});
+        std::cerr << spec.name << " sharded done\n";
+    }
+    const double speedup =
+        parallel_total > 0 ? serial_total / parallel_total : 0.0;
+    par_table.render(std::cout);
+    std::cout << "total: serial " << fmt(serial_total, 2) << " s, jobs="
+              << par_jobs << " " << fmt(parallel_total, 2) << " s, speedup "
+              << fmt(speedup, 2) << "x\n";
+
+    const std::string out_path =
+        cli.get("out", "BENCH_model_parallel.json");
+    std::ofstream out(out_path);
+    if (out) {
+        out << "{\"bench\": \"model_parallel\", \"jobs\": " << par_jobs
+            << ", \"threads\": " << common.threads
+            << ", \"matrices\": " << matrices
+            << ", \"serial_seconds\": " << serial_total
+            << ", \"parallel_seconds\": " << parallel_total
+            << ", \"speedup\": " << speedup << "}\n";
+        std::cout << "perf point written to " << out_path << "\n";
+    } else {
+        std::cerr << "cannot write " << out_path << "\n";
+    }
     return 0;
 }

@@ -75,6 +75,7 @@ BatchItemResult attempt_one(const std::string& path,
             item.stage = BatchStage::Model;
             ModelOptions model;
             model.threads = options.threads;
+            model.jobs = options.jobs;
             model.l2_way_options = options.l2_way_options;
             model.predict_l1 = false;
             const ModelResult result = run_method_a(m, model);
@@ -83,6 +84,12 @@ BatchItemResult attempt_one(const std::string& path,
                 if (config.l2_misses < best->l2_misses) best = &config;
             item.best_l2_ways = best->l2_sector_ways;
             item.best_l2_misses = best->l2_misses;
+            item.model_seconds = result.seconds;
+            item.model_shards =
+                static_cast<std::int64_t>(result.shards.size());
+            item.model_jobs = result.jobs;
+            for (const auto& shard : result.shards)
+                item.model_references += shard.references;
         }
         item.ok = true;
         item.code = ErrorCode::Ok;
@@ -253,14 +260,17 @@ BatchReport run_batch(const std::vector<std::string>& paths,
 
 void write_batch_report_csv(std::ostream& out, const BatchReport& report) {
     out << "name,path,status,stage,error_code,message,retried,seconds,"
-           "rows,cols,nnz,best_l2_ways,best_l2_misses\n";
+           "rows,cols,nnz,best_l2_ways,best_l2_misses,"
+           "model_seconds,model_shards,model_jobs,model_references\n";
     for (const auto& i : report.items) {
         out << csv_quote(i.name) << ',' << csv_quote(i.path) << ','
             << (i.ok ? "ok" : "failed") << ',' << to_string(i.stage) << ','
             << to_string(i.code) << ',' << csv_quote(i.message) << ','
             << (i.retried ? 1 : 0) << ',' << i.seconds << ',' << i.rows
             << ',' << i.cols << ',' << i.nnz << ',' << i.best_l2_ways << ','
-            << i.best_l2_misses << '\n';
+            << i.best_l2_misses << ',' << i.model_seconds << ','
+            << i.model_shards << ',' << i.model_jobs << ','
+            << i.model_references << '\n';
     }
 }
 
@@ -282,7 +292,11 @@ void write_batch_report_json(std::ostream& out, const BatchReport& report) {
             << ", \"seconds\": " << i.seconds << ", \"rows\": " << i.rows
             << ", \"cols\": " << i.cols << ", \"nnz\": " << i.nnz
             << ", \"best_l2_ways\": " << i.best_l2_ways
-            << ", \"best_l2_misses\": " << i.best_l2_misses << "}"
+            << ", \"best_l2_misses\": " << i.best_l2_misses
+            << ", \"model_seconds\": " << i.model_seconds
+            << ", \"model_shards\": " << i.model_shards
+            << ", \"model_jobs\": " << i.model_jobs
+            << ", \"model_references\": " << i.model_references << "}"
             << (n + 1 < report.items.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

@@ -36,6 +36,9 @@ struct BatchOptions {
     /// Skip the model stage (parse/validate/stats only) for fast triage.
     bool run_model = true;
     std::int64_t threads = 48;
+    /// Host workers for the model's sharded stack passes (ModelOptions::
+    /// jobs): 0 = hardware concurrency, 1 = serial.
+    std::int64_t jobs = 0;
     std::vector<std::uint32_t> l2_way_options = {2, 3, 4, 5, 6, 7};
     /// Per-matrix wall-clock budget in seconds; <= 0 disables the timeout.
     /// A timed-out matrix is recorded as TimeoutError and abandoned (its
@@ -62,6 +65,13 @@ struct BatchItemResult {
     /// Best predicted configuration (model stage only).
     std::uint32_t best_l2_ways = 0;
     double best_l2_misses = 0.0;
+    /// Model-stage instrumentation (zero when the model stage was skipped
+    /// or not reached): wall-clock, shard count = active L2 segments, host
+    /// workers used, and demand references replayed per iteration.
+    double model_seconds = 0.0;
+    std::int64_t model_shards = 0;
+    std::int64_t model_jobs = 0;
+    std::uint64_t model_references = 0;
 };
 
 /// Standardised CLI exit codes (also used by `spmvcache batch`).

@@ -1,7 +1,11 @@
 #include "model/method_a.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "model/shard.hpp"
 #include "reuse/histogram.hpp"
 #include "reuse/kim.hpp"
 #include "reuse/olken.hpp"
@@ -11,10 +15,21 @@
 
 namespace spmvcache {
 
+Result<ConfigPrediction> ModelResult::find(std::uint32_t l2_sector_ways) const {
+    for (const auto& c : configs)
+        if (c.l2_sector_ways == l2_sector_ways) return c;
+    return Error(ErrorCode::ValidationError,
+                 "no prediction for " + std::to_string(l2_sector_ways) +
+                     " L2 sector ways in this run");
+}
+
 const ConfigPrediction& ModelResult::at(std::uint32_t l2_sector_ways) const {
     for (const auto& c : configs)
         if (c.l2_sector_ways == l2_sector_ways) return c;
-    throw ContractViolation("no prediction for requested sector way count");
+    throw_status(Error(ErrorCode::ValidationError,
+                       "no prediction for " +
+                           std::to_string(l2_sector_ways) +
+                           " L2 sector ways in this run"));
 }
 
 namespace {
@@ -27,19 +42,42 @@ std::unique_ptr<ReuseEngine> make_engine(EngineKind kind,
     return std::make_unique<OlkenEngine>(expected_lines);
 }
 
+/// Everything one shard accumulates; queried after the parallel phase.
+/// Summing per-shard counters yields the same integer totals the single
+/// global counters accumulated before sharding, so predictions are
+/// bit-identical for any job count.
+struct ShardCounters {
+    ShardCounters(const std::vector<std::uint64_t>& caps0,
+                  const std::vector<std::uint64_t>& caps1,
+                  std::uint64_t cap_full, std::uint64_t l1_cap)
+        : cnt0(caps0),
+          cnt1(caps1),
+          cnt_x(caps0),
+          cntU({cap_full}),
+          cnt_xU({cap_full}),
+          cntL1({l1_cap}),
+          cnt_xL1({l1_cap}) {}
+
+    CapacityMissCounter cnt0, cnt1, cnt_x;  // partitioned pass (Eq. 2)
+    CapacityMissCounter cntU, cnt_xU;       // unpartitioned pass
+    CapacityMissCounter cntL1, cnt_xL1;     // per-core L1 model
+    std::uint64_t references = 0;
+    double seconds = 0.0;
+};
+
 }  // namespace
 
 ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
                          EngineKind engine_kind) {
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);
+    SPMV_EXPECTS(options.jobs >= 0);
     const Timer timer;
 
     const auto& machine = options.machine;
     const SpmvLayout layout(m, machine.l2.line_bytes);
     const std::int64_t segments =
-        (options.threads + machine.cores_per_numa - 1) /
-        machine.cores_per_numa;
+        trace_segment_count(options.threads, machine.cores_per_numa);
     const std::uint64_t l2_sets = machine.l2.sets();
     const std::uint64_t l2_total_ways = machine.l2.ways;
 
@@ -52,6 +90,7 @@ ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
         caps1.push_back(static_cast<std::uint64_t>(w) * l2_sets);
     }
     const std::uint64_t cap_full = l2_total_ways * l2_sets;
+    const std::uint64_t l1_cap = machine.l1.lines();
 
     const TraceConfig trace_cfg{options.threads, options.partition,
                                 options.quantum};
@@ -59,79 +98,75 @@ ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
         static_cast<std::size_t>(layout.total_lines() /
                                  static_cast<std::uint64_t>(segments)) +
         64;
+    const std::int64_t jobs = detail::resolve_model_jobs(options.jobs);
 
-    auto segment_of = [&](std::uint32_t thread) {
-        return static_cast<std::size_t>(thread /
-                                        machine.cores_per_numa);
-    };
-
-    // ---- Pass 1: partitioned (Eq. 2) -------------------------------------
-    // Per segment one engine per partition; distances are priced at every
-    // requested way split in one go.
-    std::vector<std::unique_ptr<ReuseEngine>> eng0, eng1;
-    for (std::int64_t s = 0; s < segments; ++s) {
-        eng0.push_back(make_engine(engine_kind, lines_hint,
-                                   options.kim_group_capacity));
-        eng1.push_back(make_engine(engine_kind, lines_hint,
-                                   options.kim_group_capacity));
-    }
-    CapacityMissCounter cnt0(caps0), cnt1(caps1), cnt_x(caps0);
-
-    bool counting = false;
-    auto partitioned_sink = [&](const MemRef& ref) {
-        if (ref.is_prefetch) return;  // the model sees demand accesses only
-        const std::size_t seg = segment_of(ref.thread);
-        const int sector = sector_of(ref.object, options.policy);
-        const std::uint64_t d = (sector == 1 ? eng1 : eng0)[seg]->access(
-            ref.line);
-        if (!counting) return;
-        if (sector == 1) {
-            cnt1.record(d);
-        } else {
-            cnt0.record(d);
-            if (ref.object == DataObject::X) cnt_x.record(d);
-        }
-    };
-    generate_spmv_trace(m, layout, trace_cfg, partitioned_sink);  // warm-up
-    counting = true;
-    generate_spmv_trace(m, layout, trace_cfg, partitioned_sink);  // measured
-    eng0.clear();
-    eng1.clear();
-
-    // ---- Pass 2: unpartitioned, plus the per-core L1 model ---------------
-    std::vector<std::unique_ptr<ReuseEngine>> engU;
+    std::vector<ShardCounters> shard_state;
+    shard_state.reserve(static_cast<std::size_t>(segments));
     for (std::int64_t s = 0; s < segments; ++s)
-        engU.push_back(make_engine(engine_kind, lines_hint,
-                                   options.kim_group_capacity));
-    std::vector<std::unique_ptr<ReuseEngine>> engL1;
-    if (options.predict_l1) {
-        for (std::int64_t c = 0; c < options.threads; ++c)
-            engL1.push_back(make_engine(engine_kind, 4096,
-                                        options.kim_group_capacity));
-    }
-    CapacityMissCounter cntU({cap_full}), cnt_xU({cap_full});
-    const std::uint64_t l1_cap = machine.l1.lines();
-    CapacityMissCounter cntL1({l1_cap}), cnt_xL1({l1_cap});
+        shard_state.emplace_back(caps0, caps1, cap_full, l1_cap);
 
-    counting = false;
-    auto unpartitioned_sink = [&](const MemRef& ref) {
-        if (ref.is_prefetch) return;
-        const std::uint64_t d =
-            engU[segment_of(ref.thread)]->access(ref.line);
-        std::uint64_t dl1 = 0;
+    // One shard per L2 segment. The fused body derives the segment's slice
+    // of the trace twice (warm-up + counted) and feeds the partitioned
+    // engines (Eq. 2), the unpartitioned engine, and the segment's per-core
+    // L1 engines from the same derivation — previously four derivations of
+    // the *full* trace on one thread.
+    detail::for_each_shard(segments, jobs, [&](std::int64_t s) {
+        const Timer shard_timer;
+        auto& st = shard_state[static_cast<std::size_t>(s)];
+        const std::int64_t t_begin = s * machine.cores_per_numa;
+        const std::int64_t t_count =
+            std::min(options.threads, t_begin + machine.cores_per_numa) -
+            t_begin;
+
+        auto eng0 =
+            make_engine(engine_kind, lines_hint, options.kim_group_capacity);
+        auto eng1 =
+            make_engine(engine_kind, lines_hint, options.kim_group_capacity);
+        auto engU =
+            make_engine(engine_kind, lines_hint, options.kim_group_capacity);
+        std::vector<std::unique_ptr<ReuseEngine>> engL1;
         if (options.predict_l1)
-            dl1 = engL1[ref.thread]->access(ref.line);
-        if (!counting) return;
-        cntU.record(d);
-        if (ref.object == DataObject::X) cnt_xU.record(d);
-        if (options.predict_l1) {
-            cntL1.record(dl1);
-            if (ref.object == DataObject::X) cnt_xL1.record(dl1);
-        }
-    };
-    generate_spmv_trace(m, layout, trace_cfg, unpartitioned_sink);  // warm-up
-    counting = true;
-    generate_spmv_trace(m, layout, trace_cfg, unpartitioned_sink);  // measured
+            for (std::int64_t c = 0; c < t_count; ++c)
+                engL1.push_back(make_engine(engine_kind, 4096,
+                                            options.kim_group_capacity));
+
+        bool counting = false;
+        auto sink = [&](const MemRef& ref) {
+            if (ref.is_prefetch) return;  // the model sees demand accesses
+            const int sector = sector_of(ref.object, options.policy);
+            const std::uint64_t dp =
+                (sector == 1 ? eng1 : eng0)->access(ref.line);
+            const std::uint64_t du = engU->access(ref.line);
+            std::uint64_t dl1 = 0;
+            if (options.predict_l1)
+                dl1 = engL1[static_cast<std::size_t>(
+                                static_cast<std::int64_t>(ref.thread) -
+                                t_begin)]
+                          ->access(ref.line);
+            if (!counting) return;
+            ++st.references;
+            if (sector == 1) {
+                st.cnt1.record(dp);
+            } else {
+                st.cnt0.record(dp);
+                if (ref.object == DataObject::X) st.cnt_x.record(dp);
+            }
+            st.cntU.record(du);
+            if (ref.object == DataObject::X) st.cnt_xU.record(du);
+            if (options.predict_l1) {
+                st.cntL1.record(dl1);
+                if (ref.object == DataObject::X) st.cnt_xL1.record(dl1);
+            }
+        };
+        generate_spmv_trace_segment(m, layout, trace_cfg,
+                                    machine.cores_per_numa, s,
+                                    sink);  // warm-up
+        counting = true;
+        generate_spmv_trace_segment(m, layout, trace_cfg,
+                                    machine.cores_per_numa, s,
+                                    sink);  // measured
+        st.seconds = shard_timer.seconds();
+    });
 
     // ---- Assemble ---------------------------------------------------------
     ModelResult result;
@@ -140,29 +175,51 @@ ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
         off.l2_sector_ways = 0;
         // Cold misses count as misses: a line never seen in the warm-up
         // iteration cannot be resident, whatever the capacity.
-        off.l2_misses =
-            static_cast<double>(cntU.total_misses(cap_full));
-        off.l2_x_misses =
-            static_cast<double>(cnt_xU.total_misses(cap_full));
+        std::uint64_t misses = 0, x_misses = 0;
+        for (const auto& st : shard_state) {
+            misses += st.cntU.total_misses(cap_full);
+            x_misses += st.cnt_xU.total_misses(cap_full);
+        }
+        off.l2_misses = static_cast<double>(misses);
+        off.l2_x_misses = static_cast<double>(x_misses);
         result.configs.push_back(off);
     }
     for (std::size_t i = 0; i < options.l2_way_options.size(); ++i) {
         ConfigPrediction p;
         p.l2_sector_ways = options.l2_way_options[i];
-        p.l2_misses = static_cast<double>(cnt0.total_misses(caps0[i]) +
-                                          cnt1.total_misses(caps1[i]));
-        p.l2_x_misses = static_cast<double>(cnt_x.total_misses(caps0[i]));
+        std::uint64_t misses = 0, x_misses = 0;
+        for (const auto& st : shard_state) {
+            misses += st.cnt0.total_misses(caps0[i]) +
+                      st.cnt1.total_misses(caps1[i]);
+            x_misses += st.cnt_x.total_misses(caps0[i]);
+        }
+        p.l2_misses = static_cast<double>(misses);
+        p.l2_x_misses = static_cast<double>(x_misses);
         result.configs.push_back(p);
     }
     if (options.predict_l1) {
-        result.l1_misses = static_cast<double>(cntL1.total_misses(l1_cap));
-        result.l1_x_misses =
-            static_cast<double>(cnt_xL1.total_misses(l1_cap));
+        std::uint64_t misses = 0, x_misses = 0;
+        for (const auto& st : shard_state) {
+            misses += st.cntL1.total_misses(l1_cap);
+            x_misses += st.cnt_xL1.total_misses(l1_cap);
+        }
+        result.l1_misses = static_cast<double>(misses);
+        result.l1_x_misses = static_cast<double>(x_misses);
     }
     const double total_unpart = result.configs.front().l2_misses;
     result.x_traffic_fraction =
         total_unpart > 0.0 ? result.configs.front().l2_x_misses / total_unpart
                            : 0.0;
+    for (std::int64_t s = 0; s < segments; ++s) {
+        const auto& st = shard_state[static_cast<std::size_t>(s)];
+        const std::int64_t t_begin = s * machine.cores_per_numa;
+        result.shards.push_back(ShardStats{
+            s,
+            std::min(options.threads, t_begin + machine.cores_per_numa) -
+                t_begin,
+            st.references, st.seconds});
+    }
+    result.jobs = std::max<std::int64_t>(1, std::min(jobs, segments));
     result.seconds = timer.seconds();
     return result;
 }

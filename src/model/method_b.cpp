@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "model/analytic.hpp"
+#include "model/shard.hpp"
 #include "reuse/histogram.hpp"
 #include "reuse/olken.hpp"
 #include "trace/spmv_trace.hpp"
@@ -48,13 +50,13 @@ std::uint64_t scaled_capacity(std::uint64_t lines, double factor) {
 ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);
+    SPMV_EXPECTS(options.jobs >= 0);
     const Timer timer;
 
     const auto& machine = options.machine;
     const SpmvLayout layout(m, machine.l2.line_bytes);
     const std::int64_t segments =
-        (options.threads + machine.cores_per_numa - 1) /
-        machine.cores_per_numa;
+        trace_segment_count(options.threads, machine.cores_per_numa);
     const std::uint64_t line_bytes = machine.l2.line_bytes;
     const std::uint64_t l2_sets = machine.l2.sets();
     const std::uint64_t l2_ways = machine.l2.ways;
@@ -89,33 +91,29 @@ ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
         capU[g] = scaled_capacity(cap_full, s2[g]);
     }
 
-    // One engine and counter pair per segment for the L2, one engine per
-    // core for the (unpartitioned) L1 model. A single stack pass serves
+    // One counter set per segment for the L2 (a single stack pass serves
     // both the partitioned and unpartitioned cases — the distances are the
-    // same, only the evaluation thresholds differ.
-    std::vector<std::unique_ptr<OlkenEngine>> eng(
-        static_cast<std::size_t>(segments));
+    // same, only the evaluation thresholds differ) plus one for the
+    // per-core L1 model. Counters are created up front because the
+    // analytic assembly reads them; the stack engines live inside the
+    // shard bodies, which run concurrently on up to `jobs` host workers
+    // (each shard touches only its own segment's slice of the trace).
     std::vector<std::unique_ptr<CapacityMissCounter>> cntP(
         static_cast<std::size_t>(segments));
     std::vector<std::unique_ptr<CapacityMissCounter>> cntU(
         static_cast<std::size_t>(segments));
     const std::uint64_t x_lines_hint = layout.lines_of(DataObject::X) + 64;
-    for (std::size_t g = 0; g < eng.size(); ++g) {
-        eng[g] = std::make_unique<OlkenEngine>(
-            static_cast<std::size_t>(x_lines_hint));
+    for (std::size_t g = 0; g < cntP.size(); ++g) {
         cntP[g] = std::make_unique<CapacityMissCounter>(capsP[g]);
         cntU[g] = std::make_unique<CapacityMissCounter>(
             std::vector<std::uint64_t>{capU[g]});
     }
 
     const std::uint64_t l1_lines = machine.l1.lines();
-    std::vector<std::unique_ptr<OlkenEngine>> engL1;
     std::vector<std::uint64_t> capL1(static_cast<std::size_t>(segments));
     std::vector<std::unique_ptr<CapacityMissCounter>> cntL1(
         static_cast<std::size_t>(segments));
     if (options.predict_l1) {
-        engL1.resize(static_cast<std::size_t>(options.threads));
-        for (auto& e : engL1) e = std::make_unique<OlkenEngine>(4096);
         for (std::size_t g = 0; g < capL1.size(); ++g) {
             capL1[g] = scaled_capacity(l1_lines, s2[g]);
             cntL1[g] = std::make_unique<CapacityMissCounter>(
@@ -125,22 +123,50 @@ ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
 
     const TraceConfig trace_cfg{options.threads, options.partition,
                                 options.quantum};
-    bool counting = false;
-    auto sink = [&](const MemRef& ref) {
-        if (ref.is_prefetch || ref.object != DataObject::X) return;
-        const auto g = static_cast<std::size_t>(
-            ref.thread / machine.cores_per_numa);
-        const std::uint64_t d = eng[g]->access(ref.line);
-        std::uint64_t dl1 = 0;
-        if (options.predict_l1) dl1 = engL1[ref.thread]->access(ref.line);
-        if (!counting) return;
-        cntP[g]->record(d);
-        cntU[g]->record(d);
-        if (options.predict_l1) cntL1[g]->record(dl1);
-    };
-    generate_spmv_trace(m, layout, trace_cfg, sink);  // warm-up
-    counting = true;
-    generate_spmv_trace(m, layout, trace_cfg, sink);  // measured
+    const std::int64_t jobs = detail::resolve_model_jobs(options.jobs);
+    std::vector<ShardStats> shard_stats(static_cast<std::size_t>(segments));
+    detail::for_each_shard(segments, jobs, [&](std::int64_t g) {
+        const Timer shard_timer;
+        auto& st = shard_stats[static_cast<std::size_t>(g)];
+        const std::int64_t t_begin = g * machine.cores_per_numa;
+        const std::int64_t t_count =
+            std::min(options.threads, t_begin + machine.cores_per_numa) -
+            t_begin;
+        OlkenEngine eng(static_cast<std::size_t>(x_lines_hint));
+        std::vector<std::unique_ptr<OlkenEngine>> engL1;
+        if (options.predict_l1)
+            for (std::int64_t c = 0; c < t_count; ++c)
+                engL1.push_back(std::make_unique<OlkenEngine>(4096));
+
+        bool counting = false;
+        auto sink = [&](const MemRef& ref) {
+            if (ref.is_prefetch) return;
+            if (counting) ++st.references;
+            if (ref.object != DataObject::X) return;
+            const std::uint64_t d = eng.access(ref.line);
+            std::uint64_t dl1 = 0;
+            if (options.predict_l1)
+                dl1 = engL1[static_cast<std::size_t>(
+                                static_cast<std::int64_t>(ref.thread) -
+                                t_begin)]
+                          ->access(ref.line);
+            if (!counting) return;
+            cntP[static_cast<std::size_t>(g)]->record(d);
+            cntU[static_cast<std::size_t>(g)]->record(d);
+            if (options.predict_l1)
+                cntL1[static_cast<std::size_t>(g)]->record(dl1);
+        };
+        generate_spmv_trace_segment(m, layout, trace_cfg,
+                                    machine.cores_per_numa, g,
+                                    sink);  // warm-up
+        counting = true;
+        generate_spmv_trace_segment(m, layout, trace_cfg,
+                                    machine.cores_per_numa, g,
+                                    sink);  // measured
+        st.segment = g;
+        st.threads = t_count;
+        st.seconds = shard_timer.seconds();
+    });
 
     // ---- Analytic terms for a, colidx, rowptr and y (§3.1 / §3.2.2) ------
     ModelResult result;
@@ -219,6 +245,8 @@ ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
     result.x_traffic_fraction =
         total_unpart > 0.0 ? result.configs.front().l2_x_misses / total_unpart
                            : 0.0;
+    result.shards = std::move(shard_stats);
+    result.jobs = std::max<std::int64_t>(1, std::min(jobs, segments));
     result.seconds = timer.seconds();
     return result;
 }

@@ -7,6 +7,7 @@
 #include "cachesim/a64fx.hpp"
 #include "sparse/partition.hpp"
 #include "trace/memref.hpp"
+#include "util/status.hpp"
 
 namespace spmvcache {
 
@@ -28,6 +29,13 @@ struct ModelOptions {
     std::int64_t quantum = 1;
     /// Engine group capacity when a Kim engine is used (method variants).
     std::uint64_t kim_group_capacity = 512;
+    /// Host worker threads for the model's stack passes. The model is
+    /// sharded by L2 segment (each shard re-derives only its segment's
+    /// slice of the interleaved trace), so up to one worker per active
+    /// segment is useful. 0 = one worker per hardware thread; 1 = serial.
+    /// Predictions are bit-identical for every value — see DESIGN.md
+    /// "Sharded host-parallel model execution".
+    std::int64_t jobs = 0;
 };
 
 /// Predicted misses for one sector-cache configuration.
@@ -41,6 +49,16 @@ struct ConfigPrediction {
     double l2_x_misses = 0.0;
 };
 
+/// Execution record of one host-side model shard (= one L2 segment).
+struct ShardStats {
+    std::int64_t segment = 0;      ///< L2 segment index
+    std::int64_t threads = 0;      ///< simulated threads mapped to it
+    /// Demand references replayed per counted SpMV iteration (the shard's
+    /// slice of the derived trace; shards sum to spmv_trace_length).
+    std::uint64_t references = 0;
+    double seconds = 0.0;          ///< wall-clock of this shard's stack pass
+};
+
 /// Result of one model run (either method).
 struct ModelResult {
     std::vector<ConfigPrediction> configs;  ///< entry 0 is "no partitioning"
@@ -52,8 +70,21 @@ struct ModelResult {
     double x_traffic_fraction = 0.0;
     /// Wall-clock seconds spent computing the model.
     double seconds = 0.0;
+    /// Per-shard timing and reference counts, one entry per L2 segment.
+    std::vector<ShardStats> shards;
+    /// Host workers the run actually used (after resolving jobs = 0).
+    std::int64_t jobs = 1;
 
-    /// Finds the prediction for `l2_sector_ways` (0 = disabled).
+    /// Typed lookup: the prediction for `l2_sector_ways` (0 = disabled),
+    /// or ValidationError when that configuration was not priced. The
+    /// non-throwing form batch isolation can classify.
+    [[nodiscard]] Result<ConfigPrediction> find(
+        std::uint32_t l2_sector_ways) const;
+
+    /// Reference-returning lookup for callers that know the configuration
+    /// was priced. Throws StatusError (code ValidationError) otherwise, so
+    /// stage-boundary catch blocks classify it as an input error rather
+    /// than a crash.
     [[nodiscard]] const ConfigPrediction& at(std::uint32_t l2_sector_ways) const;
 };
 

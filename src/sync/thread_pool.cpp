@@ -1,5 +1,6 @@
 #include "sync/thread_pool.hpp"
 
+#include <exception>
 #include <stdexcept>
 
 #include "util/error.hpp"
@@ -39,8 +40,27 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-    for (std::size_t i = 0; i < n; ++i) submit([&fn, i] { fn(i); });
+    // Workers must never let exceptions escape task() (std::terminate);
+    // capture the first failure and rethrow it to the caller once the
+    // remaining indices have drained.
+    std::mutex failure_mutex;
+    std::exception_ptr failure;
+    for (std::size_t i = 0; i < n; ++i)
+        submit([&fn, i, &failure_mutex, &failure] {
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(failure_mutex);
+                if (!failure) failure = std::current_exception();
+            }
+        });
     wait_idle();
+    if (failure) std::rethrow_exception(failure);
+}
+
+std::size_t default_host_jobs() noexcept {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<std::size_t>(hc);
 }
 
 void ThreadPool::worker_loop() {

@@ -35,6 +35,9 @@ public:
     }
 
     /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+    /// Exceptions thrown by fn are captured; the first one is rethrown on
+    /// the calling thread after every index has finished (unlike submit(),
+    /// whose tasks must not throw).
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 private:
@@ -48,5 +51,9 @@ private:
     std::size_t active_ = 0;
     bool shutting_down_ = false;
 };
+
+/// Worker count for "use the whole host": std::thread::hardware_concurrency
+/// clamped to at least 1 (the function may return 0 on exotic platforms).
+[[nodiscard]] std::size_t default_host_jobs() noexcept;
 
 }  // namespace spmvcache

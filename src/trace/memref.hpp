@@ -66,6 +66,8 @@ struct MemRef {
     /// it — the paper's "software prefetching in conjunction with the
     /// sector cache" future-work direction.
     bool is_prefetch = false;
+
+    friend bool operator==(const MemRef&, const MemRef&) = default;
 };
 
 }  // namespace spmvcache

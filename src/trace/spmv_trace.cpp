@@ -21,6 +21,39 @@ std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
     return trace;
 }
 
+std::vector<MemRef> collect_spmv_trace_segment(const CsrMatrix& m,
+                                               const SpmvLayout& layout,
+                                               const TraceConfig& cfg,
+                                               std::int64_t cores_per_numa,
+                                               std::int64_t segment) {
+    fault::maybe_throw("trace.generate");
+    std::vector<MemRef> trace;
+    generate_spmv_trace_segment(
+        m, layout, cfg, cores_per_numa, segment,
+        [&trace](const MemRef& ref) { trace.push_back(ref); });
+    return trace;
+}
+
+std::vector<std::uint64_t> spmv_segment_lengths(const CsrMatrix& m,
+                                                const TraceConfig& cfg,
+                                                std::int64_t cores_per_numa) {
+    SPMV_EXPECTS(cores_per_numa >= 1);
+    const RowPartition partition(m, cfg.threads, cfg.partition);
+    const auto rowptr = m.rowptr();
+    std::vector<std::uint64_t> lengths(static_cast<std::size_t>(
+        trace_segment_count(cfg.threads, cores_per_numa)));
+    for (std::int64_t t = 0; t < cfg.threads; ++t) {
+        const auto& range = partition.range(t);
+        const std::int64_t nnz =
+            rowptr[static_cast<std::size_t>(range.end)] -
+            rowptr[static_cast<std::size_t>(range.begin)];
+        lengths[static_cast<std::size_t>(t / cores_per_numa)] +=
+            4 * static_cast<std::uint64_t>(range.size()) +
+            3 * static_cast<std::uint64_t>(nnz);
+    }
+    return lengths;
+}
+
 std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
                                           const SpmvLayout& layout,
                                           std::int64_t threads,

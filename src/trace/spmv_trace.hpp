@@ -15,6 +15,7 @@
 //    MCS queue lock, exactly the mechanism the paper describes (§3.2.1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "sparse/partition.hpp"
 #include "trace/layout.hpp"
 #include "trace/memref.hpp"
+#include "util/error.hpp"
 
 namespace spmvcache {
 
@@ -151,10 +153,79 @@ void generate_spmv_trace(const CsrMatrix& m, const SpmvLayout& layout,
     }
 }
 
+/// Number of L2 segments a trace configuration spans when simulated
+/// threads map to segments in blocks of `cores_per_numa` (segment of
+/// thread t = t / cores_per_numa, as on the A64FX's CMGs).
+[[nodiscard]] constexpr std::int64_t trace_segment_count(
+    std::int64_t threads, std::int64_t cores_per_numa) noexcept {
+    return (threads + cores_per_numa - 1) / cores_per_numa;
+}
+
+/// Generates only the references whose simulated thread belongs to
+/// `segment`, in exactly the order those references appear in the full
+/// round-robin interleaving of generate_spmv_trace.
+///
+/// This is what makes host-parallel sharded model execution possible:
+/// each thread's cursor advances independently of the others, so the
+/// subsequence owned by one segment's threads is reproduced by
+/// round-robining over just those threads — turn by turn, threads in
+/// index order, cfg.quantum nonzeros per thread per turn. Extra turns of
+/// the full loop in which this segment's threads are already exhausted
+/// contribute no references, so the filtered stream is identical.
+/// Concatenating the streams of all segments therefore yields a
+/// permutation of the full trace that preserves every per-thread (and
+/// per-segment) subsequence — the only orderings the per-segment and
+/// per-core stack engines can observe.
+template <class Sink>
+void generate_spmv_trace_segment(const CsrMatrix& m, const SpmvLayout& layout,
+                                 const TraceConfig& cfg,
+                                 std::int64_t cores_per_numa,
+                                 std::int64_t segment, Sink&& sink) {
+    SPMV_EXPECTS(cores_per_numa >= 1);
+    SPMV_EXPECTS(segment >= 0 &&
+                 segment < trace_segment_count(cfg.threads, cores_per_numa));
+    // The row partition must be derived over *all* threads so each shard
+    // sees exactly the row ranges of the unsharded trace.
+    const RowPartition partition(m, cfg.threads, cfg.partition);
+    const std::int64_t t_begin = segment * cores_per_numa;
+    const std::int64_t t_end =
+        std::min(cfg.threads, t_begin + cores_per_numa);
+    std::vector<detail::TraceCursor> cursors(
+        static_cast<std::size_t>(t_end - t_begin));
+    for (std::int64_t t = t_begin; t < t_end; ++t) {
+        const auto& range = partition.range(t);
+        cursors[static_cast<std::size_t>(t - t_begin)] =
+            detail::TraceCursor{range.begin, range.end, 0, 0, false};
+    }
+
+    bool any_active = true;
+    while (any_active) {
+        any_active = false;
+        for (std::int64_t t = t_begin; t < t_end; ++t) {
+            if (detail::advance(m, layout, static_cast<std::uint32_t>(t),
+                                cursors[static_cast<std::size_t>(t - t_begin)],
+                                cfg.quantum, sink, cfg.x_prefetch_distance))
+                any_active = true;
+        }
+    }
+}
+
 /// Materialises a trace into a vector (small matrices / tests).
 [[nodiscard]] std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
                                                      const SpmvLayout& layout,
                                                      const TraceConfig& cfg);
+
+/// Materialises one segment's filtered trace (tests / diagnostics).
+[[nodiscard]] std::vector<MemRef> collect_spmv_trace_segment(
+    const CsrMatrix& m, const SpmvLayout& layout, const TraceConfig& cfg,
+    std::int64_t cores_per_numa, std::int64_t segment);
+
+/// Demand-reference count of each segment's filtered trace (one SpMV
+/// iteration): 4 refs per owned row + 3 per owned nonzero, summed over the
+/// segment's threads. Software-prefetch hints are not counted. The entries
+/// sum to spmv_trace_length(rows, nnz) for every partition/quantum choice.
+[[nodiscard]] std::vector<std::uint64_t> spmv_segment_lengths(
+    const CsrMatrix& m, const TraceConfig& cfg, std::int64_t cores_per_numa);
 
 /// Records a parallel trace with real threads: each worker generates the
 /// references of its row range and submits them in chunks of `chunk_refs`

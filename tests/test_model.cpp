@@ -13,6 +13,7 @@
 #include "model/method_b.hpp"
 #include "sparse/gen/random.hpp"
 #include "sparse/gen/stencil.hpp"
+#include "trace/spmv_trace.hpp"
 
 namespace spmvcache {
 namespace {
@@ -242,14 +243,50 @@ TEST(MethodB, Class1MatrixPredictsLikeMethodA) {
                 0.05 * static_cast<double>(stream.matrix_data()));
 }
 
-TEST(ModelResult, AtThrowsForUnknownConfig) {
+TEST(ModelResult, FindReturnsTypedErrorForUnknownConfig) {
     const CsrMatrix m = gen::stencil_2d_5pt(16, 16);
     ModelOptions o;
     o.machine = scaled_machine();
     o.l2_way_options = {2};
     o.predict_l1 = false;
     const auto result = run_method_a(m, o);
-    EXPECT_THROW((void)result.at(9), ContractViolation);
+    // The priced configurations are found...
+    ASSERT_TRUE(result.find(0).ok());
+    ASSERT_TRUE(result.find(2).ok());
+    EXPECT_DOUBLE_EQ(result.find(2).value().l2_misses,
+                     result.at(2).l2_misses);
+    // ...and an unknown one is a classifiable input error, not a crash:
+    // the batch isolation layer maps StatusError to its ErrorCode.
+    const auto missing = result.find(9);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.code(), ErrorCode::ValidationError);
+    try {
+        (void)result.at(9);
+        FAIL() << "at(9) must throw";
+    } catch (const StatusError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::ValidationError);
+    }
+}
+
+TEST(ModelResult, ShardStatsCoverTheWholeTrace) {
+    const CsrMatrix m = gen::random_uniform(2048, 2048, 32, 81);
+    ModelOptions o;
+    o.machine = scaled_machine();
+    o.threads = 4;  // 2 segments on the scaled machine
+    o.l2_way_options = {4};
+    o.predict_l1 = false;
+    const auto result = run_method_a(m, o);
+    ASSERT_EQ(result.shards.size(), 2u);
+    std::uint64_t refs = 0;
+    std::int64_t threads = 0;
+    for (const auto& shard : result.shards) {
+        EXPECT_GT(shard.references, 0u);
+        refs += shard.references;
+        threads += shard.threads;
+    }
+    EXPECT_EQ(refs, spmv_trace_length(m.rows(), m.nnz()));
+    EXPECT_EQ(threads, o.threads);
+    EXPECT_GE(result.jobs, 1);
 }
 
 }  // namespace

@@ -4,10 +4,13 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 #include "sparse/coo.hpp"
+#include "sparse/gen/banded.hpp"
 #include "trace/layout.hpp"
 #include "trace/spmv_trace.hpp"
+#include "util/prng.hpp"
 
 namespace spmvcache {
 namespace {
@@ -183,6 +186,111 @@ TEST(Trace, McsRecorderProducesValidInterleaving) {
     std::map<std::uint32_t, std::vector<std::uint64_t>> actual;
     for (const auto& ref : trace) actual[ref.thread].push_back(ref.line);
     EXPECT_EQ(actual, expected);
+}
+
+// ---- Segment-filtered generation (host-parallel model sharding) --------
+
+/// Sortable projection of a reference for multiset comparison.
+using RefKey = std::tuple<std::uint64_t, std::uint32_t, int, bool, bool>;
+
+RefKey key_of(const MemRef& r) {
+    return {r.line, r.thread, static_cast<int>(r.object), r.is_write,
+            r.is_prefetch};
+}
+
+TEST(TraceSegment, EqualsFilteredFullTrace) {
+    // The strongest form of the sharding property: each segment's stream
+    // is *elementwise equal* to the full trace filtered to that segment's
+    // threads — same references, same order. Permutation and per-thread
+    // subsequence preservation both follow.
+    const CsrMatrix m = gen::banded(97, 5, 11, 3);
+    const SpmvLayout layout(m, 64);
+    for (const std::int64_t threads : {1, 2, 3, 5, 8}) {
+        for (const std::int64_t quantum : {1, 2, 7}) {
+            for (const std::int64_t cpn : {1, 2, 3}) {
+                const TraceConfig cfg{threads, PartitionPolicy::BalancedRows,
+                                      quantum};
+                const auto full = collect_spmv_trace(m, layout, cfg);
+                const std::int64_t segments =
+                    trace_segment_count(threads, cpn);
+                std::size_t total = 0;
+                for (std::int64_t s = 0; s < segments; ++s) {
+                    std::vector<MemRef> expected;
+                    for (const auto& ref : full)
+                        if (static_cast<std::int64_t>(ref.thread) / cpn == s)
+                            expected.push_back(ref);
+                    const auto actual = collect_spmv_trace_segment(
+                        m, layout, cfg, cpn, s);
+                    ASSERT_EQ(actual.size(), expected.size())
+                        << "threads=" << threads << " quantum=" << quantum
+                        << " cpn=" << cpn << " segment=" << s;
+                    for (std::size_t i = 0; i < actual.size(); ++i)
+                        ASSERT_TRUE(actual[i] == expected[i])
+                            << "threads=" << threads << " quantum=" << quantum
+                            << " cpn=" << cpn << " segment=" << s
+                            << " position=" << i;
+                    total += actual.size();
+                }
+                EXPECT_EQ(total, full.size());
+            }
+        }
+    }
+}
+
+TEST(TraceSegment, ConcatenationIsPermutationForRandomConfigs) {
+    // Property test over random quantum/thread/cpn configurations: the
+    // concatenation over all segments is a permutation of the full trace,
+    // per-thread subsequences are preserved, and per-shard reference
+    // counts sum to spmv_trace_length(rows, nnz).
+    const CsrMatrix m = gen::banded(211, 7, 19, 5);
+    const SpmvLayout layout(m, 128);
+    Xoshiro256 rng(2026);
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto threads =
+            static_cast<std::int64_t>(1 + rng.bounded(12));
+        const auto quantum =
+            static_cast<std::int64_t>(1 + rng.bounded(9));
+        const auto cpn = static_cast<std::int64_t>(1 + rng.bounded(5));
+        const auto policy = rng.bounded(2) == 0
+                                ? PartitionPolicy::BalancedRows
+                                : PartitionPolicy::BalancedNonzeros;
+        const TraceConfig cfg{threads, policy, quantum};
+        const auto full = collect_spmv_trace(m, layout, cfg);
+        const std::int64_t segments = trace_segment_count(threads, cpn);
+
+        const auto lengths = spmv_segment_lengths(m, cfg, cpn);
+        ASSERT_EQ(lengths.size(), static_cast<std::size_t>(segments));
+        std::uint64_t length_sum = 0;
+
+        std::vector<RefKey> concat_keys;
+        std::map<std::uint32_t, std::vector<std::uint64_t>> sub_segment;
+        for (std::int64_t s = 0; s < segments; ++s) {
+            const auto part =
+                collect_spmv_trace_segment(m, layout, cfg, cpn, s);
+            EXPECT_EQ(part.size(), lengths[static_cast<std::size_t>(s)])
+                << "trial " << trial << " segment " << s;
+            length_sum += lengths[static_cast<std::size_t>(s)];
+            for (const auto& ref : part) {
+                concat_keys.push_back(key_of(ref));
+                sub_segment[ref.thread].push_back(ref.line);
+            }
+        }
+        EXPECT_EQ(length_sum, spmv_trace_length(m.rows(), m.nnz()))
+            << "trial " << trial;
+
+        // Permutation of the full trace.
+        std::vector<RefKey> full_keys;
+        full_keys.reserve(full.size());
+        for (const auto& ref : full) full_keys.push_back(key_of(ref));
+        std::sort(concat_keys.begin(), concat_keys.end());
+        std::sort(full_keys.begin(), full_keys.end());
+        EXPECT_EQ(concat_keys, full_keys) << "trial " << trial;
+
+        // Per-thread subsequences preserved.
+        std::map<std::uint32_t, std::vector<std::uint64_t>> sub_full;
+        for (const auto& ref : full) sub_full[ref.thread].push_back(ref.line);
+        EXPECT_EQ(sub_segment, sub_full) << "trial " << trial;
+    }
 }
 
 TEST(Trace, SectorPolicyAssignment) {

@@ -43,6 +43,11 @@ using namespace spmvcache;
            "            isolation and a machine-readable failure report\n"
            "options: --threads T --l2-ways N --l1-ways N --method a|b "
            "--rcm --gen FAMILY:N --strict\n"
+           "         --jobs J  host workers for the sharded model (0 = all\n"
+           "                   hardware threads, 1 = serial; predictions\n"
+           "                   are identical for every value)\n"
+           "predict: --json FILE  machine-readable predictions + per-shard\n"
+           "                      timing/reference instrumentation\n"
            "batch:   --report FILE --format csv|json --timeout SECONDS\n"
            "         --no-model --no-retry\n"
            "families: stencil2d5 stencil3d27 banded circuit random "
@@ -158,6 +163,35 @@ int cmd_classify(const CliParser& cli) {
     return 0;
 }
 
+/// Machine-readable `predict` output: configs plus per-shard timing and
+/// reference counts, so sharded-execution speedup is observable.
+void write_predict_json(std::ostream& out, const ModelResult& result,
+                        const ModelOptions& options, bool use_b) {
+    out << "{\n  \"method\": \"" << (use_b ? "b" : "a")
+        << "\",\n  \"threads\": " << options.threads
+        << ",\n  \"jobs\": " << result.jobs
+        << ",\n  \"seconds\": " << result.seconds
+        << ",\n  \"x_traffic_fraction\": " << result.x_traffic_fraction
+        << ",\n  \"configs\": [\n";
+    for (std::size_t i = 0; i < result.configs.size(); ++i) {
+        const auto& c = result.configs[i];
+        out << "    {\"l2_sector_ways\": " << c.l2_sector_ways
+            << ", \"l2_misses\": " << c.l2_misses
+            << ", \"l2_x_misses\": " << c.l2_x_misses << "}"
+            << (i + 1 < result.configs.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"shards\": [\n";
+    for (std::size_t s = 0; s < result.shards.size(); ++s) {
+        const auto& shard = result.shards[s];
+        out << "    {\"segment\": " << shard.segment
+            << ", \"threads\": " << shard.threads
+            << ", \"references\": " << shard.references
+            << ", \"seconds\": " << shard.seconds << "}"
+            << (s + 1 < result.shards.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
 int cmd_predict(const CliParser& cli) {
     const Result<CsrMatrix> loaded = load_matrix(cli, 1);
     if (!loaded.ok()) {
@@ -168,6 +202,7 @@ int cmd_predict(const CliParser& cli) {
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
+    options.jobs = cli.get_int("jobs", 0);
     options.l2_way_options = {2, 3, 4, 5, 6, 7};
     const bool use_b = to_lower(cli.get("method", "a")) == "b";
     const ModelResult result =
@@ -188,7 +223,27 @@ int cmd_predict(const CliParser& cli) {
     t.render(std::cout, std::string("method (") + (use_b ? "B" : "A") +
                             "), " + std::to_string(options.threads) +
                             " threads:");
-    std::cout << "model runtime: " << fmt(result.seconds, 2) << " s\n";
+    std::cout << "model runtime: " << fmt(result.seconds, 2) << " s on "
+              << result.jobs << " host job(s), "
+              << result.shards.size() << " shard(s)\n";
+    for (const auto& shard : result.shards)
+        std::cout << "  shard " << shard.segment << ": " << shard.threads
+                  << " threads, "
+                  << fmt_count(static_cast<unsigned long long>(
+                         shard.references))
+                  << " refs, " << fmt(shard.seconds, 3) << " s\n";
+
+    const std::string json_path = cli.get("json", "");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            report_error(Error(ErrorCode::ResourceError,
+                               "cannot write '" + json_path + "'"));
+            return 1;
+        }
+        write_predict_json(out, result, options, use_b);
+        std::cout << "json written to " << json_path << "\n";
+    }
     return 0;
 }
 
@@ -237,6 +292,7 @@ int cmd_tune(const CliParser& cli) {
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
+    options.jobs = cli.get_int("jobs", 0);
     options.l2_way_options = {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14};
     options.predict_l1 = false;
     const auto result = run_method_a(m, options);
@@ -297,6 +353,7 @@ int cmd_batch(const CliParser& cli) {
     options.strict_parse = cli.has("strict");
     options.run_model = !cli.has("no-model");
     options.threads = cli.get_int("threads", 48);
+    options.jobs = cli.get_int("jobs", 0);
     options.timeout_seconds = cli.get_double("timeout", 0.0);
     options.retry_transient = !cli.has("no-retry");
 
