@@ -1,0 +1,66 @@
+# Static-analysis entry points. Only the `lint` target (our own spmv_lint
+# binary) is always available; clang-tidy, cppcheck and clang-format are
+# optional host tools, so their targets appear only when find_program
+# succeeds — the CI lint job installs all three.
+
+set(SPMV_LINT_PATHS
+    ${CMAKE_SOURCE_DIR}/src
+    ${CMAKE_SOURCE_DIR}/tools
+    ${CMAKE_SOURCE_DIR}/bench)
+
+add_custom_target(lint
+  COMMAND spmv_lint --json ${CMAKE_BINARY_DIR}/spmv_lint_report.json
+          ${SPMV_LINT_PATHS}
+  COMMENT "spmv-lint over src/, tools/, bench/"
+  VERBATIM)
+add_dependencies(lint spmv_lint)
+
+find_program(SPMV_CLANG_TIDY_EXE clang-tidy)
+if(SPMV_CLANG_TIDY_EXE)
+  file(GLOB_RECURSE SPMV_TIDY_SOURCES
+       ${CMAKE_SOURCE_DIR}/src/*.cpp
+       ${CMAKE_SOURCE_DIR}/tools/*.cpp)
+  add_custom_target(tidy
+    COMMAND ${SPMV_CLANG_TIDY_EXE} -p ${CMAKE_BINARY_DIR} --quiet
+            ${SPMV_TIDY_SOURCES}
+    COMMENT "clang-tidy (profile: .clang-tidy)"
+    VERBATIM)
+else()
+  message(STATUS "clang-tidy not found; `tidy` target disabled")
+endif()
+
+find_program(SPMV_CPPCHECK_EXE cppcheck)
+if(SPMV_CPPCHECK_EXE)
+  add_custom_target(cppcheck
+    COMMAND ${SPMV_CPPCHECK_EXE}
+            --project=${CMAKE_BINARY_DIR}/compile_commands.json
+            --enable=warning,performance,portability
+            --suppressions-list=${CMAKE_SOURCE_DIR}/tools/cppcheck-suppressions.txt
+            --inline-suppr --error-exitcode=1 --quiet
+    COMMENT "cppcheck over the compilation database"
+    VERBATIM)
+else()
+  message(STATUS "cppcheck not found; `cppcheck` target disabled")
+endif()
+
+find_program(SPMV_CLANG_FORMAT_EXE clang-format)
+if(SPMV_CLANG_FORMAT_EXE)
+  file(GLOB_RECURSE SPMV_FORMAT_SOURCES
+       ${CMAKE_SOURCE_DIR}/src/*.cpp ${CMAKE_SOURCE_DIR}/src/*.hpp
+       ${CMAKE_SOURCE_DIR}/tools/*.cpp
+       ${CMAKE_SOURCE_DIR}/tests/*.cpp
+       ${CMAKE_SOURCE_DIR}/bench/*.cpp
+       ${CMAKE_SOURCE_DIR}/examples/*.cpp)
+  list(FILTER SPMV_FORMAT_SOURCES EXCLUDE REGEX "tests/lint_corpus/")
+  add_custom_target(format-check
+    COMMAND ${SPMV_CLANG_FORMAT_EXE} --dry-run --Werror
+            ${SPMV_FORMAT_SOURCES}
+    COMMENT "clang-format --dry-run (profile: .clang-format)"
+    VERBATIM)
+  add_custom_target(format
+    COMMAND ${SPMV_CLANG_FORMAT_EXE} -i ${SPMV_FORMAT_SOURCES}
+    COMMENT "clang-format in place"
+    VERBATIM)
+else()
+  message(STATUS "clang-format not found; `format`/`format-check` disabled")
+endif()

@@ -196,7 +196,7 @@ int BatchReport::exit_code() const noexcept {
     return failed() == 0 ? kExitOk : kExitSomeFailed;
 }
 
-Result<std::vector<std::string>> collect_matrix_paths(
+[[nodiscard]] Result<std::vector<std::string>> collect_matrix_paths(
     const std::string& spec) {
     std::error_code ec;
     if (fs::is_directory(spec, ec)) {

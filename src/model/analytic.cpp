@@ -1,5 +1,6 @@
 #include "model/analytic.hpp"
 
+#include "util/checked.hpp"
 #include "util/error.hpp"
 
 namespace spmvcache {
@@ -10,28 +11,35 @@ StreamingMisses streaming_misses(std::int64_t rows, std::int64_t nnz,
     SPMV_EXPECTS(line_bytes >= 8);
     const auto m = static_cast<std::uint64_t>(rows);
     const auto k = static_cast<std::uint64_t>(nnz);
-    auto ceil_div = [line_bytes](std::uint64_t bytes) {
-        return (bytes + line_bytes - 1) / line_bytes;
+    // ceil(bytes / line) with both the product and the rounding addend
+    // overflow-checked: the streaming terms are added to every method's
+    // miss totals, so one wrapped byte count poisons all predictions.
+    auto lines_for = [line_bytes](std::uint64_t elems,
+                                  std::uint64_t elem_bytes) {
+        std::uint64_t bytes = 0, rounded = 0;
+        SPMV_EXPECT(checked_mul(elems, elem_bytes, bytes));
+        SPMV_EXPECT(checked_add(bytes, line_bytes - 1, rounded));
+        return rounded / line_bytes;
     };
     StreamingMisses s;
-    s.values = ceil_div(8 * k);
-    s.colidx = ceil_div(4 * k);
-    s.rowptr = ceil_div(8 * (m + 1));
-    s.y = ceil_div(8 * m);
+    s.values = lines_for(k, 8);
+    s.colidx = lines_for(k, 4);
+    s.rowptr = lines_for(m + 1, 8);
+    s.y = lines_for(m, 8);
     return s;
 }
 
 double scaling_factor_partitioned(std::int64_t rows, std::int64_t nnz) {
     SPMV_EXPECTS(rows >= 0 && nnz >= 1);
-    return (16.0 * static_cast<double>(rows) / static_cast<double>(nnz) +
-            8.0) /
+    // checked_to_double contracts that M and K convert exactly (<= 2^53);
+    // beyond that the s1 ratio would be computed from rounded operands.
+    return (16.0 * checked_to_double(rows) / checked_to_double(nnz) + 8.0) /
            8.0;
 }
 
 double scaling_factor_unpartitioned(std::int64_t rows, std::int64_t nnz) {
     SPMV_EXPECTS(rows >= 0 && nnz >= 1);
-    return (16.0 * static_cast<double>(rows) / static_cast<double>(nnz) +
-            20.0) /
+    return (16.0 * checked_to_double(rows) / checked_to_double(nnz) + 20.0) /
            8.0;
 }
 

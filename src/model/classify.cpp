@@ -1,5 +1,7 @@
 #include "model/classify.hpp"
 
+#include "util/checked.hpp"
+
 namespace spmvcache {
 
 std::string to_string(MatrixClass c) {
@@ -18,14 +20,22 @@ std::string to_string(MatrixClass c) {
 
 MatrixClass classify(const MatrixStats& stats, std::uint64_t cache_bytes,
                      std::uint64_t sector0_bytes) {
-    const std::uint64_t x_bytes = static_cast<std::uint64_t>(stats.cols) * 8;
-    const std::uint64_t y_bytes = static_cast<std::uint64_t>(stats.rows) * 8;
-    const std::uint64_t rowptr_bytes =
-        (static_cast<std::uint64_t>(stats.rows) + 1) * 8;
+    // The class boundaries are byte comparisons; a wrapped byte count
+    // would misclassify silently (class (3b) looking like (1)), so every
+    // product and sum is overflow-checked.
+    std::uint64_t x_bytes = 0, y_bytes = 0, rowptr_bytes = 0;
+    SPMV_EXPECT(checked_mul<std::uint64_t>(
+        static_cast<std::uint64_t>(stats.cols), 8, x_bytes));
+    SPMV_EXPECT(checked_mul<std::uint64_t>(
+        static_cast<std::uint64_t>(stats.rows), 8, y_bytes));
+    SPMV_EXPECT(checked_mul<std::uint64_t>(
+        static_cast<std::uint64_t>(stats.rows) + 1, 8, rowptr_bytes));
 
     if (stats.working_set_bytes <= cache_bytes) return MatrixClass::Class1;
-    if (x_bytes + y_bytes + rowptr_bytes <= sector0_bytes)
-        return MatrixClass::Class2;
+    std::uint64_t vectors_bytes = 0;
+    SPMV_EXPECT(checked_add(x_bytes, y_bytes, vectors_bytes));
+    SPMV_EXPECT(checked_add(vectors_bytes, rowptr_bytes, vectors_bytes));
+    if (vectors_bytes <= sector0_bytes) return MatrixClass::Class2;
     if (x_bytes <= sector0_bytes) return MatrixClass::Class3a;
     return MatrixClass::Class3b;
 }

@@ -15,7 +15,7 @@
 
 namespace spmvcache {
 
-Result<ConfigPrediction> ModelResult::find(std::uint32_t l2_sector_ways) const {
+[[nodiscard]] Result<ConfigPrediction> ModelResult::find(std::uint32_t l2_sector_ways) const {
     for (const auto& c : configs)
         if (c.l2_sector_ways == l2_sector_ways) return c;
     return Error(ErrorCode::ValidationError,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/checked.hpp"
 #include "util/error.hpp"
 
 namespace spmvcache {
@@ -23,10 +24,16 @@ void CapacityMissCounter::record(std::uint64_t distance) noexcept {
         ++cold_;
         return;
     }
-    // First capacity strictly greater than distance -> bucket index.
+    // First capacity strictly greater than distance -> bucket index. The
+    // iterator difference is non-negative and at most capacities_.size(),
+    // so the narrowing to size_t cannot lose a bucket; the contract
+    // pins that reasoning (record() is the per-reference hot path — the
+    // bool-flavoured check compiles to a compare, no allocation).
     const auto it = std::upper_bound(capacities_.begin(), capacities_.end(),
                                      distance);
-    ++buckets_[static_cast<std::size_t>(it - capacities_.begin())];
+    std::size_t bucket = 0;
+    SPMV_EXPECT(checked_narrow(it - capacities_.begin(), bucket));
+    ++buckets_[bucket];
 }
 
 std::uint64_t CapacityMissCounter::capacity_misses(
@@ -35,11 +42,13 @@ std::uint64_t CapacityMissCounter::capacity_misses(
                                      capacity);
     SPMV_EXPECTS(it != capacities_.end() && *it == capacity);
     // Misses at capacity c_i: every access with distance >= c_i, i.e. all
-    // buckets above index i.
+    // buckets above index i. The sum of bucket counts is bounded by
+    // accesses_, but merged multi-shard counters get close to the matrix's
+    // total reference count — keep the accumulation checked.
     std::uint64_t misses = 0;
     for (std::size_t b = static_cast<std::size_t>(it - capacities_.begin()) + 1;
          b < buckets_.size(); ++b)
-        misses += buckets_[b];
+        SPMV_EXPECT(checked_add(misses, buckets_[b], misses));
     return misses;
 }
 

@@ -1,5 +1,6 @@
 #include "reuse/kim.hpp"
 
+#include "util/checked.hpp"
 #include "util/error.hpp"
 
 namespace spmvcache {
@@ -48,20 +49,25 @@ std::int64_t KimEngine::pop_tail(std::uint32_t group_index) noexcept {
 
 std::uint64_t KimEngine::access(std::uint64_t line) {
     std::uint64_t distance = kInfiniteDistance;
-    std::int64_t node_index;
+    std::int64_t node_index = -1;
 
     if (std::uint64_t* found = node_of_line_.find(line)) {
-        node_index = static_cast<std::int64_t>(*found);
+        // The map stores node indices as uint64; the list links are
+        // int64 (negative = null). The narrow is provably in range —
+        // only valid indices are ever put() — and the contract keeps the
+        // signedness crossing honest.
+        SPMV_EXPECT(checked_narrow(*found, node_index));
         const std::uint32_t group =
             nodes_[static_cast<std::size_t>(node_index)].group;
         // Approximate stack depth: everything above this group, plus the
         // midpoint of the group itself (Kim et al.'s group-granular count).
         std::uint64_t above = 0;
-        for (std::uint32_t g = 0; g < group; ++g) above += groups_[g].size;
+        for (std::uint32_t g = 0; g < group; ++g)
+            SPMV_EXPECT(checked_add(above, groups_[g].size, above));
         distance = above + groups_[group].size / 2;
         unlink(node_index);
     } else {
-        node_index = static_cast<std::int64_t>(nodes_.size());
+        SPMV_EXPECT(checked_narrow(nodes_.size(), node_index));
         nodes_.push_back(Node{line, -1, -1, 0});
         node_of_line_.put(line, static_cast<std::uint64_t>(node_index));
         ++line_count_;

@@ -52,7 +52,7 @@ CsrMatrix CooMatrix::to_csr() && {
     return std::move(builder).finish();
 }
 
-Result<CsrMatrix> CooMatrix::try_to_csr(std::size_t* duplicates) && {
+[[nodiscard]] Result<CsrMatrix> CooMatrix::try_to_csr(std::size_t* duplicates) && {
     const std::size_t merged = sort_and_combine();
     if (duplicates != nullptr) *duplicates = merged;
     try {

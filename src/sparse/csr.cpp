@@ -20,7 +20,7 @@ void CsrMatrix::validate() const {
         throw ContractViolation("CsrMatrix::validate: " + s.render());
 }
 
-Status CsrMatrix::check() const {
+[[nodiscard]] Status CsrMatrix::check() const {
     const auto invalid = [](std::string what) {
         return Status(ErrorCode::ValidationError, std::move(what));
     };

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sparse/coo.hpp"
+#include "util/checked.hpp"
 #include "util/fault.hpp"
 #include "util/format.hpp"
 
@@ -95,19 +96,7 @@ bool is_comment_or_blank(std::string_view line) {
     return p == line.data() + line.size() || *p == '%';
 }
 
-/// rows * cols without overflow; false if the product exceeds int64.
-bool checked_mul(std::int64_t a, std::int64_t b, std::int64_t& out) {
-#if defined(__GNUC__) || defined(__clang__)
-    return !__builtin_mul_overflow(a, b, &out);
-#else
-    if (a != 0 && b > std::numeric_limits<std::int64_t>::max() / a)
-        return false;
-    out = a * b;
-    return true;
-#endif
-}
-
-Result<MmHeader> parse_banner(std::string_view line, std::int64_t line_no) {
+[[nodiscard]] Result<MmHeader> parse_banner(std::string_view line, std::int64_t line_no) {
     std::istringstream is{std::string(line)};
     std::string banner, object, format, field, symmetry;
     is >> banner >> object >> format >> field >> symmetry;
@@ -143,7 +132,7 @@ struct MmSize {
     std::int64_t nnz = 0;
 };
 
-Result<MmSize> parse_size_line(std::string_view line, std::int64_t line_no,
+[[nodiscard]] Result<MmSize> parse_size_line(std::string_view line, std::int64_t line_no,
                                const MmHeader& header) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.size_line"));
     MmSize size;
@@ -184,14 +173,15 @@ Result<MmSize> parse_size_line(std::string_view line, std::int64_t line_no,
                          " exceeds rows*cols = " + std::to_string(cells),
                      line_no);
     std::int64_t logical = size.nnz;
-    if (header.symmetric && !checked_mul(size.nnz, 2, logical))
+    if (header.symmetric &&
+        !checked_mul<std::int64_t>(size.nnz, 2, logical))
         return Error(ErrorCode::OverflowError,
                      "symmetric nnz expansion overflows int64", line_no);
     (void)logical;
     return size;
 }
 
-Result<CsrMatrix> read_impl(std::istream& in, const MmReadOptions& options) {
+[[nodiscard]] Result<CsrMatrix> read_impl(std::istream& in, const MmReadOptions& options) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.header"));
     LineReader reader(in, options.max_line_bytes);
 
@@ -215,8 +205,11 @@ Result<CsrMatrix> read_impl(std::istream& in, const MmReadOptions& options) {
         parse_size_line(reader.view(), reader.line_no(), header));
 
     CooMatrix coo(size.rows, size.cols);
-    const std::int64_t logical_nnz =
-        header.symmetric ? 2 * size.nnz : size.nnz;
+    // parse_size_line proved 2*nnz fits; the contract keeps that proof
+    // attached to the arithmetic it guards.
+    std::int64_t logical_nnz = size.nnz;
+    if (header.symmetric)
+        SPMV_EXPECT(checked_mul<std::int64_t>(2, size.nnz, logical_nnz));
     // Cap the up-front reservation: a lying size line must not be able to
     // trigger a huge allocation before the truncation check catches it.
     coo.reserve(static_cast<std::size_t>(
@@ -301,13 +294,13 @@ Result<CsrMatrix> read_impl(std::istream& in, const MmReadOptions& options) {
 
 }  // namespace
 
-Result<CsrMatrix> try_read_matrix_market(std::istream& in,
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market(std::istream& in,
                                          const MmReadOptions& options) {
     return std::move(read_impl(in, options))
         .wrap("reading Matrix Market stream");
 }
 
-Result<CsrMatrix> try_read_matrix_market_file(const std::string& path,
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_file(const std::string& path,
                                               const MmReadOptions& options) {
     if (const Status s = fault::maybe_fail("mm.open"); !s.ok())
         return Status(s).wrap("reading '" + path + "'");

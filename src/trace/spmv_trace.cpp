@@ -5,17 +5,34 @@
 #include <thread>
 
 #include "sync/mcs_lock.hpp"
+#include "util/checked.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
 namespace spmvcache {
 
+[[nodiscard]] Result<std::uint64_t> try_spmv_trace_length(
+    std::int64_t rows, std::int64_t nnz) {
+    if (rows < 0 || nnz < 0)
+        return Error(ErrorCode::ValidationError,
+                     "negative rows/nnz in trace-length computation");
+    SPMV_ASSIGN_OR_RETURN(
+        const std::uint64_t row_refs,
+        checked_mul<std::uint64_t>(4, static_cast<std::uint64_t>(rows)));
+    SPMV_ASSIGN_OR_RETURN(
+        const std::uint64_t nnz_refs,
+        checked_mul<std::uint64_t>(3, static_cast<std::uint64_t>(nnz)));
+    return checked_add(row_refs, nnz_refs);
+}
+
 std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
                                        const SpmvLayout& layout,
                                        const TraceConfig& cfg) {
     fault::maybe_throw("trace.generate");
+    Result<std::uint64_t> length = try_spmv_trace_length(m.rows(), m.nnz());
+    if (!length.ok()) throw_status(std::move(length).to_error());
     std::vector<MemRef> trace;
-    trace.reserve(spmv_trace_length(m.rows(), m.nnz()));
+    trace.reserve(length.value());
     generate_spmv_trace(m, layout, cfg,
                         [&trace](const MemRef& ref) { trace.push_back(ref); });
     return trace;
@@ -47,9 +64,17 @@ std::vector<std::uint64_t> spmv_segment_lengths(const CsrMatrix& m,
         const std::int64_t nnz =
             rowptr[static_cast<std::size_t>(range.end)] -
             rowptr[static_cast<std::size_t>(range.begin)];
-        lengths[static_cast<std::size_t>(t / cores_per_numa)] +=
-            4 * static_cast<std::uint64_t>(range.size()) +
-            3 * static_cast<std::uint64_t>(nnz);
+        // Per-segment demand-reference totals feed shard scheduling and
+        // the instrumentation output; a wrapped sum here would silently
+        // misreport every shard, so the arithmetic is contract-checked.
+        std::uint64_t row_refs = 0, nnz_refs = 0, segment_refs = 0;
+        SPMV_EXPECT(checked_mul<std::uint64_t>(
+            4, static_cast<std::uint64_t>(range.size()), row_refs));
+        SPMV_EXPECT(checked_mul<std::uint64_t>(
+            3, static_cast<std::uint64_t>(nnz), nnz_refs));
+        SPMV_EXPECT(checked_add(row_refs, nnz_refs, segment_refs));
+        auto& slot = lengths[static_cast<std::size_t>(t / cores_per_numa)];
+        SPMV_EXPECT(checked_add(slot, segment_refs, slot));
     }
     return lengths;
 }
@@ -69,8 +94,11 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
     std::mutex failure_mutex;
     std::exception_ptr failure;
 
+    Result<std::uint64_t> length = try_spmv_trace_length(m.rows(), m.nnz());
+    if (!length.ok()) throw_status(std::move(length).to_error());
+
     std::vector<MemRef> shared;
-    shared.reserve(spmv_trace_length(m.rows(), m.nnz()));
+    shared.reserve(length.value());
     McsLock lock;
     const RowPartition row_partition(m, threads, partition);
 
@@ -107,7 +135,7 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
         try {
             worker(t);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(failure_mutex);
+            const std::lock_guard<std::mutex> failure_guard(failure_mutex);
             if (!failure) failure = std::current_exception();
         }
     };

@@ -48,6 +48,12 @@ struct TraceConfig {
            3 * static_cast<std::uint64_t>(nnz);
 }
 
+/// Overflow-checked spmv_trace_length: OverflowError instead of a wrapped
+/// count when 4*rows + 3*nnz exceeds uint64 (the wrapped value would
+/// silently shrink every downstream reservation and miss total).
+[[nodiscard]] Result<std::uint64_t> try_spmv_trace_length(std::int64_t rows,
+                                                          std::int64_t nnz);
+
 namespace detail {
 
 /// Per-thread generation cursor over its contiguous row range.

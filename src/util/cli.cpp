@@ -1,9 +1,47 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
-#include <stdexcept>
+#include <charconv>
+#include <system_error>
 
 namespace spmvcache {
+
+namespace {
+
+std::string_view trim_ws(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+}  // namespace
+
+[[nodiscard]] Result<std::int64_t> parse_int(std::string_view text) {
+    std::string_view s = trim_ws(text);
+    if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+    std::int64_t out = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    if (ec == std::errc::result_out_of_range)
+        return Error(ErrorCode::OverflowError,
+                     "integer out of int64 range: '" + std::string(text) +
+                         "'");
+    if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty())
+        return Error(ErrorCode::ParseError,
+                     "not an integer: '" + std::string(text) + "'");
+    return out;
+}
+
+[[nodiscard]] Result<double> parse_double(std::string_view text) {
+    std::string_view s = trim_ws(text);
+    if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+    double out = 0.0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty())
+        return Error(ErrorCode::ParseError,
+                     "not a number: '" + std::string(text) + "'");
+    return out;
+}
 
 CliParser::CliParser(int argc, const char* const* argv) {
     program_ = argc > 0 ? argv[0] : "";
@@ -45,13 +83,23 @@ std::int64_t CliParser::get_int(const std::string& name,
                                 std::int64_t fallback) const {
     const auto v = find(name);
     if (!v || v->empty()) return fallback;
-    return std::strtoll(v->c_str(), nullptr, 10);
+    Result<std::int64_t> parsed = parse_int(*v);
+    if (!parsed.ok())
+        throw_status(std::move(parsed)
+                         .wrap("parsing --" + name)
+                         .to_error());
+    return parsed.value();
 }
 
 double CliParser::get_double(const std::string& name, double fallback) const {
     const auto v = find(name);
     if (!v || v->empty()) return fallback;
-    return std::strtod(v->c_str(), nullptr);
+    Result<double> parsed = parse_double(*v);
+    if (!parsed.ok())
+        throw_status(std::move(parsed)
+                         .wrap("parsing --" + name)
+                         .to_error());
+    return parsed.value();
 }
 
 bool CliParser::get_bool(const std::string& name, bool fallback) const {

@@ -6,9 +6,20 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace spmvcache {
+
+/// Strict whole-string integer parse (from_chars; optional leading +).
+/// ParseError on garbage, OverflowError when out of int64 range — the
+/// typed replacement for unchecked strtoll.
+[[nodiscard]] Result<std::int64_t> parse_int(std::string_view text);
+
+/// Strict whole-string double parse; ParseError on garbage or overflow.
+[[nodiscard]] Result<double> parse_double(std::string_view text);
 
 /// Parses argv into named options; unknown positional arguments are kept in
 /// order and retrievable via positionals().

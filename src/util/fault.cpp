@@ -105,7 +105,7 @@ Error make_error(const char* point) {
 
 }  // namespace
 
-Status maybe_fail(const char* point) {
+[[nodiscard]] Status maybe_fail(const char* point) {
     if (!should_fail(point)) return OkStatus();
     return make_error(point);
 }

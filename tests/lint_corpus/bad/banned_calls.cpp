@@ -1,0 +1,16 @@
+// lint-expect: banned-call
+// Unchecked C parses and global randomness bypass the typed-error layer
+// and the seeded PRNG.
+#include <cstdlib>
+
+long parse_threads(const char* arg) {
+    return atoi(arg);
+}
+
+long parse_size(const char* arg) {
+    return std::strtoul(arg, nullptr, 10);
+}
+
+int roll() {
+    return rand() % 6;
+}

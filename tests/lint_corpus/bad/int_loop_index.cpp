@@ -1,0 +1,8 @@
+// lint-expect: int-loop-index
+// Raw int loop variable over an nnz-sized bound: silently wraps past
+// 2^31 nonzeros, well inside SuiteSparse scale.
+void touch_all(const CsrMatrix& m) {
+    for (int i = 0; i < m.nnz(); ++i) touch(i);
+    for (unsigned r = 0; r < m.rows(); ++r) touch(r);
+    for (std::int32_t k = 0; k < colidx.size(); ++k) touch(k);
+}

@@ -1,0 +1,15 @@
+// lint-expect: nodiscard-status
+// A Status/Result-returning function without [[nodiscard]]: the caller can
+// drop the error on the floor. Corpus snippets are linted, never compiled.
+#include <string>
+
+Status try_parse_header(const std::string& line);
+
+Result<int> try_count_entries(const std::string& path) {
+    return 0;
+}
+
+class Reader {
+public:
+    Status open(const std::string& path);
+};

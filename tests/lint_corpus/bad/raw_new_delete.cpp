@@ -1,0 +1,11 @@
+// lint-expect: raw-new-delete
+// Raw owning pointers leak on every early return; the project is
+// container/RAII-only.
+double* make_buffer(int n) {
+    double* buf = new double[n];
+    return buf;
+}
+
+void drop_buffer(double* buf) {
+    delete[] buf;
+}

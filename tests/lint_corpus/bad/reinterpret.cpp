@@ -1,0 +1,6 @@
+// lint-expect: reinterpret-cast
+// Type punning through reinterpret_cast is UB for most pairs; std::bit_cast
+// or a justified suppression is required.
+unsigned long long bits_of(double d) {
+    return *reinterpret_cast<unsigned long long*>(&d);
+}

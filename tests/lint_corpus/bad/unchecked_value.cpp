@@ -1,0 +1,9 @@
+// lint-expect: unchecked-result-value
+// .value() with no ok()/has_value() guard anywhere in scope: on the error
+// path this is a contract abort (Result) or UB (optional).
+#include <string>
+
+int count_entries(const std::string& path) {
+    Result<int> r = try_count_entries(path);
+    return r.value();
+}

@@ -1,0 +1,18 @@
+// Clean: banned names inside comments and string literals are not code.
+// Discussing atoi(x) or `new Foo` in prose, or delete in a docstring,
+// must not fire.
+#include <string>
+
+/* A block comment mentioning strtoul(s, nullptr, 10) and rand() too. */
+const char* kHelp =
+    "never call atoi(argv[1]); reinterpret_cast is also banned; new int[4]";
+
+struct NoCopy {
+    NoCopy(const NoCopy&) = delete;
+    NoCopy& operator=(const NoCopy&) = delete;
+};
+
+void small_fixed_loops() {
+    for (int b = 0; b < kBuckets; ++b) touch(b);
+    for (int i = 1; i < argc; ++i) touch(i);
+}

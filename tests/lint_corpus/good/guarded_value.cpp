@@ -1,0 +1,12 @@
+// Clean: every Status/Result function is [[nodiscard]], every .value() is
+// behind an ok() branch, loops over sized bounds use 64-bit indices.
+#include <string>
+
+[[nodiscard]] Result<int> try_count_entries(const std::string& path);
+
+[[nodiscard]] Status validate(const std::string& path) {
+    Result<int> r = try_count_entries(path);
+    if (!r.ok()) return r.status();
+    for (std::int64_t i = 0; i < r.value(); ++i) touch(i);
+    return OkStatus();
+}

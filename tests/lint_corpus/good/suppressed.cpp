@@ -1,0 +1,13 @@
+// Clean: every violation carries a same-line or preceding-line
+// justification, which is the sanctioned escape hatch.
+#include <cstdint>
+
+std::uintptr_t address_of(const double* p) {
+    // Measuring the numeric address is the point; bit_cast cannot do this.
+    // spmv-lint: allow(reinterpret-cast)
+    return reinterpret_cast<std::uintptr_t>(p);
+}
+
+int legacy_bridge(const char* s) {
+    return atoi(s);  // spmv-lint: allow(banned-call)
+}

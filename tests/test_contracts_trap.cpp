@@ -1,0 +1,40 @@
+// Pins SPMV_CONTRACT_MODE to trap before the first include of
+// util/checked.hpp, overriding whatever -DSPMV_CONTRACT_MODE the build
+// selected, so this binary always exercises the abort path.
+#undef SPMV_CONTRACT_MODE
+#define SPMV_CONTRACT_MODE 2
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/checked.hpp"
+
+namespace spmvcache {
+namespace {
+
+TEST(ContractsTrapDeathTest, ExpectAborts) {
+    EXPECT_DEATH(SPMV_EXPECT(1 + 1 == 3), "expectation violated");
+}
+
+TEST(ContractsTrapDeathTest, EnsureAborts) {
+    EXPECT_DEATH(SPMV_ENSURE(false), "guarantee violated");
+}
+
+TEST(ContractsTrapDeathTest, OverflowingCheckedMulAborts) {
+    std::int64_t out = 0;
+    EXPECT_DEATH(
+        SPMV_EXPECT(checked_mul<std::int64_t>(
+            std::numeric_limits<std::int64_t>::max(), 2, out)),
+        "expectation violated");
+}
+
+TEST(ContractsTrap, PassingConditionsAreSilent) {
+    std::int64_t out = 0;
+    SPMV_EXPECT(checked_add<std::int64_t>(2, 2, out));
+    SPMV_ENSURE(out == 4);
+}
+
+}  // namespace
+}  // namespace spmvcache

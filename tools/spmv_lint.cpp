@@ -1,0 +1,607 @@
+// spmv-lint — repo-specific static analysis for the spmvcache tree.
+//
+// Generic tooling cannot know this project's invariants; this pass can.
+// It walks the given files/directories (.cpp/.hpp/.h) and enforces:
+//
+//   nodiscard-status        every function returning Status or Result<T>
+//                           is declared [[nodiscard]] — a dropped Status
+//                           is a swallowed input error
+//   unchecked-result-value  no .value() on a Result/optional without a
+//                           preceding ok()/has_value() guard (or an
+//                           SPMV_ASSIGN_OR_RETURN) nearby in the same
+//                           scope — .value() on an error is a contract
+//                           abort at best, UB in optional's case
+//   int-loop-index          no raw int/short/int32_t loop variable whose
+//                           bound is container-sized (size()/nnz/rows()/
+//                           cols()) — nnz exceeds int32 on SuiteSparse-
+//                           scale matrices and the wrap is silent
+//   banned-call             no atoi/strtol-family/sprintf/gets/rand —
+//                           unchecked parses and C randomness bypass the
+//                           typed-error layer and the seeded PRNG
+//   raw-new-delete          no raw new/delete — containers or RAII only
+//   reinterpret-cast        no reinterpret_cast — use std::bit_cast or
+//                           justify with a suppression
+//
+// A finding on line N is suppressed by `// spmv-lint: allow(rule-id)` on
+// line N or N-1. Diagnostics are file:line: [rule] message; --json FILE
+// additionally writes a machine-readable report. Exit codes: 0 clean,
+// 1 findings (or self-test failures), 2 usage/IO error.
+//
+// --self-test DIR lints every file under DIR as a known-answer corpus: a
+// leading `// lint-expect: rule-id [rule-id...]` comment lists the rules
+// the file MUST trigger; files without the marker MUST lint clean.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+    std::string file;
+    std::size_t line = 0;  // 1-based
+    std::string rule;
+    std::string message;
+};
+
+struct FileText {
+    std::vector<std::string> raw;       // as read (suppressions live here)
+    std::vector<std::string> stripped;  // comments and string literals blanked
+};
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blanks comments, string literals, and char literals so the rule matchers
+/// never fire on documentation or message text. Replacement preserves
+/// column positions (each stripped char becomes a space).
+std::vector<std::string> strip_non_code(const std::vector<std::string>& raw) {
+    std::vector<std::string> out;
+    out.reserve(raw.size());
+    bool in_block_comment = false;
+    for (const std::string& line : raw) {
+        std::string s(line.size(), ' ');
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (in_block_comment) {
+                if (line[i] == '*' && i + 1 < line.size() &&
+                    line[i + 1] == '/') {
+                    in_block_comment = false;
+                    ++i;
+                }
+                continue;
+            }
+            const char c = line[i];
+            if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+            if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+                in_block_comment = true;
+                ++i;
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                const char quote = c;
+                ++i;
+                while (i < line.size()) {
+                    if (line[i] == '\\') {
+                        ++i;
+                    } else if (line[i] == quote) {
+                        break;
+                    }
+                    ++i;
+                }
+                continue;
+            }
+            s[i] = c;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+/// True when `needle` occurs in `hay` delimited by non-identifier chars.
+bool contains_word(std::string_view hay, std::string_view needle) {
+    std::size_t pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string_view::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(hay[pos - 1]);
+        const std::size_t after = pos + needle.size();
+        const bool right_ok = after >= hay.size() || !is_ident_char(hay[after]);
+        if (left_ok && right_ok) return true;
+        pos += needle.size();
+    }
+    return false;
+}
+
+/// Word occurrence whose next non-space character is '(' — i.e. a call.
+bool contains_call(std::string_view hay, std::string_view name) {
+    std::size_t pos = 0;
+    while ((pos = hay.find(name, pos)) != std::string_view::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(hay[pos - 1]);
+        std::size_t after = pos + name.size();
+        while (after < hay.size() && hay[after] == ' ') ++after;
+        if (left_ok && after < hay.size() && hay[after] == '(') return true;
+        pos += name.size();
+    }
+    return false;
+}
+
+bool suppressed(const FileText& text, std::size_t line_index,
+                std::string_view rule) {
+    const std::string marker = "spmv-lint: allow(" + std::string(rule) + ")";
+    if (text.raw[line_index].find(marker) != std::string::npos) return true;
+    return line_index > 0 &&
+           text.raw[line_index - 1].find(marker) != std::string::npos;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool starts_with_word(std::string_view s, std::string_view word) {
+    return s.size() > word.size() && s.substr(0, word.size()) == word &&
+           !is_ident_char(s[word.size()]);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard-status
+// ---------------------------------------------------------------------------
+
+/// Consumes `Status` or `Result<...>` at the front of `s` (the `<...>`
+/// must close on the same line); returns the remainder or nullopt.
+std::string_view consume_status_type(std::string_view s, bool& matched) {
+    matched = false;
+    if (starts_with_word(s, "Status")) {
+        matched = true;
+        return trim(s.substr(6));
+    }
+    if (starts_with_word(s, "Result")) {
+        std::string_view rest = trim(s.substr(6));
+        if (rest.empty() || rest.front() != '<') return s;
+        int depth = 0;
+        for (std::size_t i = 0; i < rest.size(); ++i) {
+            if (rest[i] == '<') ++depth;
+            if (rest[i] == '>' && --depth == 0) {
+                matched = true;
+                return trim(rest.substr(i + 1));
+            }
+        }
+    }
+    return s;
+}
+
+void check_nodiscard_status(const std::string& file, const FileText& text,
+                            std::vector<Finding>& findings) {
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        std::string_view s = trim(text.stripped[i]);
+        bool saw_nodiscard = s.find("[[nodiscard]]") != std::string_view::npos;
+        // Strip leading attributes and declaration qualifiers.
+        for (bool progressed = true; progressed;) {
+            progressed = false;
+            if (s.rfind("[[", 0) == 0) {
+                const auto close = s.find("]]");
+                if (close == std::string_view::npos) break;
+                s = trim(s.substr(close + 2));
+                progressed = true;
+            }
+            for (std::string_view q :
+                 {"static", "inline", "constexpr", "virtual", "explicit",
+                  "friend"}) {
+                if (starts_with_word(s, q)) {
+                    s = trim(s.substr(q.size()));
+                    progressed = true;
+                }
+            }
+        }
+        bool matched = false;
+        std::string_view rest = consume_status_type(s, matched);
+        if (!matched) continue;
+        // Function name: identifier (possibly qualified) directly followed
+        // by '('. `Status s = ...`, constructors (`Status(...)`) and
+        // `return Status(...)` all fail this shape on purpose.
+        std::size_t n = 0;
+        while (n < rest.size() &&
+               (is_ident_char(rest[n]) ||
+                (rest[n] == ':' && n + 1 < rest.size() && rest[n + 1] == ':' &&
+                 (++n, true))))
+            ++n;
+        if (n == 0 || n >= rest.size() || rest[n] != '(') continue;
+        const std::string_view name = rest.substr(0, n);
+        if (name == "operator") continue;
+        if (saw_nodiscard) continue;
+        if (i > 0 && text.stripped[i - 1].find("[[nodiscard]]") !=
+                         std::string::npos)
+            continue;
+        if (suppressed(text, i, "nodiscard-status")) continue;
+        findings.push_back(
+            {file, i + 1, "nodiscard-status",
+             "'" + std::string(name) +
+                 "' returns Status/Result but is not [[nodiscard]]; a "
+                 "dropped error is a swallowed input failure"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unchecked-result-value
+// ---------------------------------------------------------------------------
+
+void check_unchecked_value(const std::string& file, const FileText& text,
+                           std::vector<Finding>& findings) {
+    constexpr std::size_t kWindow = 40;  // guard must appear this close
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        const std::string& s = text.stripped[i];
+        std::size_t pos = s.find(".value()");
+        if (pos == std::string::npos) continue;
+        // `SPMV_ASSIGN_OR_RETURN` expansions and macro definitions are
+        // guarded by construction.
+        if (s.find("SPMV_ASSIGN_OR_RETURN") != std::string::npos) continue;
+        bool guarded = false;
+        const std::size_t begin = i >= kWindow ? i - kWindow : 0;
+        for (std::size_t j = begin; j <= i && !guarded; ++j) {
+            const std::string& g = text.stripped[j];
+            if (g.find(".ok()") != std::string::npos ||
+                g.find("has_value(") != std::string::npos ||
+                g.find("SPMV_ASSIGN_OR_RETURN") != std::string::npos)
+                guarded = true;
+        }
+        if (guarded) continue;
+        if (suppressed(text, i, "unchecked-result-value")) continue;
+        findings.push_back(
+            {file, i + 1, "unchecked-result-value",
+             ".value() without a preceding ok()/has_value() guard in "
+             "scope; use SPMV_ASSIGN_OR_RETURN or branch on ok() first"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: int-loop-index
+// ---------------------------------------------------------------------------
+
+void check_int_loop_index(const std::string& file, const FileText& text,
+                          std::vector<Finding>& findings) {
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        const std::string& s = text.stripped[i];
+        // Anchor on a word-boundary `for` whose next token is '('.
+        std::size_t pos = 0, open = std::string::npos;
+        while ((pos = s.find("for", pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+            std::size_t k = pos + 3;
+            while (k < s.size() && s[k] == ' ') ++k;
+            if (left_ok && k < s.size() && s[k] == '(') {
+                open = k;
+                break;
+            }
+            pos += 3;
+        }
+        if (open == std::string::npos) continue;
+        const std::size_t semi1 = s.find(';', open);
+        if (semi1 == std::string::npos) continue;
+        const std::size_t semi2 = s.find(';', semi1 + 1);
+        const std::string_view init =
+            trim(std::string_view(s).substr(open + 1, semi1 - open - 1));
+        // Condition may wrap to the next line; take what is visible.
+        const std::string_view cond =
+            semi2 == std::string::npos
+                ? trim(std::string_view(s).substr(semi1 + 1))
+                : trim(std::string_view(s).substr(semi1 + 1,
+                                                  semi2 - semi1 - 1));
+        const bool narrow_type =
+            starts_with_word(init, "int") ||
+            starts_with_word(init, "unsigned") ||
+            starts_with_word(init, "short") ||
+            contains_word(init, "int32_t") || contains_word(init, "int16_t");
+        if (!narrow_type) continue;
+        const bool sized_bound =
+            cond.find("size()") != std::string_view::npos ||
+            cond.find("rows()") != std::string_view::npos ||
+            cond.find("cols()") != std::string_view::npos ||
+            contains_word(cond, "nnz") ||
+            cond.find("nnz()") != std::string_view::npos;
+        if (!sized_bound) continue;
+        if (suppressed(text, i, "int-loop-index")) continue;
+        findings.push_back(
+            {file, i + 1, "int-loop-index",
+             "raw int-width loop variable over a container-sized bound; "
+             "use std::int64_t or std::size_t (nnz exceeds int32 at "
+             "SuiteSparse scale)"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-call
+// ---------------------------------------------------------------------------
+
+void check_banned_calls(const std::string& file, const FileText& text,
+                        std::vector<Finding>& findings) {
+    struct Banned {
+        std::string_view name;
+        std::string_view why;
+    };
+    static constexpr Banned kBanned[] = {
+        {"atoi", "no error reporting; use parse_int/std::from_chars"},
+        {"atol", "no error reporting; use parse_int/std::from_chars"},
+        {"atoll", "no error reporting; use parse_int/std::from_chars"},
+        {"strtol", "unchecked parse; use parse_int/std::from_chars"},
+        {"strtoll", "unchecked parse; use parse_int/std::from_chars"},
+        {"strtoul", "unchecked parse; use parse_int/std::from_chars"},
+        {"strtoull", "unchecked parse; use parse_int/std::from_chars"},
+        {"strtod", "unchecked parse; use parse_double/std::from_chars"},
+        {"strtof", "unchecked parse; use parse_double/std::from_chars"},
+        {"sprintf", "unbounded write; use snprintf or std::format"},
+        {"vsprintf", "unbounded write; use vsnprintf"},
+        {"gets", "unbounded read; use bounded getline"},
+        {"rand", "unseeded global state; use util/prng.hpp"},
+        {"srand", "unseeded global state; use util/prng.hpp"},
+    };
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        const std::string& s = text.stripped[i];
+        for (const Banned& b : kBanned) {
+            if (!contains_call(s, b.name)) continue;
+            if (suppressed(text, i, "banned-call")) continue;
+            findings.push_back({file, i + 1, "banned-call",
+                                "call to '" + std::string(b.name) + "': " +
+                                    std::string(b.why)});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: raw-new-delete, reinterpret-cast
+// ---------------------------------------------------------------------------
+
+void check_raw_new_delete(const std::string& file, const FileText& text,
+                          std::vector<Finding>& findings) {
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        const std::string& s = text.stripped[i];
+        bool hit = false;
+        std::size_t pos = 0;
+        while (!hit && (pos = s.find("new", pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+            std::size_t after = pos + 3;
+            // `new X`, `new (place) X`, `new X[n]` — all raw.
+            if (left_ok && after < s.size() &&
+                (s[after] == ' ' || s[after] == '(')) {
+                std::size_t k = after;
+                while (k < s.size() && s[k] == ' ') ++k;
+                if (k < s.size() &&
+                    (is_ident_char(s[k]) || s[k] == '(' || s[k] == ':'))
+                    hit = true;
+            }
+            pos += 3;
+        }
+        pos = 0;
+        while (!hit && (pos = s.find("delete", pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+            const std::size_t after = pos + 6;
+            const bool right_ok = after >= s.size() || !is_ident_char(s[after]);
+            if (left_ok && right_ok) {
+                // `= delete` (deleted member) is declaration syntax, fine.
+                std::string_view before = trim(std::string_view(s).substr(0, pos));
+                const bool deleted_member =
+                    !before.empty() && before.back() == '=';
+                std::string_view rest = trim(std::string_view(s).substr(after));
+                if (!deleted_member && !rest.empty() && rest.front() != ';')
+                    hit = true;
+            }
+            pos += 6;
+        }
+        if (!hit) continue;
+        if (suppressed(text, i, "raw-new-delete")) continue;
+        findings.push_back({file, i + 1, "raw-new-delete",
+                            "raw new/delete; use std::vector, "
+                            "std::make_unique, or an RAII wrapper"});
+    }
+}
+
+void check_reinterpret_cast(const std::string& file, const FileText& text,
+                            std::vector<Finding>& findings) {
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        if (!contains_word(text.stripped[i], "reinterpret_cast")) continue;
+        if (suppressed(text, i, "reinterpret-cast")) continue;
+        findings.push_back({file, i + 1, "reinterpret-cast",
+                            "reinterpret_cast defeats the type system; use "
+                            "std::bit_cast or suppress with a justification"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool lint_file(const fs::path& path, std::vector<Finding>& findings) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "spmv-lint: cannot read " << path << "\n";
+        return false;
+    }
+    FileText text;
+    for (std::string line; std::getline(in, line);)
+        text.raw.push_back(std::move(line));
+    text.stripped = strip_non_code(text.raw);
+    const std::string name = path.generic_string();
+    check_nodiscard_status(name, text, findings);
+    check_unchecked_value(name, text, findings);
+    check_int_loop_index(name, text, findings);
+    check_banned_calls(name, text, findings);
+    check_raw_new_delete(name, text, findings);
+    check_reinterpret_cast(name, text, findings);
+    return true;
+}
+
+bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool collect_inputs(const std::vector<std::string>& args,
+                    std::vector<fs::path>& files) {
+    for (const std::string& a : args) {
+        std::error_code ec;
+        if (fs::is_directory(a, ec)) {
+            for (auto it = fs::recursive_directory_iterator(a, ec);
+                 !ec && it != fs::recursive_directory_iterator(); ++it) {
+                if (it->is_regular_file(ec) && lintable(it->path()))
+                    files.push_back(it->path());
+            }
+        } else if (fs::is_regular_file(a, ec)) {
+            files.push_back(a);
+        } else {
+            std::cerr << "spmv-lint: no such file or directory: " << a << "\n";
+            return false;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return true;
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+bool write_json_report(const std::string& path,
+                       const std::vector<Finding>& findings,
+                       std::size_t files_scanned) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "spmv-lint: cannot write " << path << "\n";
+        return false;
+    }
+    out << "{\n  \"files_scanned\": " << files_scanned
+        << ",\n  \"finding_count\": " << findings.size()
+        << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << (i ? ",\n" : "\n") << "    {\"file\": \"" << json_escape(f.file)
+            << "\", \"line\": " << f.line << ", \"rule\": \""
+            << json_escape(f.rule) << "\", \"message\": \""
+            << json_escape(f.message) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+/// Known-answer corpus mode: see file header.
+int run_self_test(const std::string& dir) {
+    std::vector<fs::path> files;
+    if (!collect_inputs({dir}, files)) return 2;
+    if (files.empty()) {
+        std::cerr << "spmv-lint: self-test corpus " << dir << " is empty\n";
+        return 2;
+    }
+    int failures = 0;
+    for (const fs::path& p : files) {
+        std::vector<Finding> findings;
+        if (!lint_file(p, findings)) return 2;
+        std::ifstream in(p);
+        std::string first_line;
+        std::getline(in, first_line);
+        const std::string marker = "// lint-expect:";
+        std::vector<std::string> expected;
+        if (first_line.rfind(marker, 0) == 0) {
+            std::istringstream is(first_line.substr(marker.size()));
+            for (std::string rule; is >> rule;) expected.push_back(rule);
+        }
+        bool ok = true;
+        for (const std::string& rule : expected) {
+            const bool present = std::any_of(
+                findings.begin(), findings.end(),
+                [&rule](const Finding& f) { return f.rule == rule; });
+            if (!present) {
+                std::cout << p.generic_string() << ": FAIL: expected rule '"
+                          << rule << "' did not fire\n";
+                ok = false;
+            }
+        }
+        if (expected.empty() && !findings.empty()) {
+            ok = false;
+            for (const Finding& f : findings)
+                std::cout << p.generic_string() << ": FAIL: clean file "
+                          << "raised [" << f.rule << "] at line " << f.line
+                          << "\n";
+        }
+        if (ok)
+            std::cout << p.generic_string() << ": ok ("
+                      << (expected.empty()
+                              ? "clean"
+                              : std::to_string(findings.size()) + " findings")
+                      << ")\n";
+        else
+            ++failures;
+    }
+    std::cout << "spmv-lint self-test: " << (files.size() - static_cast<std::size_t>(failures))
+              << "/" << files.size() << " corpus files behaved\n";
+    return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> paths;
+    std::string json_path;
+    std::string self_test_dir;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--self-test" && i + 1 < argc) {
+            self_test_dir = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: spmv_lint [--json REPORT] [--self-test DIR] "
+                         "<file|dir>...\n";
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "spmv-lint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+    if (paths.empty()) {
+        std::cerr << "usage: spmv_lint [--json REPORT] [--self-test DIR] "
+                     "<file|dir>...\n";
+        return 2;
+    }
+    std::vector<fs::path> files;
+    if (!collect_inputs(paths, files)) return 2;
+    std::vector<Finding> findings;
+    for (const fs::path& p : files)
+        if (!lint_file(p, findings)) return 2;
+    for (const Finding& f : findings)
+        std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+    if (!json_path.empty() &&
+        !write_json_report(json_path, findings, files.size()))
+        return 2;
+    std::cout << "spmv-lint: " << files.size() << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return findings.empty() ? 0 : 1;
+}

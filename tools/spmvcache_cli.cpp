@@ -60,14 +60,20 @@ void report_error(const Error& e) {
     std::cerr << "error: " << e.render() << "\n";
 }
 
-Result<CsrMatrix> generated(const std::string& spec, std::uint64_t seed) {
+[[nodiscard]] Result<CsrMatrix> generated(const std::string& spec, std::uint64_t seed) {
     const auto colon = spec.find(':');
     const std::string family =
         colon == std::string::npos ? spec : spec.substr(0, colon);
-    const std::int64_t n =
-        colon == std::string::npos
-            ? 512
-            : std::strtoll(spec.c_str() + colon + 1, nullptr, 10);
+    std::int64_t n = 512;
+    if (colon != std::string::npos) {
+        Result<std::int64_t> parsed =
+            parse_int(std::string_view(spec).substr(colon + 1));
+        if (!parsed.ok())
+            return std::move(parsed)
+                .wrap("parsing generator size in '" + spec + "'")
+                .to_error();
+        n = parsed.value();
+    }
     if (n <= 0)
         return Error(ErrorCode::ValidationError,
                      "generator size must be positive in '" + spec + "'");
@@ -86,7 +92,7 @@ Result<CsrMatrix> generated(const std::string& spec, std::uint64_t seed) {
                  "unknown generator family: " + family);
 }
 
-Result<CsrMatrix> load_matrix(const CliParser& cli, std::size_t arg_index) {
+[[nodiscard]] Result<CsrMatrix> load_matrix(const CliParser& cli, std::size_t arg_index) {
     if (cli.has("gen"))
         return generated(cli.get("gen", ""),
                          static_cast<std::uint64_t>(cli.get_int("seed", 42)));
