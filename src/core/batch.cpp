@@ -76,6 +76,7 @@ BatchItemResult attempt_one(const std::string& path,
             ModelOptions model;
             model.threads = options.threads;
             model.jobs = options.jobs;
+            model.trace_buffer_bytes = options.trace_buffer_bytes;
             model.l2_way_options = options.l2_way_options;
             model.predict_l1 = false;
             const ModelResult result = run_method_a(m, model);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "model/options.hpp"
 #include "util/status.hpp"
 
 namespace spmvcache {
@@ -39,6 +40,9 @@ struct BatchOptions {
     /// Host workers for the model's sharded stack passes (ModelOptions::
     /// jobs): 0 = hardware concurrency, 1 = serial.
     std::int64_t jobs = 0;
+    /// Packed-trace replay budget (ModelOptions::trace_buffer_bytes):
+    /// kTraceBufferAuto = derive from host RAM, 0 = always stream.
+    std::uint64_t trace_buffer_bytes = kTraceBufferAuto;
     std::vector<std::uint32_t> l2_way_options = {2, 3, 4, 5, 6, 7};
     /// Per-matrix wall-clock budget in seconds; <= 0 disables the timeout.
     /// A timed-out matrix is recorded as TimeoutError and abandoned (its

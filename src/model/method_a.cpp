@@ -1,31 +1,39 @@
 #include "model/method_a.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "model/replay.hpp"
 #include "model/shard.hpp"
 #include "reuse/histogram.hpp"
 #include "reuse/kim.hpp"
 #include "reuse/olken.hpp"
+#include "trace/packed_trace.hpp"
 #include "trace/spmv_trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace spmvcache {
 
-[[nodiscard]] Result<ConfigPrediction> ModelResult::find(std::uint32_t l2_sector_ways) const {
+const ConfigPrediction* ModelResult::find_ptr(
+    std::uint32_t l2_sector_ways) const noexcept {
     for (const auto& c : configs)
-        if (c.l2_sector_ways == l2_sector_ways) return c;
+        if (c.l2_sector_ways == l2_sector_ways) return &c;
+    return nullptr;
+}
+
+[[nodiscard]] Result<ConfigPrediction> ModelResult::find(
+    std::uint32_t l2_sector_ways) const {
+    if (const ConfigPrediction* p = find_ptr(l2_sector_ways)) return *p;
     return Error(ErrorCode::ValidationError,
                  "no prediction for " + std::to_string(l2_sector_ways) +
                      " L2 sector ways in this run");
 }
 
 const ConfigPrediction& ModelResult::at(std::uint32_t l2_sector_ways) const {
-    for (const auto& c : configs)
-        if (c.l2_sector_ways == l2_sector_ways) return c;
+    if (const ConfigPrediction* p = find_ptr(l2_sector_ways)) return *p;
     throw_status(Error(ErrorCode::ValidationError,
                        "no prediction for " +
                            std::to_string(l2_sector_ways) +
@@ -34,13 +42,27 @@ const ConfigPrediction& ModelResult::at(std::uint32_t l2_sector_ways) const {
 
 namespace {
 
-std::unique_ptr<ReuseEngine> make_engine(EngineKind kind,
-                                         std::size_t expected_lines,
-                                         std::uint64_t kim_group_capacity) {
-    if (kind == EngineKind::Kim)
-        return std::make_unique<KimEngine>(kim_group_capacity);
-    return std::make_unique<OlkenEngine>(expected_lines);
-}
+/// Concrete-engine construction for the shard bodies, which are templated
+/// on the engine type so every access in the hot loops is devirtualized
+/// (the ReuseEngine interface remains for tests and tools).
+template <class Engine>
+struct EngineMaker;
+
+template <>
+struct EngineMaker<KimEngine> {
+    static KimEngine make(std::size_t /*lines_hint*/,
+                          std::uint64_t group_capacity) {
+        return KimEngine(group_capacity);
+    }
+};
+
+template <>
+struct EngineMaker<OlkenEngine> {
+    static OlkenEngine make(std::size_t lines_hint,
+                            std::uint64_t /*group_capacity*/) {
+        return OlkenEngine(lines_hint);
+    }
+};
 
 /// Everything one shard accumulates; queried after the parallel phase.
 /// Summing per-shard counters yields the same integer totals the single
@@ -63,7 +85,225 @@ struct ShardCounters {
     CapacityMissCounter cntL1, cnt_xL1;     // per-core L1 model
     std::uint64_t references = 0;
     double seconds = 0.0;
+    bool packed = false;
 };
+
+/// The engines one shard feeds: both sectors, the unpartitioned pass, and
+/// (optionally) one per-core L1 engine per simulated thread.
+template <class Engine>
+struct ShardEngines {
+    ShardEngines(std::size_t lines_hint, std::uint64_t group_capacity,
+                 std::int64_t l1_engines)
+        : eng0(EngineMaker<Engine>::make(lines_hint, group_capacity)),
+          eng1(EngineMaker<Engine>::make(lines_hint, group_capacity)),
+          engU(EngineMaker<Engine>::make(lines_hint, group_capacity)) {
+        engL1.reserve(static_cast<std::size_t>(l1_engines));
+        for (std::int64_t c = 0; c < l1_engines; ++c)
+            engL1.push_back(EngineMaker<Engine>::make(4096, group_capacity));
+    }
+
+    Engine eng0, eng1, engU;
+    std::vector<Engine> engL1;
+};
+
+/// References the engines consume per access_batch call. Large enough to
+/// amortize the gather/scatter bookkeeping and keep the prefetch pipeline
+/// full, small enough that the scratch arrays stay L2-resident.
+constexpr std::size_t kReplayBatch = 1024;
+
+/// Reusable per-chunk gather/scatter scratch for the packed replay.
+struct ReplayScratch {
+    explicit ReplayScratch(std::size_t l1_engines)
+        : linesL1(l1_engines), distL1(l1_engines), xL1(l1_engines) {
+        linesU.reserve(kReplayBatch);
+        lines0.reserve(kReplayBatch);
+        lines1.reserve(kReplayBatch);
+        xU.reserve(kReplayBatch);
+        x0.reserve(kReplayBatch);
+        for (std::size_t t = 0; t < l1_engines; ++t) {
+            linesL1[t].reserve(kReplayBatch);
+            xL1[t].reserve(kReplayBatch);
+        }
+    }
+
+    std::vector<std::uint64_t> linesU, lines0, lines1;
+    std::vector<std::uint64_t> distU, dist0, dist1;
+    std::vector<unsigned char> xU, x0;  // x-vector flags (x is sector 0)
+    std::vector<std::vector<std::uint64_t>> linesL1, distL1;
+    std::vector<std::vector<unsigned char>> xL1;
+};
+
+/// One replay pass over a packed segment buffer. Per chunk: gather each
+/// engine's lines (each engine sees exactly its trace-order subsequence,
+/// so distances are bit-identical to the streaming pass), run the batched
+/// prefetch-pipelined engine paths, then scatter distances into the
+/// counters (counted pass only).
+template <class Engine>
+void replay_packed_pass(const std::vector<std::uint64_t>& buffer,
+                        SectorPolicy policy, std::int64_t t_begin,
+                        ShardEngines<Engine>& eng, ReplayScratch& scratch,
+                        ShardCounters& st, bool counting) {
+    const std::size_t l1_engines = eng.engL1.size();
+    for (std::size_t begin = 0; begin < buffer.size();
+         begin += kReplayBatch) {
+        const std::size_t end =
+            std::min(buffer.size(), begin + kReplayBatch);
+        scratch.linesU.clear();
+        scratch.lines0.clear();
+        scratch.lines1.clear();
+        scratch.xU.clear();
+        scratch.x0.clear();
+        for (std::size_t t = 0; t < l1_engines; ++t) {
+            scratch.linesL1[t].clear();
+            scratch.xL1[t].clear();
+        }
+
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint64_t word = buffer[i];
+            if (packed_is_prefetch(word)) continue;  // demand accesses only
+            const std::uint64_t line = packed_line(word);
+            const DataObject object = packed_object(word);
+            const unsigned char is_x = object == DataObject::X ? 1 : 0;
+            scratch.linesU.push_back(line);
+            scratch.xU.push_back(is_x);
+            if (sector_of(object, policy) == 1) {
+                scratch.lines1.push_back(line);
+            } else {
+                scratch.lines0.push_back(line);
+                scratch.x0.push_back(is_x);
+            }
+            if (l1_engines > 0) {
+                const auto tl = static_cast<std::size_t>(
+                    static_cast<std::int64_t>(packed_thread(word)) -
+                    t_begin);
+                scratch.linesL1[tl].push_back(line);
+                scratch.xL1[tl].push_back(is_x);
+            }
+        }
+
+        scratch.distU.resize(scratch.linesU.size());
+        scratch.dist0.resize(scratch.lines0.size());
+        scratch.dist1.resize(scratch.lines1.size());
+        eng.engU.access_batch(scratch.linesU.data(), scratch.distU.data(),
+                              scratch.linesU.size());
+        eng.eng0.access_batch(scratch.lines0.data(), scratch.dist0.data(),
+                              scratch.lines0.size());
+        eng.eng1.access_batch(scratch.lines1.data(), scratch.dist1.data(),
+                              scratch.lines1.size());
+        for (std::size_t t = 0; t < l1_engines; ++t) {
+            scratch.distL1[t].resize(scratch.linesL1[t].size());
+            eng.engL1[t].access_batch(scratch.linesL1[t].data(),
+                                      scratch.distL1[t].data(),
+                                      scratch.linesL1[t].size());
+        }
+
+        if (!counting) continue;
+        st.references += scratch.linesU.size();
+        for (std::size_t i = 0; i < scratch.dist0.size(); ++i) {
+            st.cnt0.record(scratch.dist0[i]);
+            if (scratch.x0[i]) st.cnt_x.record(scratch.dist0[i]);
+        }
+        for (std::size_t i = 0; i < scratch.dist1.size(); ++i)
+            st.cnt1.record(scratch.dist1[i]);
+        for (std::size_t i = 0; i < scratch.distU.size(); ++i) {
+            st.cntU.record(scratch.distU[i]);
+            if (scratch.xU[i]) st.cnt_xU.record(scratch.distU[i]);
+        }
+        for (std::size_t t = 0; t < l1_engines; ++t)
+            for (std::size_t i = 0; i < scratch.distL1[t].size(); ++i) {
+                st.cntL1.record(scratch.distL1[t][i]);
+                if (scratch.xL1[t][i])
+                    st.cnt_xL1.record(scratch.distL1[t][i]);
+            }
+    }
+}
+
+/// Inputs shared by every shard of one run.
+struct ShardContext {
+    const CsrMatrix& m;
+    const SpmvLayout& layout;
+    const ModelOptions& options;
+    TraceConfig trace_cfg;
+    std::size_t lines_hint = 0;
+    std::vector<std::uint64_t> segment_lengths;  ///< demand refs per segment
+    std::uint64_t shard_budget_bytes = 0;
+};
+
+/// One shard = one L2 segment. Derives the segment's slice of the trace
+/// once into a packed buffer when it fits the shard's budget (replayed for
+/// warm-up + counted pass through the batched engine paths), or streams
+/// the derivation twice through a fused per-reference sink otherwise.
+/// Both paths feed the partitioned engines (Eq. 2), the unpartitioned
+/// engine, and the segment's per-core L1 engines, and produce bit-identical
+/// counter totals.
+template <class Engine>
+void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
+    const Timer shard_timer;
+    const ModelOptions& options = ctx.options;
+    const auto& machine = options.machine;
+    const std::int64_t t_begin = s * machine.cores_per_numa;
+    const std::int64_t t_count =
+        std::min(options.threads, t_begin + machine.cores_per_numa) - t_begin;
+
+    ShardEngines<Engine> eng(ctx.lines_hint, options.kim_group_capacity,
+                             options.predict_l1 ? t_count : 0);
+
+    const std::optional<std::vector<std::uint64_t>> packed =
+        detail::pack_segment_within_budget(
+            ctx.m, ctx.layout, ctx.trace_cfg, machine.cores_per_numa, s,
+            ctx.segment_lengths[static_cast<std::size_t>(s)],
+            ctx.shard_budget_bytes);
+    st.packed = packed.has_value();
+
+    if (packed.has_value()) {
+        ReplayScratch scratch(eng.engL1.size());
+        replay_packed_pass(*packed, options.policy, t_begin, eng, scratch,
+                           st, /*counting=*/false);  // warm-up
+        replay_packed_pass(*packed, options.policy, t_begin, eng, scratch,
+                           st, /*counting=*/true);  // measured
+        st.seconds = shard_timer.seconds();
+        return;
+    }
+
+    // Streaming fallback: derive the segment trace twice through a fused
+    // per-reference sink (the pre-packing pipeline, devirtualized).
+    bool counting = false;
+    auto sink = [&](const MemRef& ref) {
+        if (ref.is_prefetch) return;  // the model sees demand accesses
+        const int sector = sector_of(ref.object, options.policy);
+        const std::uint64_t dp =
+            (sector == 1 ? eng.eng1 : eng.eng0).access_one(ref.line);
+        const std::uint64_t du = eng.engU.access_one(ref.line);
+        std::uint64_t dl1 = 0;
+        if (options.predict_l1)
+            dl1 = eng.engL1[static_cast<std::size_t>(
+                                static_cast<std::int64_t>(ref.thread) -
+                                t_begin)]
+                      .access_one(ref.line);
+        if (!counting) return;
+        ++st.references;
+        if (sector == 1) {
+            st.cnt1.record(dp);
+        } else {
+            st.cnt0.record(dp);
+            if (ref.object == DataObject::X) st.cnt_x.record(dp);
+        }
+        st.cntU.record(du);
+        if (ref.object == DataObject::X) st.cnt_xU.record(du);
+        if (options.predict_l1) {
+            st.cntL1.record(dl1);
+            if (ref.object == DataObject::X) st.cnt_xL1.record(dl1);
+        }
+    };
+    generate_spmv_trace_segment(ctx.m, ctx.layout, ctx.trace_cfg,
+                                machine.cores_per_numa, s,
+                                sink);  // warm-up
+    counting = true;
+    generate_spmv_trace_segment(ctx.m, ctx.layout, ctx.trace_cfg,
+                                machine.cores_per_numa, s,
+                                sink);  // measured
+    st.seconds = shard_timer.seconds();
+}
 
 }  // namespace
 
@@ -91,81 +331,37 @@ ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
     }
     const std::uint64_t cap_full = l2_total_ways * l2_sets;
     const std::uint64_t l1_cap = machine.l1.lines();
-
-    const TraceConfig trace_cfg{options.threads, options.partition,
-                                options.quantum};
-    const std::size_t lines_hint =
-        static_cast<std::size_t>(layout.total_lines() /
-                                 static_cast<std::uint64_t>(segments)) +
-        64;
     const std::int64_t jobs = detail::resolve_model_jobs(options.jobs);
+    const std::int64_t effective_jobs =
+        std::max<std::int64_t>(1, std::min(jobs, segments));
+
+    ShardContext ctx{m, layout, options,
+                     TraceConfig{options.threads, options.partition,
+                                 options.quantum},
+                     static_cast<std::size_t>(
+                         layout.total_lines() /
+                         static_cast<std::uint64_t>(segments)) +
+                         64,
+                     spmv_segment_lengths(
+                         m,
+                         TraceConfig{options.threads, options.partition,
+                                     options.quantum},
+                         machine.cores_per_numa),
+                     detail::resolve_trace_buffer_bytes(
+                         options.trace_buffer_bytes) /
+                         static_cast<std::uint64_t>(effective_jobs)};
 
     std::vector<ShardCounters> shard_state;
     shard_state.reserve(static_cast<std::size_t>(segments));
     for (std::int64_t s = 0; s < segments; ++s)
         shard_state.emplace_back(caps0, caps1, cap_full, l1_cap);
 
-    // One shard per L2 segment. The fused body derives the segment's slice
-    // of the trace twice (warm-up + counted) and feeds the partitioned
-    // engines (Eq. 2), the unpartitioned engine, and the segment's per-core
-    // L1 engines from the same derivation — previously four derivations of
-    // the *full* trace on one thread.
     detail::for_each_shard(segments, jobs, [&](std::int64_t s) {
-        const Timer shard_timer;
         auto& st = shard_state[static_cast<std::size_t>(s)];
-        const std::int64_t t_begin = s * machine.cores_per_numa;
-        const std::int64_t t_count =
-            std::min(options.threads, t_begin + machine.cores_per_numa) -
-            t_begin;
-
-        auto eng0 =
-            make_engine(engine_kind, lines_hint, options.kim_group_capacity);
-        auto eng1 =
-            make_engine(engine_kind, lines_hint, options.kim_group_capacity);
-        auto engU =
-            make_engine(engine_kind, lines_hint, options.kim_group_capacity);
-        std::vector<std::unique_ptr<ReuseEngine>> engL1;
-        if (options.predict_l1)
-            for (std::int64_t c = 0; c < t_count; ++c)
-                engL1.push_back(make_engine(engine_kind, 4096,
-                                            options.kim_group_capacity));
-
-        bool counting = false;
-        auto sink = [&](const MemRef& ref) {
-            if (ref.is_prefetch) return;  // the model sees demand accesses
-            const int sector = sector_of(ref.object, options.policy);
-            const std::uint64_t dp =
-                (sector == 1 ? eng1 : eng0)->access(ref.line);
-            const std::uint64_t du = engU->access(ref.line);
-            std::uint64_t dl1 = 0;
-            if (options.predict_l1)
-                dl1 = engL1[static_cast<std::size_t>(
-                                static_cast<std::int64_t>(ref.thread) -
-                                t_begin)]
-                          ->access(ref.line);
-            if (!counting) return;
-            ++st.references;
-            if (sector == 1) {
-                st.cnt1.record(dp);
-            } else {
-                st.cnt0.record(dp);
-                if (ref.object == DataObject::X) st.cnt_x.record(dp);
-            }
-            st.cntU.record(du);
-            if (ref.object == DataObject::X) st.cnt_xU.record(du);
-            if (options.predict_l1) {
-                st.cntL1.record(dl1);
-                if (ref.object == DataObject::X) st.cnt_xL1.record(dl1);
-            }
-        };
-        generate_spmv_trace_segment(m, layout, trace_cfg,
-                                    machine.cores_per_numa, s,
-                                    sink);  // warm-up
-        counting = true;
-        generate_spmv_trace_segment(m, layout, trace_cfg,
-                                    machine.cores_per_numa, s,
-                                    sink);  // measured
-        st.seconds = shard_timer.seconds();
+        if (engine_kind == EngineKind::Kim)
+            run_shard<KimEngine>(ctx, s, st);
+        else
+            run_shard<OlkenEngine>(ctx, s, st);
     });
 
     // ---- Assemble ---------------------------------------------------------
@@ -217,9 +413,9 @@ ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
             s,
             std::min(options.threads, t_begin + machine.cores_per_numa) -
                 t_begin,
-            st.references, st.seconds});
+            st.references, st.seconds, st.packed});
     }
-    result.jobs = std::max<std::int64_t>(1, std::min(jobs, segments));
+    result.jobs = effective_jobs;
     result.seconds = timer.seconds();
     return result;
 }

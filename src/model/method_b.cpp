@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "model/analytic.hpp"
+#include "model/replay.hpp"
 #include "model/shard.hpp"
 #include "reuse/histogram.hpp"
 #include "reuse/olken.hpp"
+#include "trace/packed_trace.hpp"
 #include "trace/spmv_trace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -124,6 +126,13 @@ ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
     const TraceConfig trace_cfg{options.threads, options.partition,
                                 options.quantum};
     const std::int64_t jobs = detail::resolve_model_jobs(options.jobs);
+    const std::int64_t effective_jobs =
+        std::max<std::int64_t>(1, std::min(jobs, segments));
+    const auto segment_lengths =
+        spmv_segment_lengths(m, trace_cfg, machine.cores_per_numa);
+    const std::uint64_t shard_budget =
+        detail::resolve_trace_buffer_bytes(options.trace_buffer_bytes) /
+        static_cast<std::uint64_t>(effective_jobs);
     std::vector<ShardStats> shard_stats(static_cast<std::size_t>(segments));
     detail::for_each_shard(segments, jobs, [&](std::int64_t g) {
         const Timer shard_timer;
@@ -133,36 +142,95 @@ ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
             std::min(options.threads, t_begin + machine.cores_per_numa) -
             t_begin;
         OlkenEngine eng(static_cast<std::size_t>(x_lines_hint));
-        std::vector<std::unique_ptr<OlkenEngine>> engL1;
-        if (options.predict_l1)
+        std::vector<OlkenEngine> engL1;
+        if (options.predict_l1) {
+            engL1.reserve(static_cast<std::size_t>(t_count));
             for (std::int64_t c = 0; c < t_count; ++c)
-                engL1.push_back(std::make_unique<OlkenEngine>(4096));
+                engL1.emplace_back(4096);
+        }
+        auto& cnt_p = *cntP[static_cast<std::size_t>(g)];
+        auto& cnt_u = *cntU[static_cast<std::size_t>(g)];
 
-        bool counting = false;
-        auto sink = [&](const MemRef& ref) {
-            if (ref.is_prefetch) return;
-            if (counting) ++st.references;
-            if (ref.object != DataObject::X) return;
-            const std::uint64_t d = eng.access(ref.line);
-            std::uint64_t dl1 = 0;
-            if (options.predict_l1)
-                dl1 = engL1[static_cast<std::size_t>(
-                                static_cast<std::int64_t>(ref.thread) -
-                                t_begin)]
-                          ->access(ref.line);
-            if (!counting) return;
-            cntP[static_cast<std::size_t>(g)]->record(d);
-            cntU[static_cast<std::size_t>(g)]->record(d);
-            if (options.predict_l1)
-                cntL1[static_cast<std::size_t>(g)]->record(dl1);
-        };
-        generate_spmv_trace_segment(m, layout, trace_cfg,
-                                    machine.cores_per_numa, g,
-                                    sink);  // warm-up
-        counting = true;
-        generate_spmv_trace_segment(m, layout, trace_cfg,
-                                    machine.cores_per_numa, g,
-                                    sink);  // measured
+        const std::optional<std::vector<std::uint64_t>> packed =
+            detail::pack_segment_within_budget(
+                m, layout, trace_cfg, machine.cores_per_numa, g,
+                segment_lengths[static_cast<std::size_t>(g)], shard_budget);
+        st.packed_replay = packed.has_value();
+
+        if (packed.has_value()) {
+            // Derive once, replay twice: method (B)'s engines only consume
+            // x-vector references, so the replay gathers those per owner
+            // (L2 engine + per-core L1 engines) and runs the batched,
+            // prefetch-pipelined access path. Counters accumulate, so
+            // scatter order is free — totals are bit-identical to the
+            // streaming sink below.
+            std::vector<std::uint64_t> lines_x, dist_x;
+            std::vector<std::vector<std::uint64_t>> linesL1(engL1.size()),
+                distL1(engL1.size());
+            for (const bool counting : {false, true}) {
+                std::uint64_t refs = 0;
+                lines_x.clear();
+                for (auto& v : linesL1) v.clear();
+                for (const std::uint64_t word : *packed) {
+                    if (packed_is_prefetch(word)) continue;
+                    ++refs;
+                    if (packed_object(word) != DataObject::X) continue;
+                    const std::uint64_t line = packed_line(word);
+                    lines_x.push_back(line);
+                    if (!engL1.empty())
+                        linesL1[static_cast<std::size_t>(
+                                    static_cast<std::int64_t>(
+                                        packed_thread(word)) -
+                                    t_begin)]
+                            .push_back(line);
+                }
+                dist_x.resize(lines_x.size());
+                eng.access_batch(lines_x.data(), dist_x.data(),
+                                 lines_x.size());
+                for (std::size_t t = 0; t < engL1.size(); ++t) {
+                    distL1[t].resize(linesL1[t].size());
+                    engL1[t].access_batch(linesL1[t].data(),
+                                          distL1[t].data(),
+                                          linesL1[t].size());
+                }
+                if (!counting) continue;
+                st.references += refs;
+                for (const std::uint64_t d : dist_x) {
+                    cnt_p.record(d);
+                    cnt_u.record(d);
+                }
+                if (options.predict_l1)
+                    for (const auto& dists : distL1)
+                        for (const std::uint64_t d : dists)
+                            cntL1[static_cast<std::size_t>(g)]->record(d);
+            }
+        } else {
+            bool counting = false;
+            auto sink = [&](const MemRef& ref) {
+                if (ref.is_prefetch) return;
+                if (counting) ++st.references;
+                if (ref.object != DataObject::X) return;
+                const std::uint64_t d = eng.access_one(ref.line);
+                std::uint64_t dl1 = 0;
+                if (options.predict_l1)
+                    dl1 = engL1[static_cast<std::size_t>(
+                                    static_cast<std::int64_t>(ref.thread) -
+                                    t_begin)]
+                              .access_one(ref.line);
+                if (!counting) return;
+                cnt_p.record(d);
+                cnt_u.record(d);
+                if (options.predict_l1)
+                    cntL1[static_cast<std::size_t>(g)]->record(dl1);
+            };
+            generate_spmv_trace_segment(m, layout, trace_cfg,
+                                        machine.cores_per_numa, g,
+                                        sink);  // warm-up
+            counting = true;
+            generate_spmv_trace_segment(m, layout, trace_cfg,
+                                        machine.cores_per_numa, g,
+                                        sink);  // measured
+        }
         st.segment = g;
         st.threads = t_count;
         st.seconds = shard_timer.seconds();

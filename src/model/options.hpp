@@ -11,6 +11,10 @@
 
 namespace spmvcache {
 
+/// Sentinel for ModelOptions::trace_buffer_bytes: resolve the packed-trace
+/// budget from physical RAM at run time.
+inline constexpr std::uint64_t kTraceBufferAuto = ~std::uint64_t{0};
+
 /// Options for a model run.
 struct ModelOptions {
     /// Machine geometry consulted for line size, cache capacities and the
@@ -36,6 +40,16 @@ struct ModelOptions {
     /// Predictions are bit-identical for every value — see DESIGN.md
     /// "Sharded host-parallel model execution".
     std::int64_t jobs = 0;
+    /// Packed-trace replay budget in bytes, shared by the shards that can
+    /// run concurrently: a shard packs its segment trace (8 bytes per
+    /// reference, derived once, replayed for both passes) when it fits
+    /// budget / min(jobs, segments), and falls back to streaming
+    /// re-derivation otherwise — so arbitrarily large matrices still run.
+    /// kTraceBufferAuto (default) resolves to 1/8 of physical RAM clamped
+    /// to [64 MiB, 8 GiB]; 0 forces streaming everywhere. Predictions are
+    /// bit-identical either way (differential-tested); the knob trades
+    /// memory for trace-derivation throughput only. CLI: --trace-buffer.
+    std::uint64_t trace_buffer_bytes = kTraceBufferAuto;
 };
 
 /// Predicted misses for one sector-cache configuration.
@@ -57,6 +71,9 @@ struct ShardStats {
     /// slice of the derived trace; shards sum to spmv_trace_length).
     std::uint64_t references = 0;
     double seconds = 0.0;          ///< wall-clock of this shard's stack pass
+    /// True when the shard replayed a packed trace buffer; false when it
+    /// streamed (budget exceeded, --trace-buffer 0, or packing failed).
+    bool packed_replay = false;
 };
 
 /// Result of one model run (either method).
@@ -86,6 +103,11 @@ struct ModelResult {
     /// stage-boundary catch blocks classify it as an input error rather
     /// than a crash.
     [[nodiscard]] const ConfigPrediction& at(std::uint32_t l2_sector_ways) const;
+
+private:
+    /// Shared lookup loop behind find/at (nullptr when not priced).
+    [[nodiscard]] const ConfigPrediction* find_ptr(
+        std::uint32_t l2_sector_ways) const noexcept;
 };
 
 }  // namespace spmvcache

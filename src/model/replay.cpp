@@ -1,0 +1,47 @@
+#include "model/replay.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+
+#include "model/options.hpp"
+#include "trace/packed_trace.hpp"
+
+namespace spmvcache::detail {
+
+namespace {
+constexpr std::uint64_t kMiB = std::uint64_t{1} << 20;
+constexpr std::uint64_t kAutoFallback = 256 * kMiB;
+constexpr std::uint64_t kAutoMin = 64 * kMiB;
+constexpr std::uint64_t kAutoMax = std::uint64_t{8} << 30;
+}  // namespace
+
+std::uint64_t resolve_trace_buffer_bytes(std::uint64_t requested) noexcept {
+    if (requested != kTraceBufferAuto) return requested;
+    std::uint64_t physical = 0;
+#if defined(_SC_PHYS_PAGES) && defined(_SC_PAGE_SIZE)
+    const long pages = sysconf(_SC_PHYS_PAGES);
+    const long page_bytes = sysconf(_SC_PAGE_SIZE);
+    if (pages > 0 && page_bytes > 0)
+        physical = static_cast<std::uint64_t>(pages) *
+                   static_cast<std::uint64_t>(page_bytes);
+#endif
+    if (physical == 0) return kAutoFallback;
+    return std::min(kAutoMax, std::max(kAutoMin, physical / 8));
+}
+
+std::optional<std::vector<std::uint64_t>> pack_segment_within_budget(
+    const CsrMatrix& m, const SpmvLayout& layout, const TraceConfig& cfg,
+    std::int64_t cores_per_numa, std::int64_t segment,
+    std::uint64_t demand_refs, std::uint64_t budget_bytes) {
+    if (demand_refs > budget_bytes / sizeof(std::uint64_t))
+        return std::nullopt;
+    Result<std::vector<std::uint64_t>> packed = try_pack_spmv_trace_segment(
+        m, layout, cfg, cores_per_numa, segment);
+    if (!packed.ok()) return std::nullopt;
+    return std::move(packed).value();
+}
+
+}  // namespace spmvcache::detail

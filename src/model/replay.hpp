@@ -1,0 +1,41 @@
+// Packed-trace replay support shared by methods (A) and (B).
+//
+// Each model shard derives its segment's slice of the interleaved trace
+// twice (warm-up + counted pass). When the segment fits its share of the
+// ModelOptions::trace_buffer_bytes budget, the shard instead derives once
+// into a packed buffer (trace/packed_trace.hpp) and replays that buffer
+// for both passes — a linear uint64 scan feeding the engines' batched,
+// prefetch-pipelined access paths. Packing is best-effort: any failure
+// (budget of 0, oversized segment, unpackable reference, allocation
+// failure, armed `trace.pack` fault) silently selects the streaming
+// fallback, which computes bit-identical predictions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "trace/layout.hpp"
+#include "trace/spmv_trace.hpp"
+
+namespace spmvcache::detail {
+
+/// Resolves ModelOptions::trace_buffer_bytes: kTraceBufferAuto becomes
+/// 1/8 of physical RAM clamped to [64 MiB, 8 GiB] (256 MiB when the host
+/// cannot report its memory); any other value passes through.
+[[nodiscard]] std::uint64_t resolve_trace_buffer_bytes(
+    std::uint64_t requested) noexcept;
+
+/// Packs segment `segment`'s trace iff its demand references fit
+/// `budget_bytes` (8 bytes each). Empty optional = use the streaming
+/// fallback (over budget, packing fault, allocation failure, or a
+/// reference outside the packed encoding).
+[[nodiscard]] std::optional<std::vector<std::uint64_t>>
+pack_segment_within_budget(const CsrMatrix& m, const SpmvLayout& layout,
+                           const TraceConfig& cfg,
+                           std::int64_t cores_per_numa, std::int64_t segment,
+                           std::uint64_t demand_refs,
+                           std::uint64_t budget_bytes);
+
+}  // namespace spmvcache::detail

@@ -23,6 +23,17 @@ namespace spmvcache {
 /// Reuse distance reported for a line's first-ever access.
 inline constexpr std::uint64_t kInfiniteDistance = ~std::uint64_t{0};
 
+/// Read prefetch hint; a no-op (and harmless on any address) where the
+/// builtin is unavailable. The engines' access_batch pipelines use it to
+/// overlap the dependent-load misses of upcoming accesses.
+inline void prefetch_ro(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p);
+#else
+    (void)p;
+#endif
+}
+
 /// Abstract engine; concrete classes also expose the same functions
 /// non-virtually for hot paths.
 class ReuseEngine {

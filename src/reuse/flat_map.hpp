@@ -37,15 +37,42 @@ public:
 
     /// Inserts or overwrites. Pre: key != kEmptyKey.
     void put(std::uint64_t key, std::uint64_t value) {
+        bool inserted = false;
+        *find_or_insert(key, inserted) = value;
+    }
+
+    /// Single-probe lookup-or-insert: returns the value slot for `key`,
+    /// creating a zero-valued entry when absent (`inserted` reports which).
+    /// One probe sequence replaces the engines' former find-then-put pair;
+    /// the returned pointer stays valid until the next insert. Pre:
+    /// key != kEmptyKey.
+    [[nodiscard]] std::uint64_t* find_or_insert(std::uint64_t key,
+                                                bool& inserted) {
         SPMV_EXPECTS(key != kEmptyKey);
         if ((size_ + 1) * 10 >= keys_.size() * 7) rehash(keys_.size() * 2);
         std::size_t i = probe_start(key);
         while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask_;
-        if (keys_[i] == kEmptyKey) {
+        inserted = keys_[i] == kEmptyKey;
+        if (inserted) {
             keys_[i] = key;
+            values_[i] = 0;
             ++size_;
         }
-        values_[i] = value;
+        return &values_[i];
+    }
+
+    /// Hints the hardware to fetch `key`'s probe-start slot. Issued a few
+    /// elements ahead inside the engines' access_batch loops, it overlaps
+    /// the (random, usually cache-missing) probe loads of upcoming keys
+    /// with the current key's stack bookkeeping.
+    void prefetch(std::uint64_t key) const noexcept {
+        const std::size_t i = probe_start(key);
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&keys_[i]);
+        __builtin_prefetch(&values_[i]);
+#else
+        (void)i;
+#endif
     }
 
     [[nodiscard]] std::size_t size() const noexcept { return size_; }

@@ -26,11 +26,24 @@ public:
     /// the number of groups. Pre: group_capacity >= 1.
     explicit KimEngine(std::uint64_t group_capacity = 512);
 
-    std::uint64_t access(std::uint64_t line) override;
+    std::uint64_t access(std::uint64_t line) override { return access_one(line); }
     void clear() override;
     [[nodiscard]] std::uint64_t distinct_lines() const override {
         return line_count_;
     }
+
+    /// Non-virtual per-access path (one find_or_insert probe per access);
+    /// `access` forwards here, so hot loops templated on the concrete
+    /// engine pay no dispatch.
+    std::uint64_t access_one(std::uint64_t line);
+
+    /// Processes `n` accesses, writing each reuse distance to `dists`.
+    /// Identical results to n access() calls in order; the hash probes of
+    /// upcoming lines are software-prefetched a few elements ahead so
+    /// their (random) cache misses overlap the current access's group
+    /// bookkeeping.
+    void access_batch(const std::uint64_t* lines, std::uint64_t* dists,
+                      std::size_t n);
 
     [[nodiscard]] std::uint64_t group_capacity() const noexcept {
         return group_capacity_;

@@ -32,27 +32,40 @@ std::uint64_t OlkenEngine::fenwick_prefix(std::size_t index) const noexcept {
     return sum;
 }
 
-std::uint64_t OlkenEngine::access(std::uint64_t line) {
+std::uint64_t OlkenEngine::access_one(std::uint64_t line) {
     // Disarmed this is one relaxed load; armed it lets chaos tests abort a
     // model run mid-pass to exercise the batch runner's stage isolation.
     fault::maybe_throw("reuse.access");
     if (now_ == slots_) compact();
 
     std::uint64_t distance = kInfiniteDistance;
-    if (std::uint64_t* prev = last_access_.find(line)) {
+    bool inserted = false;
+    std::uint64_t* prev = last_access_.find_or_insert(line, inserted);
+    if (!inserted) {
         // Lines accessed after *prev are exactly the distinct lines between
         // the two accesses; the line itself is counted by prefix, so
         // alive - prefix(prev) excludes it.
         distance = alive_ - fenwick_prefix(static_cast<std::size_t>(*prev));
         fenwick_add(static_cast<std::size_t>(*prev), -1);
-        *prev = static_cast<std::uint64_t>(now_);
     } else {
         ++alive_;
-        last_access_.put(line, static_cast<std::uint64_t>(now_));
     }
+    *prev = static_cast<std::uint64_t>(now_);
     fenwick_add(now_, +1);
     ++now_;
     return distance;
+}
+
+void OlkenEngine::access_batch(const std::uint64_t* lines,
+                               std::uint64_t* dists, std::size_t n) {
+    constexpr std::size_t kPrefetchAhead = 8;
+    const std::size_t primed = std::min(kPrefetchAhead, n);
+    for (std::size_t i = 0; i < primed; ++i) last_access_.prefetch(lines[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n)
+            last_access_.prefetch(lines[i + kPrefetchAhead]);
+        dists[i] = access_one(lines[i]);
+    }
 }
 
 void OlkenEngine::compact() {

@@ -20,11 +20,21 @@ public:
     /// `expected_lines` presizes the hash map (purely a performance hint).
     explicit OlkenEngine(std::size_t expected_lines = 1024);
 
-    std::uint64_t access(std::uint64_t line) override;
+    std::uint64_t access(std::uint64_t line) override { return access_one(line); }
     void clear() override;
     [[nodiscard]] std::uint64_t distinct_lines() const override {
         return last_access_.size();
     }
+
+    /// Non-virtual per-access path (one find_or_insert probe per access);
+    /// `access` forwards here.
+    std::uint64_t access_one(std::uint64_t line);
+
+    /// Processes `n` accesses, writing each reuse distance to `dists`.
+    /// Identical results to n access() calls in order, with the upcoming
+    /// hash probes software-prefetched a few elements ahead.
+    void access_batch(const std::uint64_t* lines, std::uint64_t* dists,
+                      std::size_t n);
 
 private:
     void fenwick_add(std::size_t index, int delta) noexcept;

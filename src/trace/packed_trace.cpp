@@ -1,0 +1,50 @@
+#include "trace/packed_trace.hpp"
+
+#include <new>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace spmvcache {
+
+[[nodiscard]] Result<std::vector<std::uint64_t>> try_pack_spmv_trace_segment(
+    const CsrMatrix& m, const SpmvLayout& layout, const TraceConfig& cfg,
+    std::int64_t cores_per_numa, std::int64_t segment) {
+    SPMV_RETURN_IF_ERROR(fault::maybe_fail("trace.pack"));
+
+    // Demand-reference count of this segment; exact when no software
+    // prefetch hints are configured, a lower-bound reserve otherwise.
+    const auto lengths = spmv_segment_lengths(m, cfg, cores_per_numa);
+    const std::uint64_t expected =
+        lengths[static_cast<std::size_t>(segment)];
+
+    std::vector<std::uint64_t> packed;
+    bool unpackable = false;
+    MemRef bad{};
+    try {
+        packed.reserve(static_cast<std::size_t>(expected));
+        generate_spmv_trace_segment(
+            m, layout, cfg, cores_per_numa, segment, [&](const MemRef& ref) {
+                if (!memref_packable(ref)) {
+                    if (!unpackable) bad = ref;
+                    unpackable = true;
+                    return;
+                }
+                packed.push_back(pack_memref(ref));
+            });
+    } catch (const std::bad_alloc&) {
+        return Error(ErrorCode::ResourceError,
+                     "allocation failed packing trace segment " +
+                         std::to_string(segment) + " (" +
+                         std::to_string(expected) + " references)");
+    }
+    if (unpackable)
+        return Error(ErrorCode::ValidationError,
+                     "trace reference does not fit the packed encoding "
+                     "(line " +
+                         std::to_string(bad.line) + ", thread " +
+                         std::to_string(bad.thread) + ")");
+    return packed;
+}
+
+}  // namespace spmvcache

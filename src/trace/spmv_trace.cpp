@@ -45,6 +45,12 @@ std::vector<MemRef> collect_spmv_trace_segment(const CsrMatrix& m,
                                                std::int64_t segment) {
     fault::maybe_throw("trace.generate");
     std::vector<MemRef> trace;
+    // Exact demand-reference count (a lower bound when software-prefetch
+    // hints are configured): without it, materialising a large segment
+    // reallocates log2(len) times in tests and diagnostics.
+    trace.reserve(static_cast<std::size_t>(
+        spmv_segment_lengths(m, cfg, cores_per_numa)
+            [static_cast<std::size_t>(segment)]));
     generate_spmv_trace_segment(
         m, layout, cfg, cores_per_numa, segment,
         [&trace](const MemRef& ref) { trace.push_back(ref); });

@@ -15,8 +15,8 @@
 //   ... third entry read reports ErrorCode::FaultInjected ...
 //
 // Registered points (grep for the literals): mm.open, mm.header,
-// mm.size_line, mm.read_entry, trace.generate, trace.worker, reuse.access,
-// batch.item.
+// mm.size_line, mm.read_entry, trace.generate, trace.worker, trace.pack,
+// reuse.access, batch.item.
 #pragma once
 
 #include <cstdint>

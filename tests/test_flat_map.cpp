@@ -1,0 +1,124 @@
+// FlatMap64: find_or_insert semantics, growth under colliding keys, and a
+// differential check against std::unordered_map on random key streams.
+#include "reuse/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace spmvcache {
+namespace {
+
+TEST(FlatMap64, FindOrInsertReportsInsertionAndZeroInitialises) {
+    FlatMap64 map;
+    bool inserted = false;
+    std::uint64_t* slot = map.find_or_insert(7, inserted);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*slot, 0u);  // fresh entries start at zero
+    EXPECT_EQ(map.size(), 1u);
+
+    *slot = 41;
+    std::uint64_t* again = map.find_or_insert(7, inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(*again, 41u);
+    EXPECT_EQ(map.size(), 1u);
+
+    *again = 42;
+    const std::uint64_t* found = map.find(7);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, 42u);
+}
+
+TEST(FlatMap64, FindOrInsertMatchesPut) {
+    FlatMap64 via_put;
+    FlatMap64 via_slot;
+    for (std::uint64_t k = 0; k < 500; ++k) {
+        via_put.put(k * 3, k + 1);
+        bool inserted = false;
+        *via_slot.find_or_insert(k * 3, inserted) = k + 1;
+        EXPECT_TRUE(inserted);
+    }
+    EXPECT_EQ(via_put.size(), via_slot.size());
+    via_put.for_each([&](std::uint64_t k, std::uint64_t v) {
+        const std::uint64_t* other = via_slot.find(k);
+        ASSERT_NE(other, nullptr);
+        EXPECT_EQ(*other, v);
+    });
+}
+
+TEST(FlatMap64, SurvivesRehashUnderHeavyCollisions) {
+    // Keys a multiple of a large power of two apart collide heavily under
+    // the Fibonacci multiply-shift for small table sizes; inserting far
+    // more than the initial capacity forces several rehashes mid-stream.
+    FlatMap64 map(4);
+    constexpr std::uint64_t kStride = std::uint64_t{1} << 40;
+    constexpr std::uint64_t kCount = 4096;
+    for (std::uint64_t k = 0; k < kCount; ++k) map.put(k * kStride, k);
+    EXPECT_EQ(map.size(), kCount);
+    for (std::uint64_t k = 0; k < kCount; ++k) {
+        const std::uint64_t* v = map.find(k * kStride);
+        ASSERT_NE(v, nullptr) << "key " << k * kStride << " lost in rehash";
+        EXPECT_EQ(*v, k);
+    }
+    EXPECT_EQ(map.find(kStride / 2), nullptr);
+}
+
+TEST(FlatMap64, ClearEmptiesButKeysRemainInsertable) {
+    FlatMap64 map;
+    for (std::uint64_t k = 1; k <= 100; ++k) map.put(k, k);
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(50), nullptr);
+    bool inserted = false;
+    *map.find_or_insert(50, inserted) = 5;
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64, DifferentialAgainstUnorderedMap) {
+    // splitmix64 stream of mixed inserts and overwrites; the reference
+    // semantics are exactly std::unordered_map's.
+    std::uint64_t state = 0x243f6a8885a308d3ULL;
+    const auto next = [&state] {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+
+    FlatMap64 map;
+    std::unordered_map<std::uint64_t, std::uint64_t> reference;
+    for (int i = 0; i < 20000; ++i) {
+        // Narrow key range so overwrites and repeat-lookups are common.
+        const std::uint64_t key = next() % 4096;
+        const std::uint64_t value = next();
+        if (i % 3 == 0) {
+            map.put(key, value);
+            reference[key] = value;
+        } else {
+            bool inserted = false;
+            std::uint64_t* slot = map.find_or_insert(key, inserted);
+            const auto [it, ref_inserted] = reference.try_emplace(key, 0);
+            EXPECT_EQ(inserted, ref_inserted);
+            EXPECT_EQ(*slot, it->second);
+            *slot = value;
+            it->second = value;
+        }
+    }
+    EXPECT_EQ(map.size(), reference.size());
+    std::size_t seen = 0;
+    map.for_each([&](std::uint64_t k, std::uint64_t v) {
+        ++seen;
+        const auto it = reference.find(k);
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ(v, it->second);
+    });
+    EXPECT_EQ(seen, reference.size());
+}
+
+}  // namespace
+}  // namespace spmvcache

@@ -18,6 +18,7 @@
 #include "sparse/gen/rmat.hpp"
 #include "sparse/gen/stencil.hpp"
 #include "trace/spmv_trace.hpp"
+#include "util/fault.hpp"
 
 namespace spmvcache {
 namespace {
@@ -122,6 +123,51 @@ TEST_P(ModelParallelTest, MethodBMatchesSerialForAllJobCounts) {
     }
 }
 
+void expect_replay_mode(const ModelResult& result, bool packed,
+                        const std::string& label) {
+    ASSERT_FALSE(result.shards.empty()) << label;
+    for (const ShardStats& shard : result.shards)
+        EXPECT_EQ(shard.packed_replay, packed)
+            << label << " shard " << shard.segment;
+}
+
+TEST_P(ModelParallelTest, PackedReplayMatchesForcedStreaming) {
+    // The tentpole differential: the packed-trace replay path (default
+    // budget) and the streaming re-derivation fallback (--trace-buffer 0)
+    // must agree bit-for-bit across generators x jobs x engines x both
+    // methods; the shard stats must prove each run took the intended path.
+    for (const auto& [name, m] : generator_suite()) {
+        for (const std::int64_t jobs : {std::int64_t{1}, std::int64_t{4}}) {
+            ModelOptions packed = base_options(GetParam(), jobs);
+            ModelOptions streamed = packed;
+            streamed.trace_buffer_bytes = 0;
+            const std::string label =
+                name + " jobs=" + std::to_string(jobs);
+
+            const auto a_packed = run_method_a(m, packed);
+            const auto a_streamed = run_method_a(m, streamed);
+            expect_replay_mode(a_packed, true, label + " A/olken packed");
+            expect_replay_mode(a_streamed, false,
+                               label + " A/olken streamed");
+            expect_identical(a_packed, a_streamed, label + " A/olken");
+
+            const auto kim_packed = run_method_a(m, packed, EngineKind::Kim);
+            const auto kim_streamed =
+                run_method_a(m, streamed, EngineKind::Kim);
+            expect_replay_mode(kim_packed, true, label + " A/kim packed");
+            expect_replay_mode(kim_streamed, false,
+                               label + " A/kim streamed");
+            expect_identical(kim_packed, kim_streamed, label + " A/kim");
+
+            const auto b_packed = run_method_b(m, packed);
+            const auto b_streamed = run_method_b(m, streamed);
+            expect_replay_mode(b_packed, true, label + " B packed");
+            expect_replay_mode(b_streamed, false, label + " B streamed");
+            expect_identical(b_packed, b_streamed, label + " B");
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Policies, ModelParallelTest,
     testing::Values(PartitionPolicy::BalancedRows,
@@ -131,6 +177,44 @@ INSTANTIATE_TEST_SUITE_P(
                    ? "BalancedRows"
                    : "BalancedNonzeros";
     });
+
+TEST(ModelParallel, PackingFaultEngagesStreamingFallback) {
+    // An armed trace.pack fault must not fail the model or change its
+    // predictions — every shard silently re-derives its trace instead.
+    const auto& m = generator_suite().front().matrix;
+    const auto options = base_options(PartitionPolicy::BalancedRows, 4);
+    const auto packed = run_method_a(m, options);
+    expect_replay_mode(packed, true, "before fault");
+
+    // once=false: every shard's packing attempt must fail, not just the
+    // first one to hit the point.
+    fault::ScopedFault f("trace.pack", {.once = false});
+    const auto faulted = run_method_a(m, options);
+    expect_replay_mode(faulted, false, "under fault");
+    expect_identical(packed, faulted, "trace.pack fallback");
+
+    const auto faulted_b = run_method_b(m, options);
+    expect_replay_mode(faulted_b, false, "under fault methodB");
+}
+
+TEST(ModelParallel, TinyBudgetStreamsOnlyOversizedShards) {
+    // A budget that admits nothing still predicts identically, and the
+    // decision is per shard: with jobs=1 the whole budget goes to each
+    // shard in turn, so a budget sized to one shard's trace packs it.
+    const auto& m = generator_suite().front().matrix;
+    ModelOptions o = base_options(PartitionPolicy::BalancedRows, 1);
+    const auto reference = run_method_a(m, o);
+
+    o.trace_buffer_bytes = 8;  // one reference: every shard over budget
+    const auto starved = run_method_a(m, o);
+    expect_replay_mode(starved, false, "starved");
+    expect_identical(reference, starved, "starved budget");
+
+    o.trace_buffer_bytes = spmv_trace_length(m.rows(), m.nnz()) * 8;
+    const auto roomy = run_method_a(m, o);
+    expect_replay_mode(roomy, true, "roomy");
+    expect_identical(reference, roomy, "roomy budget");
+}
 
 TEST(ModelParallel, ShardInstrumentationIsConsistent) {
     const auto& m = generator_suite().front().matrix;

@@ -1,0 +1,139 @@
+// Packed trace encoding: lossless pack/unpack, elementwise equivalence
+// with the streaming segment derivation, and the typed-error paths that
+// select the model's streaming fallback.
+#include "trace/packed_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/options.hpp"
+#include "model/replay.hpp"
+#include "sparse/gen/banded.hpp"
+#include "util/fault.hpp"
+
+namespace spmvcache {
+namespace {
+
+TEST(PackedTrace, RoundTripsEveryFieldAtItsExtremes) {
+    const std::vector<MemRef> refs = {
+        MemRef{0, 0, DataObject::X, false, false},
+        MemRef{kPackedLineMask, kPackedThreadMask, DataObject::RowPtr, true,
+               true},
+        MemRef{12345678, 47, DataObject::Values, false, true},
+        MemRef{1, 2047, DataObject::ColIdx, false, false},
+        MemRef{(std::uint64_t{1} << 47), 1024, DataObject::Y, true, false},
+    };
+    for (const MemRef& ref : refs) {
+        ASSERT_TRUE(memref_packable(ref));
+        const std::uint64_t word = pack_memref(ref);
+        EXPECT_EQ(unpack_memref(word), ref);
+        EXPECT_EQ(packed_line(word), ref.line);
+        EXPECT_EQ(packed_thread(word), ref.thread);
+        EXPECT_EQ(packed_object(word), ref.object);
+        EXPECT_EQ(packed_is_write(word), ref.is_write);
+        EXPECT_EQ(packed_is_prefetch(word), ref.is_prefetch);
+    }
+}
+
+TEST(PackedTrace, RejectsOutOfRangeLineOrThread) {
+    EXPECT_FALSE(memref_packable(
+        MemRef{kPackedLineMask + 1, 0, DataObject::X, false, false}));
+    EXPECT_FALSE(memref_packable(
+        MemRef{0, kPackedThreadMask + 1, DataObject::X, false, false}));
+}
+
+TEST(PackedTrace, SegmentPackMatchesStreamingDerivationElementwise) {
+    const CsrMatrix m = gen::banded(600, 9, 40, 7);
+    const SpmvLayout layout(m, 256);
+    TraceConfig cfg;
+    cfg.threads = 8;
+    const std::int64_t cores_per_numa = 2;
+    const auto lengths = spmv_segment_lengths(m, cfg, cores_per_numa);
+
+    for (std::int64_t s = 0;
+         s < trace_segment_count(cfg.threads, cores_per_numa); ++s) {
+        const auto streamed =
+            collect_spmv_trace_segment(m, layout, cfg, cores_per_numa, s);
+        const auto packed =
+            try_pack_spmv_trace_segment(m, layout, cfg, cores_per_numa, s);
+        ASSERT_TRUE(packed.ok()) << packed.error().render();
+        const auto& words = packed.value();
+        ASSERT_EQ(words.size(), streamed.size());
+        EXPECT_EQ(words.size(), lengths[static_cast<std::size_t>(s)]);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            ASSERT_EQ(unpack_memref(words[i]), streamed[i]) << "ref " << i;
+    }
+}
+
+TEST(PackedTrace, KeepsSoftwarePrefetchHintsWithTheFlagSet) {
+    const CsrMatrix m = gen::banded(100, 6, 20, 3);
+    const SpmvLayout layout(m, 256);
+    TraceConfig cfg;
+    cfg.threads = 2;
+    cfg.x_prefetch_distance = 4;
+    const auto packed =
+        try_pack_spmv_trace_segment(m, layout, cfg, /*cores_per_numa=*/2,
+                                    /*segment=*/0);
+    ASSERT_TRUE(packed.ok()) << packed.error().render();
+    const auto streamed = collect_spmv_trace_segment(m, layout, cfg, 2, 0);
+    // Prefetch hints inflate the stream beyond the demand-only length
+    // estimate; the packed buffer must still carry every one of them.
+    ASSERT_EQ(packed.value().size(), streamed.size());
+    std::size_t hints = 0;
+    for (const std::uint64_t word : packed.value())
+        if (packed_is_prefetch(word)) ++hints;
+    EXPECT_GT(hints, 0u);
+}
+
+TEST(PackedTrace, ArmedFaultYieldsTypedErrorNotAValue) {
+    const CsrMatrix m = gen::banded(50, 4, 10, 1);
+    const SpmvLayout layout(m, 256);
+    fault::ScopedFault f("trace.pack");
+    const auto packed = try_pack_spmv_trace_segment(
+        m, layout, TraceConfig{1}, /*cores_per_numa=*/12, /*segment=*/0);
+    ASSERT_FALSE(packed.ok());
+    EXPECT_EQ(packed.error().code, ErrorCode::FaultInjected);
+}
+
+TEST(ReplayBudget, ExplicitValuesPassThroughAndAutoIsClamped) {
+    EXPECT_EQ(detail::resolve_trace_buffer_bytes(0), 0u);
+    EXPECT_EQ(detail::resolve_trace_buffer_bytes(12345), 12345u);
+    const std::uint64_t resolved =
+        detail::resolve_trace_buffer_bytes(kTraceBufferAuto);
+    EXPECT_GE(resolved, std::uint64_t{64} << 20);
+    EXPECT_LE(resolved, std::uint64_t{8} << 30);
+}
+
+TEST(ReplayBudget, PackDecisionFollowsTheBudget) {
+    const CsrMatrix m = gen::banded(200, 5, 15, 9);
+    const SpmvLayout layout(m, 256);
+    TraceConfig cfg;
+    cfg.threads = 1;
+    const auto lengths = spmv_segment_lengths(m, cfg, 12);
+    const std::uint64_t refs = lengths[0];
+
+    // Exactly enough bytes: packs.
+    const auto fits = detail::pack_segment_within_budget(
+        m, layout, cfg, 12, 0, refs, refs * 8);
+    ASSERT_TRUE(fits.has_value());
+    EXPECT_EQ(fits->size(), refs);
+
+    // One reference short: streams.
+    EXPECT_FALSE(detail::pack_segment_within_budget(m, layout, cfg, 12, 0,
+                                                    refs, refs * 8 - 1)
+                     .has_value());
+    // Zero budget (--trace-buffer 0): streams.
+    EXPECT_FALSE(
+        detail::pack_segment_within_budget(m, layout, cfg, 12, 0, refs, 0)
+            .has_value());
+
+    // Armed packing fault: streams even though the budget fits.
+    fault::ScopedFault f("trace.pack");
+    EXPECT_FALSE(detail::pack_segment_within_budget(m, layout, cfg, 12, 0,
+                                                    refs, refs * 8)
+                     .has_value());
+}
+
+}  // namespace
+}  // namespace spmvcache

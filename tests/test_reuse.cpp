@@ -91,6 +91,54 @@ TEST(Olken, CompactionPreservesDistances) {
     }
 }
 
+/// access_batch must equal n in-order access() calls for any chunking —
+/// including chunks straddling rehashes and (for Olken) compactions.
+template <class Engine, class... Args>
+void expect_batch_matches_serial(Args&&... args) {
+    Xoshiro256 rng(2024);
+    std::vector<std::uint64_t> lines;
+    // Long enough to outrun Olken's 2^16 initial timestamp slots, so
+    // compaction fires mid-batch.
+    for (int i = 0; i < 150000; ++i)
+        lines.push_back(rng.uniform() < 0.6 ? rng.bounded(96)
+                                            : rng.bounded(20000) + 96);
+
+    Engine serial(args...);
+    std::vector<std::uint64_t> expected;
+    expected.reserve(lines.size());
+    for (const std::uint64_t line : lines)
+        expected.push_back(serial.access(line));
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{1024}, lines.size()}) {
+        Engine batched(args...);
+        std::vector<std::uint64_t> dists(lines.size());
+        for (std::size_t i = 0; i < lines.size(); i += chunk) {
+            const std::size_t n = std::min(chunk, lines.size() - i);
+            batched.access_batch(lines.data() + i, dists.data() + i, n);
+        }
+        ASSERT_EQ(dists, expected) << "chunk " << chunk;
+        EXPECT_EQ(batched.distinct_lines(), serial.distinct_lines());
+    }
+}
+
+TEST(Olken, BatchMatchesSerialForEveryChunking) {
+    expect_batch_matches_serial<OlkenEngine>();
+}
+
+TEST(Olken, BatchMatchesSerialAcrossCompaction) {
+    // Tiny slot space: compaction fires inside batches.
+    expect_batch_matches_serial<OlkenEngine>(std::size_t{16});
+}
+
+TEST(Kim, BatchMatchesSerialForEveryChunking) {
+    expect_batch_matches_serial<KimEngine>(std::uint64_t{64});
+}
+
+TEST(Kim, BatchMatchesSerialWithWideGroups) {
+    expect_batch_matches_serial<KimEngine>(std::uint64_t{1} << 16);
+}
+
 TEST(Olken, ClearForgetsHistory) {
     OlkenEngine e;
     e.access(1);

@@ -46,6 +46,9 @@ using namespace spmvcache;
            "         --jobs J  host workers for the sharded model (0 = all\n"
            "                   hardware threads, 1 = serial; predictions\n"
            "                   are identical for every value)\n"
+           "         --trace-buffer BYTES  packed-trace replay budget\n"
+           "                   (default: 1/8 of host RAM; 0 = always\n"
+           "                   re-derive; predictions are identical)\n"
            "predict: --json FILE  machine-readable predictions + per-shard\n"
            "                      timing/reference instrumentation\n"
            "batch:   --report FILE --format csv|json --timeout SECONDS\n"
@@ -192,7 +195,9 @@ void write_predict_json(std::ostream& out, const ModelResult& result,
         out << "    {\"segment\": " << shard.segment
             << ", \"threads\": " << shard.threads
             << ", \"references\": " << shard.references
-            << ", \"seconds\": " << shard.seconds << "}"
+            << ", \"seconds\": " << shard.seconds
+            << ", \"packed_replay\": "
+            << (shard.packed_replay ? "true" : "false") << "}"
             << (s + 1 < result.shards.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -209,6 +214,8 @@ int cmd_predict(const CliParser& cli) {
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
     options.jobs = cli.get_int("jobs", 0);
+    if (const std::int64_t tb = cli.get_int("trace-buffer", -1); tb >= 0)
+        options.trace_buffer_bytes = static_cast<std::uint64_t>(tb);
     options.l2_way_options = {2, 3, 4, 5, 6, 7};
     const bool use_b = to_lower(cli.get("method", "a")) == "b";
     const ModelResult result =
@@ -237,7 +244,9 @@ int cmd_predict(const CliParser& cli) {
                   << " threads, "
                   << fmt_count(static_cast<unsigned long long>(
                          shard.references))
-                  << " refs, " << fmt(shard.seconds, 3) << " s\n";
+                  << " refs, " << fmt(shard.seconds, 3) << " s"
+                  << (shard.packed_replay ? " (packed)" : " (streamed)")
+                  << "\n";
 
     const std::string json_path = cli.get("json", "");
     if (!json_path.empty()) {
@@ -299,6 +308,8 @@ int cmd_tune(const CliParser& cli) {
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
     options.jobs = cli.get_int("jobs", 0);
+    if (const std::int64_t tb = cli.get_int("trace-buffer", -1); tb >= 0)
+        options.trace_buffer_bytes = static_cast<std::uint64_t>(tb);
     options.l2_way_options = {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14};
     options.predict_l1 = false;
     const auto result = run_method_a(m, options);
@@ -360,6 +371,8 @@ int cmd_batch(const CliParser& cli) {
     options.run_model = !cli.has("no-model");
     options.threads = cli.get_int("threads", 48);
     options.jobs = cli.get_int("jobs", 0);
+    if (const std::int64_t tb = cli.get_int("trace-buffer", -1); tb >= 0)
+        options.trace_buffer_bytes = static_cast<std::uint64_t>(tb);
     options.timeout_seconds = cli.get_double("timeout", 0.0);
     options.retry_transient = !cli.has("no-retry");
 
