@@ -1,0 +1,470 @@
+#include "kernels/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sync/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/timer.hpp"
+
+namespace spmvcache {
+
+namespace {
+
+/// Prefetching scalar CSR row-range kernel. Lookahead is in nonzeros:
+/// while accumulating element i, the x entry gathered through
+/// colidx[i + d] plus the values/colidx stream positions i + d are
+/// requested. Reads of colidx stay clamped inside [0, nnz); prefetches of
+/// one-past-range addresses are harmless (prefetch never faults).
+void csr_range_prefetch(const std::int64_t* rowptr,
+                        const std::int32_t* colidx, const double* values,
+                        const double* x, double* y, std::int64_t row_begin,
+                        std::int64_t row_end, std::int64_t nnz,
+                        std::int64_t distance) {
+    const std::int64_t last = nnz > 0 ? nnz - 1 : 0;
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+        double acc = y[r];  // same accumulation order as spmv_csr
+        for (std::int64_t i = rowptr[r]; i < rowptr[r + 1]; ++i) {
+            const std::int64_t ahead = i + distance < last ? i + distance
+                                                           : last;
+            __builtin_prefetch(x + colidx[ahead], 0, 0);
+            __builtin_prefetch(values + ahead, 0, 0);
+            __builtin_prefetch(colidx + ahead, 0, 0);
+            acc += values[i] * x[colidx[i]];
+        }
+        y[r] = acc;
+    }
+}
+
+std::int64_t resolve_threads(std::int64_t requested) {
+    if (requested == 0)
+        return static_cast<std::int64_t>(default_host_jobs());
+    SPMV_EXPECTS(requested >= 1);
+    return requested;
+}
+
+/// Coefficient of variation of the row lengths (cheap shape probe for the
+/// Auto heuristic; matches MatrixStats::cv_nnz_per_row).
+double row_length_cv(const CsrMatrix& a) {
+    const auto rowptr = a.rowptr();
+    const std::int64_t n = a.rows();
+    if (n == 0 || a.nnz() == 0) return 0.0;
+    const double mean = static_cast<double>(a.nnz()) /
+                        static_cast<double>(n);
+    double ss = 0.0;
+    for (std::int64_t r = 0; r < n; ++r) {
+        const double len = static_cast<double>(
+            rowptr[static_cast<std::size_t>(r) + 1] -
+            rowptr[static_cast<std::size_t>(r)]);
+        ss += (len - mean) * (len - mean);
+    }
+    return std::sqrt(ss / static_cast<double>(n)) / mean;
+}
+
+}  // namespace
+
+const char* to_string(KernelVariant variant) noexcept {
+    switch (variant) {
+        case KernelVariant::CsrScalar: return "csr";
+        case KernelVariant::CsrPrefetch: return "csr-prefetch";
+        case KernelVariant::CsrSimd: return "csr-simd";
+        case KernelVariant::SellScalar: return "sell";
+        case KernelVariant::SellSimd: return "sell-simd";
+        case KernelVariant::CsrMerge: return "merge";
+        case KernelVariant::Auto: return "auto";
+    }
+    return "csr";
+}
+
+[[nodiscard]] Result<KernelVariant> parse_kernel_variant(
+    std::string_view name) {
+    if (name == "csr" || name == "scalar") return KernelVariant::CsrScalar;
+    if (name == "csr-prefetch" || name == "prefetch")
+        return KernelVariant::CsrPrefetch;
+    if (name == "csr-simd" || name == "simd") return KernelVariant::CsrSimd;
+    if (name == "sell") return KernelVariant::SellScalar;
+    if (name == "sell-simd") return KernelVariant::SellSimd;
+    if (name == "merge") return KernelVariant::CsrMerge;
+    if (name == "auto") return KernelVariant::Auto;
+    return Error(ErrorCode::ValidationError,
+                 "unknown kernel variant '" + std::string(name) +
+                     "' (csr, csr-prefetch, csr-simd, sell, sell-simd, "
+                     "merge, auto)");
+}
+
+KernelEngine::KernelEngine(const CsrMatrix& a, const EngineOptions& options)
+    : KernelEngine(a,
+                   RowPartition(a, resolve_threads(options.threads),
+                                options.policy),
+                   options) {}
+
+KernelEngine::KernelEngine(const CsrMatrix& a, const RowPartition& partition,
+                           const EngineOptions& options)
+    : rows_(a.rows()), cols_(a.cols()), nnz_(a.nnz()),
+      partition_(partition) {
+    info_.threads = partition_.threads();
+    info_.first_touch = options.first_touch;
+    info_.imbalance = partition_.imbalance(a);
+    if (info_.threads > 1)
+        team_ = std::make_unique<WorkerTeam>(
+            static_cast<std::size_t>(info_.threads));
+
+    resolve_variant(a, options);
+
+    switch (info_.variant) {
+        case KernelVariant::SellScalar:
+        case KernelVariant::SellSimd:
+            setup_sell(a, options);
+            break;
+        case KernelVariant::CsrMerge:
+            setup_csr(a, options);
+            setup_merge(a);
+            break;
+        default:
+            setup_csr(a, options);
+            break;
+    }
+    if (info_.variant == KernelVariant::CsrPrefetch)
+        calibrate_prefetch(a, options);
+}
+
+KernelEngine::~KernelEngine() = default;
+
+void KernelEngine::resolve_variant(const CsrMatrix& a,
+                                   const EngineOptions& options) {
+    simd_ = simd::best();
+    KernelVariant variant = options.variant;
+    if (variant == KernelVariant::Auto) {
+        // Documented in DESIGN.md §5: merge for row-imbalanced matrices,
+        // SELL when sorting keeps padding low, SIMD CSR otherwise, and
+        // the prefetch variant when no vector ISA is compiled in (the
+        // gather latency is then the only lever left).
+        const bool has_simd = simd_.isa != simd::Isa::Scalar;
+        if (info_.threads > 1 && info_.imbalance > 1.5) {
+            variant = KernelVariant::CsrMerge;
+        } else if (has_simd && row_length_cv(a) <= 1.0) {
+            variant = KernelVariant::SellSimd;
+        } else if (has_simd) {
+            variant = KernelVariant::CsrSimd;
+        } else {
+            variant = KernelVariant::CsrPrefetch;
+        }
+    }
+    info_.variant = variant;
+    info_.isa = (variant == KernelVariant::CsrSimd ||
+                 variant == KernelVariant::SellSimd)
+                    ? simd_.isa
+                    : simd::Isa::Scalar;
+}
+
+void KernelEngine::setup_csr(const CsrMatrix& a,
+                             const EngineOptions& options) {
+    if (!options.first_touch) {
+        rowptr_ = a.rowptr();
+        colidx_ = a.colidx();
+        values_ = a.values();
+        return;
+    }
+    // First-touch copies: worker t writes (and therefore faults in) the
+    // rowptr/colidx/values slices of its own row range.
+    own_rowptr_ = FirstTouchBuffer<std::int64_t>(
+        static_cast<std::size_t>(rows_) + 1);
+    own_colidx_ =
+        FirstTouchBuffer<std::int32_t>(static_cast<std::size_t>(nnz_));
+    own_values_ = FirstTouchBuffer<double>(static_cast<std::size_t>(nnz_));
+    const auto src_rowptr = a.rowptr();
+    const auto src_colidx = a.colidx();
+    const auto src_values = a.values();
+    dispatch([&](std::size_t t) {
+        const RowRange& range =
+            partition_.range(static_cast<std::int64_t>(t));
+        const std::int64_t lo =
+            src_rowptr[static_cast<std::size_t>(range.begin)];
+        const std::int64_t hi =
+            src_rowptr[static_cast<std::size_t>(range.end)];
+        for (std::int64_t r = range.begin; r < range.end; ++r)
+            own_rowptr_.data()[r] = src_rowptr[static_cast<std::size_t>(r)];
+        if (range.end == rows_)
+            own_rowptr_.data()[rows_] =
+                src_rowptr[static_cast<std::size_t>(rows_)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+            own_colidx_.data()[i] = src_colidx[static_cast<std::size_t>(i)];
+            own_values_.data()[i] = src_values[static_cast<std::size_t>(i)];
+        }
+    });
+    rowptr_ = own_rowptr_.span();
+    colidx_ = own_colidx_.span();
+    values_ = own_values_.span();
+}
+
+void KernelEngine::setup_sell(const CsrMatrix& a,
+                              const EngineOptions& options) {
+    const std::int64_t chunk =
+        options.sell_chunk > 0 ? options.sell_chunk : 8;
+    const std::int64_t sigma =
+        options.sell_sigma > 0 ? options.sell_sigma : chunk * 32;
+    SPMV_EXPECTS(sigma == 1 || sigma % chunk == 0);
+    sell_.emplace(a, chunk, sigma);
+    info_.sell_padding = sell_->padding_factor();
+
+    // Chunk ownership: contiguous chunk ranges balanced by padded
+    // elements (the actual per-chunk work, padding included). A chunk
+    // goes to worker t while its end offset stays within t's share.
+    const auto offsets = sell_->chunk_offsets();  // chunks()+1 entries
+    const std::int64_t chunks = sell_->chunks();
+    const std::int64_t padded = sell_->padded_nnz();
+    const std::int64_t threads = info_.threads;
+    chunk_ranges_.assign(static_cast<std::size_t>(threads), RowRange{});
+    std::int64_t k = 0;
+    for (std::int64_t t = 0; t < threads; ++t) {
+        const std::int64_t target = (t + 1) * padded / threads;
+        const std::int64_t begin = k;
+        while (k < chunks &&
+               offsets[static_cast<std::size_t>(k) + 1] <= target)
+            ++k;
+        if (t == threads - 1) k = chunks;
+        chunk_ranges_[static_cast<std::size_t>(t)] = RowRange{begin, k};
+    }
+
+    if (!options.first_touch) {
+        sell_values_ = sell_->values();
+        sell_colidx_ = sell_->colidx();
+        return;
+    }
+    // First-touch copies of the chunk-major arrays, sliced by chunk range.
+    sell_own_values_ = FirstTouchBuffer<double>(sell_->values().size());
+    sell_own_colidx_ =
+        FirstTouchBuffer<std::int32_t>(sell_->colidx().size());
+    const auto src_values = sell_->values();
+    const auto src_colidx = sell_->colidx();
+    dispatch([&](std::size_t t) {
+        const RowRange& range = chunk_ranges_[t];
+        if (range.begin >= range.end) return;
+        const std::int64_t lo = offsets[static_cast<std::size_t>(range.begin)];
+        const std::int64_t hi = offsets[static_cast<std::size_t>(range.end)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+            sell_own_values_.data()[i] =
+                src_values[static_cast<std::size_t>(i)];
+            sell_own_colidx_.data()[i] =
+                src_colidx[static_cast<std::size_t>(i)];
+        }
+    });
+    sell_values_ = sell_own_values_.span();
+    sell_colidx_ = sell_own_colidx_.span();
+}
+
+void KernelEngine::setup_merge(const CsrMatrix& a) {
+    const std::int64_t pieces = info_.threads;
+    const std::int64_t path_length = rows_ + nnz_;
+    const std::int64_t chunk = (path_length + pieces - 1) / pieces;
+    piece_begin_.resize(static_cast<std::size_t>(pieces));
+    piece_end_.resize(static_cast<std::size_t>(pieces));
+    carry_row_.assign(static_cast<std::size_t>(pieces), -1);
+    carry_value_.assign(static_cast<std::size_t>(pieces), 0.0);
+    for (std::int64_t p = 0; p < pieces; ++p) {
+        const std::int64_t diag_begin = std::min(p * chunk, path_length);
+        const std::int64_t diag_end =
+            std::min(diag_begin + chunk, path_length);
+        piece_begin_[static_cast<std::size_t>(p)] =
+            merge_path_search(a, diag_begin);
+        piece_end_[static_cast<std::size_t>(p)] =
+            merge_path_search(a, diag_end);
+    }
+}
+
+void KernelEngine::calibrate_prefetch(const CsrMatrix& a,
+                                      const EngineOptions& options) {
+    if (options.prefetch_distance > 0) {
+        info_.prefetch_distance = options.prefetch_distance;
+        return;
+    }
+    // Short single-threaded calibration over a bounded row sample: time
+    // each candidate distance twice, keep the best minimum. Distance 0
+    // (no prefetch) competes too, so calibration can turn prefetch off
+    // on cache-resident matrices.
+    static constexpr std::int64_t kCandidates[] = {0, 4, 8, 16, 32, 64};
+    const auto rowptr = rowptr_;
+    std::int64_t sample_rows = rows_;
+    const std::int64_t nnz_budget = 1 << 21;
+    if (nnz_ > nnz_budget) {
+        sample_rows = 0;
+        while (sample_rows < rows_ &&
+               rowptr[static_cast<std::size_t>(sample_rows)] < nnz_budget)
+            ++sample_rows;
+    }
+    if (sample_rows == 0 || nnz_ == 0) {
+        info_.prefetch_distance = 16;
+        return;
+    }
+    std::vector<double> x(static_cast<std::size_t>(cols_), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(sample_rows), 0.0);
+    std::int64_t best = 16;
+    double best_seconds = std::numeric_limits<double>::infinity();
+    (void)a;
+    for (const std::int64_t d : kCandidates) {
+        double seconds = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < 2; ++rep) {
+            Timer timer;
+            csr_range_prefetch(rowptr_.data(), colidx_.data(),
+                               values_.data(), x.data(), y.data(), 0,
+                               sample_rows, nnz_, d);
+            seconds = std::min(seconds, timer.seconds());
+        }
+        if (seconds < best_seconds) {
+            best_seconds = seconds;
+            best = d;
+        }
+    }
+    info_.prefetch_distance = best;
+}
+
+void KernelEngine::dispatch(const std::function<void(std::size_t)>& body) {
+    if (team_) {
+        team_->run(body);
+    } else {
+        body(0);
+    }
+}
+
+void KernelEngine::run(std::span<const double> x, std::span<double> y) {
+    run_iterations(x, y, 1);
+}
+
+void KernelEngine::run_iterations(std::span<const double> x,
+                                  std::span<double> y,
+                                  std::int64_t iterations) {
+    SPMV_EXPECTS(x.size() == static_cast<std::size_t>(cols_));
+    SPMV_EXPECTS(y.size() == static_cast<std::size_t>(rows_));
+    SPMV_EXPECTS(iterations >= 0);
+    if (iterations == 0) return;
+    fault::maybe_throw("kernel.exec");
+    switch (info_.variant) {
+        case KernelVariant::SellScalar:
+        case KernelVariant::SellSimd:
+            run_sell(x, y, iterations);
+            return;
+        case KernelVariant::CsrMerge:
+            run_merge(x, y, iterations);
+            return;
+        default:
+            run_csr(x, y, iterations);
+            return;
+    }
+}
+
+void KernelEngine::run_csr(std::span<const double> x, std::span<double> y,
+                           std::int64_t iterations) {
+    const std::int64_t* rowptr = rowptr_.data();
+    const std::int32_t* colidx = colidx_.data();
+    const double* values = values_.data();
+    const double* xp = x.data();
+    double* yp = y.data();
+    const std::int64_t nnz = nnz_;
+    const std::int64_t distance = info_.prefetch_distance;
+    const KernelVariant variant = info_.variant;
+    const simd::CsrRangeFn simd_fn =
+        variant == KernelVariant::CsrSimd ? simd_.csr : simd::scalar().csr;
+    // Row ranges are disjoint and x is read-only, so all iterations run
+    // inside one team dispatch with no inter-iteration barrier.
+    dispatch([&](std::size_t t) {
+        const RowRange& range =
+            partition_.range(static_cast<std::int64_t>(t));
+        for (std::int64_t it = 0; it < iterations; ++it) {
+            switch (variant) {
+                case KernelVariant::CsrPrefetch:
+                    csr_range_prefetch(rowptr, colidx, values, xp, yp,
+                                       range.begin, range.end, nnz,
+                                       distance);
+                    break;
+                case KernelVariant::CsrSimd:
+                    simd_fn(rowptr, colidx, values, xp, yp, range.begin,
+                            range.end);
+                    break;
+                default:
+                    simd::scalar().csr(rowptr, colidx, values, xp, yp,
+                                       range.begin, range.end);
+                    break;
+            }
+        }
+    });
+}
+
+void KernelEngine::run_sell(std::span<const double> x, std::span<double> y,
+                            std::int64_t iterations) {
+    const simd::SellRangeFn kernel = info_.variant == KernelVariant::SellSimd
+                                         ? simd_.sell
+                                         : simd::scalar().sell;
+    const double* values = sell_values_.data();
+    const std::int32_t* colidx = sell_colidx_.data();
+    const std::int64_t* offsets = sell_->chunk_offsets().data();
+    const std::int64_t* widths = sell_->chunk_widths().data();
+    const std::int32_t* perm = sell_->perm().data();
+    const std::int64_t c = sell_->chunk_height();
+    const double* xp = x.data();
+    double* yp = y.data();
+    // perm is a bijection, so chunk ranges write disjoint y entries; all
+    // iterations run inside one dispatch, like the CSR family.
+    dispatch([&](std::size_t t) {
+        const RowRange& range = chunk_ranges_[t];
+        for (std::int64_t it = 0; it < iterations; ++it)
+            kernel(values, colidx, offsets, widths, perm, rows_, c, xp, yp,
+                   range.begin, range.end);
+    });
+}
+
+void KernelEngine::run_merge(std::span<const double> x, std::span<double> y,
+                             std::int64_t iterations) {
+    const std::int64_t* rowptr = rowptr_.data();
+    const std::int32_t* colidx = colidx_.data();
+    const double* values = values_.data();
+    const double* xp = x.data();
+    double* yp = y.data();
+    const std::int64_t pieces = info_.threads;
+    for (std::int64_t it = 0; it < iterations; ++it) {
+        dispatch([&](std::size_t t) {
+            MergeCoordinate cur = piece_begin_[t];
+            const MergeCoordinate end = piece_end_[t];
+            double acc = 0.0;
+            carry_row_[t] = -1;
+            carry_value_[t] = 0.0;
+            while (cur.row < end.row) {
+                for (; cur.nonzero <
+                       rowptr[static_cast<std::size_t>(cur.row) + 1];
+                     ++cur.nonzero)
+                    acc += values[cur.nonzero] * xp[colidx[cur.nonzero]];
+                yp[cur.row] += acc;
+                acc = 0.0;
+                ++cur.row;
+            }
+            for (; cur.nonzero < end.nonzero; ++cur.nonzero)
+                acc += values[cur.nonzero] * xp[colidx[cur.nonzero]];
+            if (cur.row < rows_) {
+                carry_row_[t] = cur.row;
+                carry_value_[t] = acc;
+            }
+        });
+        // Carry fix-up between iterations (sequential: one add per piece).
+        for (std::int64_t p = 0; p < pieces; ++p) {
+            if (carry_row_[static_cast<std::size_t>(p)] >= 0)
+                yp[carry_row_[static_cast<std::size_t>(p)]] +=
+                    carry_value_[static_cast<std::size_t>(p)];
+        }
+    }
+}
+
+FirstTouchVector KernelEngine::make_vector(std::size_t n, double value) {
+    FirstTouchVector v(n);
+    const std::size_t workers =
+        static_cast<std::size_t>(info_.threads);
+    const std::size_t slice = (n + workers - 1) / workers;
+    dispatch([&](std::size_t t) {
+        const std::size_t begin = std::min(t * slice, n);
+        const std::size_t end = std::min(begin + slice, n);
+        for (std::size_t i = begin; i < end; ++i) v.data()[i] = value;
+    });
+    return v;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,234 @@
+// High-throughput SpMV kernel engine.
+//
+// The engine is the executable counterpart of the model: where the trace
+// generator and simulator *predict* the locality of Listing 1, the engine
+// *runs* it — repeatedly, on a persistent WorkerTeam whose workers own
+// fixed row/chunk ranges, with kernel variants selected at runtime:
+//
+//   CsrScalar    the Listing-1 loop per row range (bit-identical to
+//                spmv_csr; the baseline every other variant is verified
+//                against)
+//   CsrPrefetch  scalar loop + __builtin_prefetch of the x[colidx[i+d]]
+//                gather and of the values/colidx streams at distance d
+//                (auto-calibrated unless EngineOptions pins it) — the
+//                software-prefetch lever of Alappat et al.
+//   CsrSimd      vectorized CSR rows via the simd.hpp shim
+//                (AVX2/AVX-512/NEON, scalar fallback)
+//   SellScalar / SellSimd
+//                SELL-C-sigma chunk kernels (Kreutzer et al.), chunk loop
+//                column-major; the engine builds the SELL form internally
+//   CsrMerge     merge-path decomposition (Merrill & Garland) across the
+//                team for row-imbalanced matrices
+//   Auto         picks a variant from matrix shape + host ISA; the
+//                heuristic is documented in DESIGN.md §5
+//
+// Worker i always executes range i (WorkerTeam guarantee), and with
+// EngineOptions::first_touch the engine's copies of the matrix arrays —
+// and any vector obtained from make_vector() — are first touched by their
+// owning worker, so pages land on the NUMA node that computes on them.
+// With threads == 1 the engine runs inline on the calling thread with no
+// team at all (the documented sequential fallback used when OpenMP-style
+// parallelism is unavailable or unwanted).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "kernels/simd.hpp"
+#include "kernels/spmv_merge.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+#include "sparse/sellcs.hpp"
+#include "sync/worker_team.hpp"
+#include "util/align.hpp"
+#include "util/status.hpp"
+
+namespace spmvcache {
+
+/// Executable kernel implementations the engine can dispatch to.
+enum class KernelVariant : std::uint8_t {
+    CsrScalar,
+    CsrPrefetch,
+    CsrSimd,
+    SellScalar,
+    SellSimd,
+    CsrMerge,
+    Auto,
+};
+
+[[nodiscard]] const char* to_string(KernelVariant variant) noexcept;
+
+/// Parses "csr", "csr-prefetch", "csr-simd", "sell", "sell-simd", "merge"
+/// or "auto" (ValidationError otherwise).
+[[nodiscard]] Result<KernelVariant> parse_kernel_variant(
+    std::string_view name);
+
+struct EngineOptions {
+    /// Worker count; 0 = all hardware threads, 1 = sequential fallback.
+    std::int64_t threads = 1;
+    KernelVariant variant = KernelVariant::Auto;
+    /// Lookahead (in nonzeros) for CsrPrefetch; 0 = auto-calibrate.
+    std::int64_t prefetch_distance = 0;
+    /// Row split for the CSR variants (SELL splits by padded nonzeros,
+    /// merge by path diagonals regardless).
+    PartitionPolicy policy = PartitionPolicy::BalancedNonzeros;
+    /// SELL geometry; 0 = auto (chunk 8 — one 512-bit vector of doubles —
+    /// and sigma = 32 chunks).
+    std::int64_t sell_chunk = 0;
+    std::int64_t sell_sigma = 0;
+    /// Copy the matrix arrays into engine-owned storage, each slice first
+    /// touched by its owning worker. Off = borrow the caller's arrays
+    /// (zero setup cost; the matrix must outlive the engine).
+    bool first_touch = true;
+};
+
+/// Resolved configuration, surfaced through bench/CLI output.
+struct EngineInfo {
+    KernelVariant variant = KernelVariant::CsrScalar;  ///< post-Auto
+    simd::Isa isa = simd::Isa::Scalar;  ///< for the *Simd variants
+    std::int64_t prefetch_distance = 0;  ///< post-calibration
+    std::int64_t threads = 1;
+    double sell_padding = 1.0;  ///< padded/logical nnz (SELL variants)
+    double imbalance = 1.0;     ///< nnz imbalance of the row partition
+    bool first_touch = false;
+};
+
+/// Cache-line-aligned storage that is NOT zero-initialised at allocation,
+/// so the engine's workers (not the allocating thread) perform the first
+/// touch of every page they own.
+template <class T>
+class FirstTouchBuffer {
+    static_assert(std::is_trivial_v<T>,
+                  "first-touch storage skips construction");
+
+public:
+    FirstTouchBuffer() = default;
+    explicit FirstTouchBuffer(std::size_t n) : size_(n) {
+        if (n > 0) data_ = AlignedAllocator<T>{}.allocate(n);
+    }
+    ~FirstTouchBuffer() {
+        if (data_ != nullptr) AlignedAllocator<T>{}.deallocate(data_, size_);
+    }
+
+    FirstTouchBuffer(FirstTouchBuffer&& other) noexcept
+        : data_(other.data_), size_(other.size_) {
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    FirstTouchBuffer& operator=(FirstTouchBuffer&& other) noexcept {
+        if (this != &other) {
+            if (data_ != nullptr)
+                AlignedAllocator<T>{}.deallocate(data_, size_);
+            data_ = other.data_;
+            size_ = other.size_;
+            other.data_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+    FirstTouchBuffer(const FirstTouchBuffer&) = delete;
+    FirstTouchBuffer& operator=(const FirstTouchBuffer&) = delete;
+
+    [[nodiscard]] T* data() noexcept { return data_; }
+    [[nodiscard]] const T* data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+    [[nodiscard]] std::span<const T> span() const noexcept {
+        return {data_, size_};
+    }
+
+private:
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/// First-touch double storage for x/y vectors (see make_vector()).
+using FirstTouchVector = FirstTouchBuffer<double>;
+
+/// Persistent-team SpMV executor: construct once per matrix, run many
+/// iterations. run() computes y <- y + A x exactly like spmv_csr.
+class KernelEngine {
+public:
+    /// Builds the row partition from options.policy/threads.
+    KernelEngine(const CsrMatrix& a, const EngineOptions& options);
+    /// Honors an externally supplied partition (its thread count wins
+    /// over options.threads).
+    KernelEngine(const CsrMatrix& a, const RowPartition& partition,
+                 const EngineOptions& options);
+    ~KernelEngine();
+
+    KernelEngine(const KernelEngine&) = delete;
+    KernelEngine& operator=(const KernelEngine&) = delete;
+
+    /// y <- y + A x (one iteration). Pre: x.size() == cols, y.size() == rows.
+    void run(std::span<const double> x, std::span<double> y);
+
+    /// y <- y + A x, `iterations` times. The CSR and SELL variants run all
+    /// iterations inside a single team dispatch (ranges are disjoint, so
+    /// no barrier is needed between iterations); merge barriers once per
+    /// iteration for the carry fix-up.
+    void run_iterations(std::span<const double> x, std::span<double> y,
+                        std::int64_t iterations);
+
+    [[nodiscard]] const EngineInfo& info() const noexcept { return info_; }
+
+    /// Allocates n doubles, each worker's slice first touched (and set to
+    /// `value`) by that worker — pair with run() for NUMA-local x/y.
+    [[nodiscard]] FirstTouchVector make_vector(std::size_t n, double value);
+
+private:
+    void resolve_variant(const CsrMatrix& a, const EngineOptions& options);
+    void setup_csr(const CsrMatrix& a, const EngineOptions& options);
+    void setup_sell(const CsrMatrix& a, const EngineOptions& options);
+    void setup_merge(const CsrMatrix& a);
+    void calibrate_prefetch(const CsrMatrix& a,
+                            const EngineOptions& options);
+    void dispatch(const std::function<void(std::size_t)>& body);
+
+    void run_csr(std::span<const double> x, std::span<double> y,
+                 std::int64_t iterations);
+    void run_sell(std::span<const double> x, std::span<double> y,
+                  std::int64_t iterations);
+    void run_merge(std::span<const double> x, std::span<double> y,
+                   std::int64_t iterations);
+
+    EngineInfo info_;
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::int64_t nnz_ = 0;
+    RowPartition partition_;
+    std::unique_ptr<WorkerTeam> team_;  ///< null when threads == 1
+
+    // CSR data: either borrowed from the source matrix or first-touch
+    // copies owned by the engine.
+    std::span<const std::int64_t> rowptr_;
+    std::span<const std::int32_t> colidx_;
+    std::span<const double> values_;
+    FirstTouchBuffer<double> own_values_;
+    FirstTouchBuffer<std::int64_t> own_rowptr_;
+    FirstTouchBuffer<std::int32_t> own_colidx_;
+
+    // SELL data (built only for the Sell* variants).
+    std::optional<SellCSigmaMatrix> sell_;
+    std::vector<RowRange> chunk_ranges_;  ///< chunks owned per worker
+    FirstTouchBuffer<double> sell_own_values_;
+    FirstTouchBuffer<std::int32_t> sell_own_colidx_;
+    std::span<const double> sell_values_;
+    std::span<const std::int32_t> sell_colidx_;
+
+    // Merge data: per-piece path coordinates and carry slots.
+    std::vector<MergeCoordinate> piece_begin_;
+    std::vector<MergeCoordinate> piece_end_;
+    std::vector<std::int64_t> carry_row_;
+    std::vector<double> carry_value_;
+
+    simd::Dispatch simd_;  ///< kernels for the *Simd variants
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,94 @@
+#include "kernels/simd.hpp"
+
+namespace spmvcache::simd {
+
+const char* to_string(Isa isa) noexcept {
+    switch (isa) {
+        case Isa::Scalar: return "scalar";
+        case Isa::Neon: return "neon";
+        case Isa::Avx2: return "avx2";
+        case Isa::Avx512: return "avx512";
+    }
+    return "scalar";
+}
+
+namespace detail {
+
+void csr_range_scalar(const std::int64_t* rowptr, const std::int32_t* colidx,
+                      const double* values, const double* x, double* y,
+                      std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+        // Accumulate starting from y[r], exactly like spmv_csr, so the
+        // scalar variant is bit-identical to the sequential kernel.
+        double acc = y[r];
+        for (std::int64_t i = rowptr[r]; i < rowptr[r + 1]; ++i)
+            acc += values[i] * x[colidx[i]];
+        y[r] = acc;
+    }
+}
+
+void sell_range_scalar(const double* values, const std::int32_t* colidx,
+                       const std::int64_t* chunk_offset,
+                       const std::int64_t* chunk_width,
+                       const std::int32_t* perm, std::int64_t rows,
+                       std::int64_t chunk_height, const double* x, double* y,
+                       std::int64_t chunk_begin, std::int64_t chunk_end) {
+    const std::int64_t c = chunk_height;
+    for (std::int64_t k = chunk_begin; k < chunk_end; ++k) {
+        const std::int64_t base = chunk_offset[k];
+        const std::int64_t width = chunk_width[k];
+        const std::int64_t rows_in_chunk =
+            rows - k * c < c ? rows - k * c : c;
+        for (std::int64_t i = 0; i < rows_in_chunk; ++i) {
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < width; ++j) {
+                const std::int64_t slot = base + j * c + i;
+                acc += values[slot] * x[colidx[slot]];
+            }
+            y[perm[k * c + i]] += acc;
+        }
+    }
+}
+
+}  // namespace detail
+
+namespace {
+
+// The SPMVCACHE_SIMD_AVX* definitions are only set on x86-64 GCC/Clang
+// builds (see CMakeLists.txt), so __builtin_cpu_supports is available
+// wherever these branches compile.
+Dispatch resolve_best() noexcept {
+    Dispatch d{Isa::Scalar, &detail::csr_range_scalar,
+               &detail::sell_range_scalar};
+#if defined(SPMVCACHE_SIMD_NEON)
+    // NEON is baseline on aarch64: no runtime check needed.
+    d = Dispatch{Isa::Neon, &detail::csr_range_neon,
+                 &detail::sell_range_neon};
+#endif
+#if defined(SPMVCACHE_SIMD_AVX2)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        d = Dispatch{Isa::Avx2, &detail::csr_range_avx2,
+                     &detail::sell_range_avx2};
+#endif
+#if defined(SPMVCACHE_SIMD_AVX512)
+    if (__builtin_cpu_supports("avx512f"))
+        d = Dispatch{Isa::Avx512, &detail::csr_range_avx512,
+                     &detail::sell_range_avx512};
+#endif
+    return d;
+}
+
+}  // namespace
+
+const Dispatch& best() noexcept {
+    static const Dispatch dispatch = resolve_best();
+    return dispatch;
+}
+
+const Dispatch& scalar() noexcept {
+    static const Dispatch dispatch{Isa::Scalar, &detail::csr_range_scalar,
+                                   &detail::sell_range_scalar};
+    return dispatch;
+}
+
+}  // namespace spmvcache::simd

@@ -1,0 +1,117 @@
+// Portable SIMD dispatch shim for the SpMV kernel variants.
+//
+// The repository builds with no -march flags, so vector kernels live in
+// per-ISA translation units compiled with exactly the flags they need
+// (see src/kernels/CMakeLists.txt): simd_avx2.cpp (-mavx2 -mfma),
+// simd_avx512.cpp (-mavx512f), and NEON paths compiled only on aarch64
+// where they are baseline. Which TUs exist is a compile-time decision
+// (SPMVCACHE_SIMD_* definitions); which one actually runs is a runtime
+// decision (__builtin_cpu_supports on x86), so a binary built on an
+// AVX-512 box still runs — via the scalar fallback — on an older core.
+//
+// All kernels share two shapes:
+//  - CSR row range:   y[r] += sum_i values[i] * x[colidx[i]] over rows
+//    [row_begin, row_end) — the per-thread body of Listing 1.
+//  - SELL-C-sigma chunk range: column-major chunk loop over chunks
+//    [chunk_begin, chunk_end), results scattered through the row
+//    permutation (Kreutzer et al.'s vectorisation-friendly layout).
+//
+// The scalar entries are always valid function pointers, so callers can
+// dispatch unconditionally.
+#pragma once
+
+#include <cstdint>
+
+namespace spmvcache::simd {
+
+/// Instruction set a kernel was compiled for.
+enum class Isa : std::uint8_t { Scalar, Neon, Avx2, Avx512 };
+
+[[nodiscard]] const char* to_string(Isa isa) noexcept;
+
+/// CSR row-range kernel: for r in [row_begin, row_end),
+/// y[r] += sum over values[rowptr[r]..rowptr[r+1]) * x[colidx[..]].
+using CsrRangeFn = void (*)(const std::int64_t* rowptr,
+                            const std::int32_t* colidx, const double* values,
+                            const double* x, double* y,
+                            std::int64_t row_begin, std::int64_t row_end);
+
+/// SELL-C-sigma chunk-range kernel: for chunk k in [chunk_begin,
+/// chunk_end), accumulate the chunk column-major and scatter each sorted
+/// row position p's sum into y[perm[p]]. `rows` bounds the ragged last
+/// chunk; padding slots carry value 0 and column 0, so no branches are
+/// needed in the inner loop.
+using SellRangeFn = void (*)(const double* values, const std::int32_t* colidx,
+                             const std::int64_t* chunk_offset,
+                             const std::int64_t* chunk_width,
+                             const std::int32_t* perm, std::int64_t rows,
+                             std::int64_t chunk_height, const double* x,
+                             double* y, std::int64_t chunk_begin,
+                             std::int64_t chunk_end);
+
+/// One resolved kernel set. `csr` and `sell` are never null.
+struct Dispatch {
+    Isa isa = Isa::Scalar;
+    CsrRangeFn csr = nullptr;
+    SellRangeFn sell = nullptr;
+};
+
+/// Best kernels compiled into this binary AND supported by the running
+/// CPU. Falls back to the scalar pair when no vector TU applies.
+[[nodiscard]] const Dispatch& best() noexcept;
+
+/// The scalar reference pair (always available; bit-identical inner-loop
+/// order to kernels/spmv.cpp's spmv_csr).
+[[nodiscard]] const Dispatch& scalar() noexcept;
+
+namespace detail {
+
+// Scalar fallbacks (defined in simd.cpp).
+void csr_range_scalar(const std::int64_t* rowptr, const std::int32_t* colidx,
+                      const double* values, const double* x, double* y,
+                      std::int64_t row_begin, std::int64_t row_end);
+void sell_range_scalar(const double* values, const std::int32_t* colidx,
+                       const std::int64_t* chunk_offset,
+                       const std::int64_t* chunk_width,
+                       const std::int32_t* perm, std::int64_t rows,
+                       std::int64_t chunk_height, const double* x, double* y,
+                       std::int64_t chunk_begin, std::int64_t chunk_end);
+
+// Per-ISA entry points; each pair is defined only when its TU is in the
+// build (guarded by the SPMVCACHE_SIMD_* compile definitions).
+#if defined(SPMVCACHE_SIMD_AVX2)
+void csr_range_avx2(const std::int64_t* rowptr, const std::int32_t* colidx,
+                    const double* values, const double* x, double* y,
+                    std::int64_t row_begin, std::int64_t row_end);
+void sell_range_avx2(const double* values, const std::int32_t* colidx,
+                     const std::int64_t* chunk_offset,
+                     const std::int64_t* chunk_width,
+                     const std::int32_t* perm, std::int64_t rows,
+                     std::int64_t chunk_height, const double* x, double* y,
+                     std::int64_t chunk_begin, std::int64_t chunk_end);
+#endif
+#if defined(SPMVCACHE_SIMD_AVX512)
+void csr_range_avx512(const std::int64_t* rowptr, const std::int32_t* colidx,
+                      const double* values, const double* x, double* y,
+                      std::int64_t row_begin, std::int64_t row_end);
+void sell_range_avx512(const double* values, const std::int32_t* colidx,
+                       const std::int64_t* chunk_offset,
+                       const std::int64_t* chunk_width,
+                       const std::int32_t* perm, std::int64_t rows,
+                       std::int64_t chunk_height, const double* x, double* y,
+                       std::int64_t chunk_begin, std::int64_t chunk_end);
+#endif
+#if defined(SPMVCACHE_SIMD_NEON)
+void csr_range_neon(const std::int64_t* rowptr, const std::int32_t* colidx,
+                    const double* values, const double* x, double* y,
+                    std::int64_t row_begin, std::int64_t row_end);
+void sell_range_neon(const double* values, const std::int32_t* colidx,
+                     const std::int64_t* chunk_offset,
+                     const std::int64_t* chunk_width,
+                     const std::int32_t* perm, std::int64_t rows,
+                     std::int64_t chunk_height, const double* x, double* y,
+                     std::int64_t chunk_begin, std::int64_t chunk_end);
+#endif
+
+}  // namespace detail
+}  // namespace spmvcache::simd

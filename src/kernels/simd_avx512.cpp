@@ -1,0 +1,89 @@
+// AVX-512F kernels (8 doubles per vector — the same 512-bit width as the
+// A64FX's SVE implementation, so lane-group geometry matches the paper's
+// target). Compiled with -mavx512f; dispatched to only after a runtime
+// __builtin_cpu_supports("avx512f") check.
+#include "kernels/simd.hpp"
+
+#if defined(SPMVCACHE_SIMD_AVX512)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace spmvcache::simd::detail {
+
+namespace {
+
+__m256i load_idx8(const std::int32_t* p) noexcept {
+    __m256i idx;
+    std::memcpy(&idx, p, sizeof(idx));
+    return idx;
+}
+
+__m512d load_pd8(const double* p) noexcept {
+    __m512d v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+}  // namespace
+
+void csr_range_avx512(const std::int64_t* rowptr, const std::int32_t* colidx,
+                      const double* values, const double* x, double* y,
+                      std::int64_t row_begin, std::int64_t row_end) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+        const std::int64_t begin = rowptr[r];
+        const std::int64_t end = rowptr[r + 1];
+        __m512d acc = _mm512_setzero_pd();
+        std::int64_t i = begin;
+        for (; i + 8 <= end; i += 8) {
+            const __m512d xv =
+                _mm512_i32gather_pd(load_idx8(colidx + i), x, 8);
+            acc = _mm512_fmadd_pd(load_pd8(values + i), xv, acc);
+        }
+        double sum = _mm512_reduce_add_pd(acc);
+        for (; i < end; ++i) sum += values[i] * x[colidx[i]];
+        y[r] += sum;
+    }
+}
+
+void sell_range_avx512(const double* values, const std::int32_t* colidx,
+                       const std::int64_t* chunk_offset,
+                       const std::int64_t* chunk_width,
+                       const std::int32_t* perm, std::int64_t rows,
+                       std::int64_t chunk_height, const double* x, double* y,
+                       std::int64_t chunk_begin, std::int64_t chunk_end) {
+    const std::int64_t c = chunk_height;
+    for (std::int64_t k = chunk_begin; k < chunk_end; ++k) {
+        const std::int64_t base = chunk_offset[k];
+        const std::int64_t width = chunk_width[k];
+        const std::int64_t rows_in_chunk =
+            rows - k * c < c ? rows - k * c : c;
+        std::int64_t v = 0;
+        for (; v + 8 <= rows_in_chunk; v += 8) {
+            __m512d acc = _mm512_setzero_pd();
+            for (std::int64_t j = 0; j < width; ++j) {
+                const std::int64_t slot = base + j * c + v;
+                const __m512d xv =
+                    _mm512_i32gather_pd(load_idx8(colidx + slot), x, 8);
+                acc = _mm512_fmadd_pd(load_pd8(values + slot), xv, acc);
+            }
+            alignas(64) double lane[8];
+            _mm512_store_pd(lane, acc);
+            for (std::int64_t l = 0; l < 8; ++l)
+                y[perm[k * c + v + l]] += lane[l];
+        }
+        for (; v < rows_in_chunk; ++v) {  // ragged tail of the last chunk
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < width; ++j) {
+                const std::int64_t slot = base + j * c + v;
+                acc += values[slot] * x[colidx[slot]];
+            }
+            y[perm[k * c + v]] += acc;
+        }
+    }
+}
+
+}  // namespace spmvcache::simd::detail
+
+#endif  // SPMVCACHE_SIMD_AVX512

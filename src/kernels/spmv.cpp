@@ -1,5 +1,6 @@
 #include "kernels/spmv.hpp"
 
+#include "kernels/engine.hpp"
 #include "util/error.hpp"
 
 namespace spmvcache {
@@ -27,25 +28,18 @@ void spmv_csr_parallel(const CsrMatrix& a, std::span<const double> x,
                        std::span<double> y, const RowPartition& partition) {
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
-    const auto rowptr = a.rowptr();
-    const auto colidx = a.colidx();
-    const auto values = a.values();
-    const auto threads = partition.threads();
-
-#pragma omp parallel for schedule(static, 1)
-    for (std::int64_t t = 0; t < threads; ++t) {
-        const auto& range = partition.range(t);
-        for (std::int64_t r = range.begin; r < range.end; ++r) {
-            double acc = y[static_cast<std::size_t>(r)];
-            for (std::int64_t i = rowptr[static_cast<std::size_t>(r)];
-                 i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
-                acc += values[static_cast<std::size_t>(i)] *
-                       x[static_cast<std::size_t>(
-                           colidx[static_cast<std::size_t>(i)])];
-            }
-            y[static_cast<std::size_t>(r)] = acc;
-        }
-    }
+    // Execute on the kernel engine's WorkerTeam: unlike the previous
+    // `#pragma omp parallel for` body, the team exists whether or not the
+    // build has OpenMP, so a partition with N ranges really runs on N
+    // threads. The scalar variant keeps the per-row accumulation order of
+    // spmv_csr, so results stay bitwise identical to the sequential
+    // kernel. With partition.threads() == 1 the engine runs inline on the
+    // calling thread — the documented sequential fallback.
+    EngineOptions options;
+    options.variant = KernelVariant::CsrScalar;
+    options.first_touch = false;  // transient: borrow the caller's arrays
+    KernelEngine engine(a, partition, options);
+    engine.run(x, y);
 }
 
 void spmv_csr_overwrite(const CsrMatrix& a, std::span<const double> x,

@@ -16,8 +16,13 @@ namespace spmvcache {
 void spmv_csr(const CsrMatrix& a, std::span<const double> x,
               std::span<double> y);
 
-/// y <- y + A x with OpenMP row-parallelism over `partition`'s ranges
-/// (falls back to sequential execution when built without OpenMP).
+/// y <- y + A x with row-parallelism over `partition`'s ranges, executed
+/// on a transient KernelEngine WorkerTeam (one std::thread per range, so
+/// parallel even in builds without OpenMP; a 1-range partition runs
+/// sequentially inline). Bitwise identical to spmv_csr. For repeated
+/// products construct a KernelEngine directly — it keeps the team, the
+/// first-touch data placement and the tuned kernel variant alive across
+/// iterations instead of paying setup per call.
 void spmv_csr_parallel(const CsrMatrix& a, std::span<const double> x,
                        std::span<double> y, const RowPartition& partition);
 

@@ -52,6 +52,15 @@ public:
     /// Offset of chunk k's first element in values()/colidx().
     [[nodiscard]] std::int64_t chunk_offset(std::int64_t k) const;
 
+    /// Whole geometry arrays (for kernels that loop over chunk ranges):
+    /// chunks()+1 offsets and chunks() widths.
+    [[nodiscard]] std::span<const std::int64_t> chunk_offsets() const noexcept {
+        return {chunk_offset_.data(), chunk_offset_.size()};
+    }
+    [[nodiscard]] std::span<const std::int64_t> chunk_widths() const noexcept {
+        return {chunk_width_.data(), chunk_width_.size()};
+    }
+
     /// Row permutation: perm()[sorted_position] = original row.
     [[nodiscard]] std::span<const std::int32_t> perm() const noexcept {
         return {perm_.data(), perm_.size()};

@@ -1,0 +1,70 @@
+#include "sync/worker_team.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+WorkerTeam::WorkerTeam(std::size_t workers) {
+    SPMV_EXPECTS(workers >= 1);
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+WorkerTeam::~WorkerTeam() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    start_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void WorkerTeam::run(const std::function<void(std::size_t)>& fn) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        SPMV_EXPECTS(remaining_ == 0);  // not reentrant
+        fn_ = &fn;
+        failure_ = nullptr;
+        remaining_ = threads_.size();
+        ++generation_;
+    }
+    start_.notify_all();
+    std::exception_ptr failure;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return remaining_ == 0; });
+        fn_ = nullptr;
+        failure = failure_;
+        failure_ = nullptr;
+    }
+    if (failure) std::rethrow_exception(failure);
+}
+
+void WorkerTeam::worker_loop(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_.wait(lock,
+                        [this, seen] { return stopping_ || generation_ != seen; });
+            if (stopping_) return;
+            seen = generation_;
+            fn = fn_;
+        }
+        std::exception_ptr error;
+        try {
+            (*fn)(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !failure_) failure_ = error;
+            if (--remaining_ == 0) done_.notify_all();
+        }
+    }
+}
+
+}  // namespace spmvcache

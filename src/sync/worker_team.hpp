@@ -1,0 +1,62 @@
+// Persistent worker team with *stable* worker identities, the execution
+// substrate of the kernel engine (kernels/engine.hpp).
+//
+// Unlike ThreadPool (a FIFO work queue where any worker may pick up any
+// task), WorkerTeam::run(fn) always executes fn(i) on the same OS thread
+// for a given i. That stability is what makes first-touch NUMA placement
+// meaningful: the worker that initialises a row range's slice of x, y and
+// the matrix arrays is the worker that executes every subsequent SpMV
+// iteration over that range, so pages stay local to the core that faults
+// them in. It also makes the team a drop-in replacement for an OpenMP
+// static worksharing region without the per-call team management of
+// `#pragma omp parallel for`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spmvcache {
+
+/// Fixed team of workers; run(fn) executes fn(i) on worker i for every
+/// i in [0, size()) and blocks until all have finished (a full barrier).
+class WorkerTeam {
+public:
+    /// Spawns `workers` threads that idle until run(). Pre: workers >= 1.
+    explicit WorkerTeam(std::size_t workers);
+    ~WorkerTeam();
+
+    WorkerTeam(const WorkerTeam&) = delete;
+    WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+    /// Executes fn(i) on worker i for all i, then returns once every worker
+    /// is done. The first exception thrown by any fn(i) is rethrown on the
+    /// calling thread after the barrier (the remaining workers still finish
+    /// their indices). Not reentrant: run() must not be called from inside
+    /// a team task, and only one run() may be active at a time.
+    void run(const std::function<void(std::size_t)>& fn);
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return threads_.size();
+    }
+
+private:
+    void worker_loop(std::size_t index);
+
+    std::mutex mutex_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)>* fn_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::size_t remaining_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr failure_;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace spmvcache

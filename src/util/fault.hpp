@@ -16,7 +16,7 @@
 //
 // Registered points (grep for the literals): mm.open, mm.header,
 // mm.size_line, mm.read_entry, trace.generate, trace.worker, trace.pack,
-// reuse.access, batch.item.
+// reuse.access, batch.item, kernel.exec.
 #pragma once
 
 #include <cstdint>

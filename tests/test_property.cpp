@@ -3,10 +3,16 @@
 // hierarchy counter identities, and simulator determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "cachesim/hierarchy.hpp"
 #include "sparse/gen/random.hpp"
+#include "sparse/partition.hpp"
 #include "trace/spmv_trace.hpp"
 #include "util/prng.hpp"
 
@@ -108,6 +114,95 @@ TEST_P(TraceProperty, LengthAndThreadOwnership) {
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, TraceProperty,
                          testing::Values(1, 2, 3, 7, 16, 48, 97, 200));
+
+// ---- RowPartition balance properties --------------------------------------
+
+/// Matrices that stress the partition boundaries: trailing/leading empty
+/// rows, one huge row spanning several shares, skewed tails, and the
+/// all-empty matrix.
+std::vector<std::pair<std::string, CsrMatrix>> partition_corpus() {
+    std::vector<std::pair<std::string, CsrMatrix>> corpus;
+    corpus.emplace_back("uniform", gen::random_uniform(211, 211, 6, 3));
+    corpus.emplace_back("skewed",
+                        gen::random_variable_rows(211, 211, 5.0, 2.5, 5));
+    {
+        CsrBuilder b(100, 100);  // nonzeros only in the first 10 rows
+        for (std::int64_t r = 0; r < 10; ++r)
+            for (std::int32_t c = 0; c < 20; ++c)
+                b.push(r, c, 1.0);
+        corpus.emplace_back("trailing_empty", std::move(b).finish());
+    }
+    {
+        CsrBuilder b(100, 100);  // nonzeros only in the last 5 rows
+        for (std::int64_t r = 95; r < 100; ++r)
+            for (std::int32_t c = 0; c < 8; ++c)
+                b.push(r, c, 1.0);
+        corpus.emplace_back("leading_empty", std::move(b).finish());
+    }
+    {
+        CsrBuilder b(50, 100);  // one row holds ~95% of the nonzeros
+        for (std::int32_t c = 0; c < 95; ++c) b.push(20, c, 1.0);
+        for (std::int64_t r = 21; r < 26; ++r)
+            b.push(r, 0, 1.0);
+        corpus.emplace_back("huge_row", std::move(b).finish());
+    }
+    {
+        CsrBuilder b(40, 40);
+        corpus.emplace_back("all_empty", std::move(b).finish());
+    }
+    return corpus;
+}
+
+class PartitionProperty : public testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PartitionProperty, RangesAreContiguousAndCoverAllRows) {
+    const std::int64_t threads = GetParam();
+    for (const auto& [name, m] : partition_corpus()) {
+        for (const PartitionPolicy policy :
+             {PartitionPolicy::BalancedRows,
+              PartitionPolicy::BalancedNonzeros}) {
+            const RowPartition partition(m, threads, policy);
+            ASSERT_EQ(partition.threads(), threads) << name;
+            std::int64_t cursor = 0;
+            for (std::int64_t t = 0; t < threads; ++t) {
+                const auto& range = partition.range(t);
+                EXPECT_EQ(range.begin, cursor) << name << " thread " << t;
+                EXPECT_LE(range.begin, range.end) << name << " thread " << t;
+                cursor = range.end;
+            }
+            EXPECT_EQ(cursor, m.rows()) << name;
+        }
+    }
+}
+
+TEST_P(PartitionProperty, NonzeroBalanceWithinOneRow) {
+    // The nonzero-balanced policy can only miss the ideal share by the
+    // one row that straddles each boundary (plus integer rounding): for
+    // every range, |nnz(range) - nnz/threads| <= max_row_nnz + 1.
+    const std::int64_t threads = GetParam();
+    for (const auto& [name, m] : partition_corpus()) {
+        const RowPartition partition(m, threads,
+                                     PartitionPolicy::BalancedNonzeros);
+        const auto rowptr = m.rowptr();
+        std::int64_t max_row = 0;
+        for (std::int64_t r = 0; r < m.rows(); ++r)
+            max_row = std::max(max_row,
+                               rowptr[static_cast<std::size_t>(r) + 1] -
+                                   rowptr[static_cast<std::size_t>(r)]);
+        const double ideal = static_cast<double>(m.nnz()) /
+                             static_cast<double>(threads);
+        const auto per_thread = partition.nnz_per_thread(m);
+        for (std::size_t t = 0; t < per_thread.size(); ++t) {
+            EXPECT_LE(
+                std::abs(static_cast<double>(per_thread[t]) - ideal),
+                static_cast<double>(max_row) + 1.0)
+                << name << " thread " << t << " of " << threads;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PartitionProperty,
+                         testing::Values(1, 2, 3, 5, 8, 16, 33, 101));
 
 // ---- Sector cache fuzzing -------------------------------------------------
 

@@ -99,6 +99,91 @@ TEST(Sell, RowsNotMultipleOfChunkHeight) {
         EXPECT_NEAR(y_sell[i], y_csr[i], 1e-12);
 }
 
+/// Ragged worst case: interleaved empty and long rows, so chunks mix
+/// length-0 lanes with full lanes and every chunk carries padding.
+CsrMatrix ragged_matrix(std::int64_t rows, std::int64_t cols) {
+    CsrBuilder b(rows, cols);
+    Xoshiro256 rng(29);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        if (r % 3 == 0) continue;  // every third row has no nonzeros
+        const std::int64_t len = r % 7 == 1 ? 19 : 1 + r % 4;
+        std::int64_t col = static_cast<std::int64_t>(rng.uniform() *
+                                                     static_cast<double>(
+                                                         cols / 2));
+        for (std::int64_t j = 0; j < len && col < cols; ++j) {
+            b.push(r, static_cast<std::int32_t>(col),
+                   rng.uniform(-1.0, 1.0));
+            col += 1 + static_cast<std::int64_t>(rng.uniform() * 3.0);
+        }
+    }
+    return std::move(b).finish();
+}
+
+class SellRagged : public testing::TestWithParam<
+                       std::tuple<std::int64_t, std::int64_t, std::int64_t>> {
+};
+
+TEST_P(SellRagged, MatchesCsrWithEmptyRowsAndPartialChunks) {
+    const auto [rows, c, sigma] = GetParam();
+    const CsrMatrix csr = ragged_matrix(rows, rows);
+    const SellCSigmaMatrix sell(csr, c, sigma);
+    ASSERT_EQ(sell.nnz(), csr.nnz());
+    // Zero-length rows pad their whole lane; the padding columns must be
+    // harmless (they index an existing x entry with value 0).
+    EXPECT_GE(sell.padding_factor(), 1.0);
+
+    const auto x = random_vector(static_cast<std::size_t>(rows), 5);
+    auto y_csr = random_vector(static_cast<std::size_t>(rows), 6);
+    auto y_sell = y_csr;
+    spmv_csr(csr, x, y_csr);
+    spmv_sell(sell, x, y_sell);
+    for (std::size_t i = 0; i < y_csr.size(); ++i)
+        EXPECT_NEAR(y_sell[i], y_csr[i], 1e-12) << "row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SellRagged,
+    testing::Values(
+        // sigma not dividing rows, rows not a multiple of C
+        std::make_tuple(std::int64_t{101}, std::int64_t{8}, std::int64_t{24}),
+        // last chunk has a single row
+        std::make_tuple(std::int64_t{65}, std::int64_t{8}, std::int64_t{8}),
+        // C > rows: one partial chunk only
+        std::make_tuple(std::int64_t{5}, std::int64_t{16}, std::int64_t{16}),
+        // unsorted (sigma = 1) keeps original lane order
+        std::make_tuple(std::int64_t{77}, std::int64_t{4}, std::int64_t{1})));
+
+TEST(Sell, AllRowsEmpty) {
+    CsrBuilder b(13, 13);
+    const CsrMatrix csr = std::move(b).finish();
+    const SellCSigmaMatrix sell(csr, 8, 8);
+    EXPECT_EQ(sell.nnz(), 0);
+    const auto x = random_vector(13, 8);
+    std::vector<double> y(13, 1.5);
+    spmv_sell(sell, x, y);
+    for (const double v : y) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Sell, PaddingLanesDoNotPerturbResults) {
+    // A chunk whose rows differ wildly in length: the padded lanes of the
+    // short rows must contribute exactly 0, even with a poisoned x.
+    CsrBuilder b(8, 8);
+    for (std::int32_t col = 0; col < 8; ++col)
+        b.push(0, col, 1.0);                 // row 0: full
+    b.push(3, 2, 4.0);                       // row 3: single entry
+    const CsrMatrix csr = std::move(b).finish();
+    const SellCSigmaMatrix sell(csr, 8, 1);
+    EXPECT_GT(sell.padded_nnz(), csr.nnz());
+
+    std::vector<double> x(8, 1e300);         // poison: padding that gathers
+    std::vector<double> y(8, 0.0);           // a nonzero x would explode
+    spmv_sell(sell, x, y);
+    EXPECT_DOUBLE_EQ(y[0], 8.0 * 1e300);
+    EXPECT_DOUBLE_EQ(y[3], 4.0 * 1e300);
+    for (const std::size_t r : {1u, 2u, 4u, 5u, 6u, 7u})
+        EXPECT_DOUBLE_EQ(y[r], 0.0) << "row " << r;
+}
+
 TEST(SellTrace, LengthFormulaHolds) {
     const CsrMatrix csr = gen::random_variable_rows(200, 200, 6.0, 1.0, 13);
     const SellCSigmaMatrix sell(csr, 8, 16);

@@ -7,6 +7,8 @@
 //   spmvcache tune     <matrix.mtx> [--threads T]    best sector config
 //   spmvcache convert  <in.mtx> <out.mtx> [--rcm]    reorder / normalise
 //   spmvcache batch    <dir|list|matrix.mtx>         isolated sweep + report
+//   spmvcache kernelbench <matrix.mtx> [--threads T] [--variant V]
+//                                                    time the kernel engine
 //
 // Every subcommand also accepts --gen FAMILY:ARG (e.g. --gen stencil2d5:512)
 // instead of a .mtx path, for experimentation without input files.
@@ -18,11 +20,14 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/spmvcache.hpp"
+#include "kernels/engine.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -41,6 +46,8 @@ using namespace spmvcache;
            "  convert   rewrite a matrix (optionally RCM-reordered)\n"
            "  batch     model a directory/list of matrices with per-matrix\n"
            "            isolation and a machine-readable failure report\n"
+           "  kernelbench  run the SpMV kernel engine on the host and time\n"
+           "            its variants against the spmv_csr_parallel baseline\n"
            "options: --threads T --l2-ways N --l1-ways N --method a|b "
            "--rcm --gen FAMILY:N --strict\n"
            "         --jobs J  host workers for the sharded model (0 = all\n"
@@ -53,6 +60,10 @@ using namespace spmvcache;
            "                      timing/reference instrumentation\n"
            "batch:   --report FILE --format csv|json --timeout SECONDS\n"
            "         --no-model --no-retry\n"
+           "kernelbench: --variant csr|csr-prefetch|csr-simd|sell|\n"
+           "             sell-simd|merge|auto (default: all + auto pick)\n"
+           "             --iters N --prefetch-distance D (0 = calibrate)\n"
+           "             --report FILE --format csv|json\n"
            "families: stencil2d5 stencil3d27 banded circuit random "
            "randomcv blockfem\n"
            "exit codes: 0 ok, 1 input/matrix failures, 2 usage or fatal\n";
@@ -425,6 +436,137 @@ int cmd_batch(const CliParser& cli) {
     return report.exit_code();
 }
 
+/// One timed kernelbench leg.
+struct KernelRow {
+    std::string variant;
+    double gflops = 0.0;
+    double speedup = 0.0;
+    EngineInfo info;
+};
+
+int cmd_kernelbench(const CliParser& cli) {
+    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    if (!loaded.ok()) {
+        report_error(loaded.error());
+        return 1;
+    }
+    const CsrMatrix& m = loaded.value();
+    const std::int64_t threads = cli.get_int("threads", 1);
+    const std::int64_t iters = cli.get_int(
+        "iters",
+        std::max<std::int64_t>(
+            3, (std::int64_t{1} << 26) / std::max<std::int64_t>(m.nnz(), 1)));
+
+    std::vector<KernelVariant> variants;
+    const std::string requested = cli.get("variant", "");
+    if (!requested.empty() && requested != "all") {
+        const Result<KernelVariant> parsed = parse_kernel_variant(requested);
+        if (!parsed.ok()) {
+            report_error(parsed.error());
+            return kExitUsage;
+        }
+        variants.push_back(parsed.value());
+    } else {
+        variants = {KernelVariant::CsrScalar,   KernelVariant::CsrPrefetch,
+                    KernelVariant::CsrSimd,     KernelVariant::SellScalar,
+                    KernelVariant::SellSimd,    KernelVariant::CsrMerge,
+                    KernelVariant::Auto};
+    }
+
+    std::vector<double> x(static_cast<std::size_t>(m.cols()), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m.rows()), 0.0);
+    const double flops = 2.0 * static_cast<double>(m.nnz()) *
+                         static_cast<double>(iters);
+
+    // Baseline: the per-call spmv_csr_parallel entry point.
+    const RowPartition partition(m, threads,
+                                 PartitionPolicy::BalancedNonzeros);
+    spmv_csr_parallel(m, x, y, partition);  // warm-up
+    Timer base_timer;
+    for (std::int64_t i = 0; i < iters; ++i)
+        spmv_csr_parallel(m, x, y, partition);
+    const double base_seconds = base_timer.seconds();
+    const double base_gflops =
+        base_seconds > 0 ? flops / base_seconds / 1e9 : 0.0;
+
+    std::vector<KernelRow> rows;
+    for (const KernelVariant v : variants) {
+        EngineOptions options;
+        options.threads = threads;
+        options.variant = v;
+        options.prefetch_distance = cli.get_int("prefetch-distance", 0);
+        KernelEngine engine(m, options);
+        engine.run_iterations(x, y, 1);  // warm-up
+        Timer timer;
+        engine.run_iterations(x, y, iters);
+        const double seconds = timer.seconds();
+        KernelRow row;
+        row.variant = to_string(v);
+        row.info = engine.info();
+        row.gflops = seconds > 0 ? flops / seconds / 1e9 : 0.0;
+        row.speedup = base_gflops > 0 ? row.gflops / base_gflops : 0.0;
+        rows.push_back(std::move(row));
+    }
+
+    TextTable t({"variant", "resolved", "GFLOP/s", "vs baseline", "isa",
+                 "prefetch d"});
+    t.add_row({"spmv_csr_parallel", "-", fmt(base_gflops, 2), "1.00", "-",
+               "-"});
+    for (const auto& row : rows)
+        t.add_row({row.variant, to_string(row.info.variant),
+                   fmt(row.gflops, 2), fmt(row.speedup, 2),
+                   simd::to_string(row.info.isa),
+                   row.info.variant == KernelVariant::CsrPrefetch
+                       ? std::to_string(row.info.prefetch_distance)
+                       : "-"});
+    t.render(std::cout, std::to_string(threads) + " thread(s), " +
+                            std::to_string(iters) + " iterations, host " +
+                            simd::to_string(simd::best().isa) + ":");
+
+    const std::string report_path = cli.get("report", "");
+    if (!report_path.empty()) {
+        std::ofstream out(report_path);
+        if (!out) {
+            report_error(Error(ErrorCode::ResourceError,
+                               "cannot write report '" + report_path + "'"));
+            return kExitUsage;
+        }
+        const std::string format = to_lower(cli.get(
+            "format", report_path.size() > 5 &&
+                              report_path.substr(report_path.size() - 5) ==
+                                  ".json"
+                          ? "json"
+                          : "csv"));
+        if (format == "json") {
+            out << "{\"threads\": " << threads << ", \"iters\": " << iters
+                << ", \"baseline_gflops\": " << base_gflops
+                << ", \"host_simd\": \"" << simd::to_string(simd::best().isa)
+                << "\",\n \"variants\": [\n";
+            for (std::size_t i = 0; i < rows.size(); ++i)
+                out << "  {\"variant\": \"" << rows[i].variant
+                    << "\", \"resolved\": \""
+                    << to_string(rows[i].info.variant)
+                    << "\", \"gflops\": " << rows[i].gflops
+                    << ", \"speedup\": " << rows[i].speedup
+                    << ", \"isa\": \"" << simd::to_string(rows[i].info.isa)
+                    << "\", \"prefetch_distance\": "
+                    << rows[i].info.prefetch_distance << "}"
+                    << (i + 1 < rows.size() ? "," : "") << "\n";
+            out << " ]}\n";
+        } else {
+            out << "variant,resolved,gflops,speedup,isa,prefetch_distance\n";
+            for (const auto& row : rows)
+                out << row.variant << ',' << to_string(row.info.variant)
+                    << ',' << row.gflops << ',' << row.speedup << ','
+                    << simd::to_string(row.info.isa) << ','
+                    << row.info.prefetch_distance << "\n";
+        }
+        std::cout << "report written to " << report_path << " (" << format
+                  << ")\n";
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -439,6 +581,7 @@ int main(int argc, char** argv) {
         if (command == "tune") return cmd_tune(cli);
         if (command == "convert") return cmd_convert(cli);
         if (command == "batch") return cmd_batch(cli);
+        if (command == "kernelbench") return cmd_kernelbench(cli);
     } catch (const std::exception& e) {
         // Input errors are handled through the Status layer above; anything
         // landing here is a programmer error or resource exhaustion.
