@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the `spmvcache serve` daemon as a real process:
+# a burst of well-formed, malformed, and oversized requests over stdin,
+# then a SIGTERM-drain variant. Asserts every request is answered, the
+# daemon never crashes, and both exits are clean (exit code 0).
+#
+#   scripts/serve_smoke.sh [path/to/spmvcache]
+set -euo pipefail
+
+BIN="${1:-./build/tools/spmvcache}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+[ -x "$BIN" ] || { echo "serve_smoke: no binary at $BIN" >&2; exit 2; }
+
+# ---- leg 1: mixed request burst, shutdown request, clean drain ----------
+REQS="$WORK/requests.jsonl"
+{
+  echo '{"id":"h0","op":"health"}'
+  for i in $(seq 1 8); do
+    echo "{\"id\":\"p$i\",\"op\":\"predict\",\"gen\":\"stencil2d5:24\",\"threads\":2}"
+  done
+  echo 'this line is not json'
+  echo '{"id":"nosrc","op":"predict"}'
+  # Oversized: far beyond --max-request-bytes below.
+  printf '{"id":"big","op":"predict","gen":"%s"}\n' \
+    "$(head -c 6000 /dev/zero | tr '\0' 'x')"
+  echo '{"id":"c1","op":"predict","matrix":"tests/data/corrupt/truncated_entries.mtx","strict":true}'
+  echo '{"id":"end","op":"shutdown"}'
+} > "$REQS"
+
+OUT="$WORK/responses.jsonl"
+LOG="$WORK/serve.log"
+"$BIN" serve --workers 2 --max-request-bytes 4096 < "$REQS" > "$OUT" 2> "$LOG"
+echo "serve_smoke: leg 1 exit ok"
+
+lines_in=$(wc -l < "$REQS")
+lines_out=$(wc -l < "$OUT")
+[ "$lines_out" -eq "$lines_in" ] || {
+  echo "serve_smoke: expected $lines_in responses, got $lines_out" >&2
+  cat "$OUT" >&2; exit 1
+}
+grep -q '"id":"h0".*"ok":true' "$OUT"
+grep -q '"id":"p1".*"ok":true' "$OUT"
+grep -q '"code":"ParseError"' "$OUT"        # the non-JSON line
+grep -q '"code":"ValidationError"' "$OUT"   # oversized / missing source
+grep -q '"id":"c1".*"ok":false' "$OUT"      # corrupt matrix answered, typed
+grep -q '"id":"end".*"ok":true' "$OUT"
+grep -q 'draining (shutdown)' "$LOG"
+grep -q 'final stats:' "$LOG"
+echo "serve_smoke: leg 1 responses verified"
+
+# ---- leg 2: SIGTERM mid-stream drains gracefully ------------------------
+FIFO="$WORK/in.fifo"
+mkfifo "$FIFO"
+OUT2="$WORK/responses2.jsonl"
+LOG2="$WORK/serve2.log"
+"$BIN" serve --workers 2 < "$FIFO" > "$OUT2" 2> "$LOG2" &
+SERVE_PID=$!
+exec 3> "$FIFO"
+echo '{"id":"w1","op":"predict","gen":"stencil2d5:24","threads":2}' >&3
+# Wait until the first response lands so the daemon is mid-loop, not
+# still starting up.
+for _ in $(seq 1 100); do
+  grep -q '"id":"w1"' "$OUT2" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q '"id":"w1"' "$OUT2" || { echo "serve_smoke: no response before signal" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+exec 3>&-
+code=0
+wait "$SERVE_PID" || code=$?
+[ "$code" -eq 0 ] || { echo "serve_smoke: SIGTERM exit was $code" >&2; cat "$LOG2" >&2; exit 1; }
+grep -q 'draining (signal)' "$LOG2"
+grep -q 'final stats:' "$LOG2"
+echo "serve_smoke: leg 2 SIGTERM drain verified"
+echo "serve_smoke: OK"

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/deadline.hpp"
 #include "model/method_a.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/matrix_stats.hpp"
@@ -103,37 +104,50 @@ BatchItemResult attempt_one(const std::string& path,
     }
 }
 
-/// attempt_one under a wall-clock budget. On timeout the worker thread is
-/// abandoned (detached) and the matrix recorded as TimeoutError; threads
-/// cannot be killed portably, so a stuck parse may keep a core busy until
-/// process exit — the sweep itself continues.
+/// attempt_one under the shared wall-clock mechanism (core/deadline.hpp).
+/// On timeout the worker thread is abandoned (detached) and the matrix
+/// recorded as TimeoutError; threads cannot be killed portably, so a stuck
+/// parse may keep a core busy until process exit — the sweep itself
+/// continues. The lambda copies path and options so the abandoned thread
+/// never touches caller stack.
 BatchItemResult attempt_with_timeout(const std::string& path,
                                      const BatchOptions& options) {
-    if (options.timeout_seconds <= 0.0) return attempt_one(path, options);
-
-    std::packaged_task<BatchItemResult()> task(
-        [path, options] { return attempt_one(path, options); });
-    std::future<BatchItemResult> future = task.get_future();
-    std::thread worker(std::move(task));
-    const auto budget =
-        std::chrono::duration<double>(options.timeout_seconds);
-    if (future.wait_for(budget) == std::future_status::ready) {
-        worker.join();
-        return future.get();
-    }
-    worker.detach();
+    // BatchOptions::cancel_check is not copyable into the detached worker
+    // cheaply and must not be consulted mid-item anyway (items are the
+    // isolation unit), so strip it before the capture.
+    BatchOptions worker_options = options;
+    worker_options.cancel_check = nullptr;
+    Result<BatchItemResult> attempted = run_with_deadline<BatchItemResult>(
+        options.timeout_seconds, [path, worker_options] {
+            return Result<BatchItemResult>(
+                attempt_one(path, worker_options));
+        });
+    if (attempted.ok()) return std::move(attempted).value();
     BatchItemResult item;
     item.path = path;
     item.name = fs::path(path).stem().string();
     item.ok = false;
     item.stage = BatchStage::Parse;
-    item.code = ErrorCode::TimeoutError;
+    item.code = attempted.error().code;
     item.seconds = options.timeout_seconds;
-    item.message =
-        Error(ErrorCode::TimeoutError,
-              "exceeded per-matrix budget of " +
-                  std::to_string(options.timeout_seconds) + " s")
-            .render();
+    item.message = Error(attempted.error())
+                       .wrap("per-matrix budget")
+                       .render();
+    return item;
+}
+
+/// A matrix the drained sweep never started, recorded so the report still
+/// names every input.
+BatchItemResult cancelled_item(const std::string& path) {
+    BatchItemResult item;
+    item.path = path;
+    item.name = fs::path(path).stem().string();
+    item.ok = false;
+    item.stage = BatchStage::Parse;
+    item.code = ErrorCode::Cancelled;
+    item.message = Error(ErrorCode::Cancelled,
+                         "sweep drained before this matrix started")
+                       .render();
     return item;
 }
 
@@ -248,9 +262,21 @@ BatchReport run_batch(const std::vector<std::string>& paths,
                       const BatchOptions& options) {
     BatchReport report;
     report.items.reserve(paths.size());
-    for (const auto& path : paths) {
+    const auto cancelled = [&options] {
+        return options.cancel_check && options.cancel_check();
+    };
+    for (std::size_t n = 0; n < paths.size(); ++n) {
+        const std::string& path = paths[n];
+        if (cancelled()) {
+            // Graceful drain: record this and every remaining matrix as
+            // Cancelled so the failure report stays complete, then stop.
+            for (std::size_t rest = n; rest < paths.size(); ++rest)
+                report.items.push_back(cancelled_item(paths[rest]));
+            break;
+        }
         BatchItemResult item = attempt_with_timeout(path, options);
-        if (!item.ok && options.retry_transient && is_transient(item.code)) {
+        if (!item.ok && options.retry_transient &&
+            is_transient(item.code) && !cancelled()) {
             item = attempt_with_timeout(path, options);
             item.retried = true;
         }

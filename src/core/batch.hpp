@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -51,6 +52,11 @@ struct BatchOptions {
     /// Retry a failed matrix once when the failure looks transient
     /// (ResourceError or an injected fault).
     bool retry_transient = true;
+    /// Polled between matrices (and before a retry); when it returns true
+    /// the sweep drains gracefully — matrices not yet started are recorded
+    /// as Cancelled so the CSV/JSON report still accounts for every input.
+    /// The CLI wires this to the SIGINT/SIGTERM drain flag (util/signal).
+    std::function<bool()> cancel_check;
 };
 
 /// Outcome of one matrix.

@@ -1,0 +1,72 @@
+#include "core/matrix_source.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "sparse/gen/banded.hpp"
+#include "sparse/gen/block.hpp"
+#include "sparse/gen/random.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/matrix_market.hpp"
+#include "util/cli.hpp"
+
+namespace spmvcache {
+
+std::string MatrixSource::canonical_key() const {
+    std::string key;
+    if (!path.empty()) {
+        key = "file:" + path;
+    } else {
+        key = "gen:" + gen_spec + "@" + std::to_string(seed);
+    }
+    key += "|strict=";
+    key += strict_parse ? '1' : '0';
+    return key;
+}
+
+[[nodiscard]] Result<CsrMatrix> generated_matrix(const std::string& spec,
+                                   std::uint64_t seed) {
+    const auto colon = spec.find(':');
+    const std::string family =
+        colon == std::string::npos ? spec : spec.substr(0, colon);
+    std::int64_t n = 512;
+    if (colon != std::string::npos) {
+        Result<std::int64_t> parsed =
+            parse_int(std::string_view(spec).substr(colon + 1));
+        if (!parsed.ok())
+            return std::move(parsed)
+                .wrap("parsing generator size in '" + spec + "'")
+                .to_error();
+        n = parsed.value();
+    }
+    if (n <= 0)
+        return Error(ErrorCode::ValidationError,
+                     "generator size must be positive in '" + spec + "'");
+    if (family == "stencil2d5") return gen::stencil_2d_5pt(n, n);
+    if (family == "stencil3d27") return gen::stencil_3d_27pt(n, n, n);
+    if (family == "banded") return gen::banded(n, 16, n / 256 + 1, seed);
+    if (family == "circuit")
+        return gen::circuit(n, 3.0, n / 64 + 1, 0.05, seed);
+    if (family == "random") return gen::random_uniform(n, n, 24, seed);
+    if (family == "randomcv")
+        return gen::random_variable_rows(n, n, 8.0, 2.0, seed);
+    if (family == "blockfem")
+        return gen::block_fem(std::max<std::int64_t>(2, n / 8), 8, 6,
+                              std::max<std::int64_t>(6, n / 64), seed);
+    return Error(ErrorCode::ValidationError,
+                 "unknown generator family: " + family);
+}
+
+[[nodiscard]] Result<CsrMatrix> load_matrix_source(const MatrixSource& source) {
+    if (source.empty())
+        return Error(ErrorCode::ValidationError,
+                     "request names no matrix (need a path or a gen spec)");
+    if (!source.gen_spec.empty())
+        return generated_matrix(source.gen_spec, source.seed);
+    MmReadOptions options;
+    options.strict = source.strict_parse;
+    return try_read_matrix_market_file(source.path, options);
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,42 @@
+// A matrix "source": either a Matrix Market file path or a generator spec
+// (`FAMILY:N`, e.g. `stencil2d5:512`). The CLI subcommands and the serve
+// daemon share this one loader, so a request can name a matrix exactly the
+// way the command line does and both front ends agree on what it denotes —
+// canonical_key() is that shared identity (quarantine and logging key on
+// it before a fingerprint can exist).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "util/status.hpp"
+
+namespace spmvcache {
+
+/// Where a request's matrix comes from. Exactly one of `path` / `gen_spec`
+/// is non-empty.
+struct MatrixSource {
+    std::string path;      ///< Matrix Market file
+    std::string gen_spec;  ///< generator family:size spec
+    std::uint64_t seed = 42;
+    bool strict_parse = false;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return path.empty() && gen_spec.empty();
+    }
+
+    /// Stable identity string ("file:/a/b.mtx|strict=1", "gen:banded:64@42")
+    /// used for quarantine keys and log lines.
+    [[nodiscard]] std::string canonical_key() const;
+};
+
+/// Builds a matrix from a generator spec (`stencil2d5:512`). Families:
+/// stencil2d5 stencil3d27 banded circuit random randomcv blockfem.
+[[nodiscard]] Result<CsrMatrix> generated_matrix(const std::string& spec,
+                                                 std::uint64_t seed);
+
+/// Loads the source (file parse or generator run), typed errors on failure.
+[[nodiscard]] Result<CsrMatrix> load_matrix_source(const MatrixSource& source);
+
+}  // namespace spmvcache

@@ -1,0 +1,37 @@
+#include "core/model_runner.hpp"
+
+#include <utility>
+
+#include "core/deadline.hpp"
+#include "model/method_a.hpp"
+#include "model/method_b.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace spmvcache {
+
+const char* to_string(ModelMethod method) noexcept {
+    return method == ModelMethod::B ? "b" : "a";
+}
+
+[[nodiscard]] Result<ModelMethod> parse_model_method(const std::string& text) {
+    const std::string lower = to_lower(text);
+    if (lower == "a") return ModelMethod::A;
+    if (lower == "b") return ModelMethod::B;
+    return Error(ErrorCode::ValidationError,
+                 "unknown model method '" + text + "' (expected a or b)");
+}
+
+[[nodiscard]] Result<ModelResult> run_model(std::shared_ptr<const CsrMatrix> m,
+                              const ModelOptions& options,
+                              ModelMethod method) {
+    SPMV_EXPECTS(m != nullptr);
+    return run_with_deadline<ModelResult>(
+        options.timeout_seconds,
+        [m = std::move(m), options, method]() -> Result<ModelResult> {
+            return method == ModelMethod::B ? run_method_b(*m, options)
+                                            : run_method_a(*m, options);
+        });
+}
+
+}  // namespace spmvcache

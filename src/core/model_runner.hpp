@@ -1,0 +1,33 @@
+// Deadline-aware front door to the miss model: the one-shot CLI
+// (`predict`/`tune` with --timeout) and every `spmvcache serve` request
+// run the model through this wrapper so they share a single wall-clock
+// budget mechanism (ModelOptions::timeout_seconds via core/deadline.hpp)
+// and a single exception boundary (escaping exceptions become typed
+// errors, never aborts).
+#pragma once
+
+#include <memory>
+
+#include "model/options.hpp"
+#include "sparse/csr.hpp"
+#include "util/status.hpp"
+
+namespace spmvcache {
+
+/// Which prediction method to run (paper §4: stack-distance variants).
+enum class ModelMethod : std::uint8_t { A, B };
+
+[[nodiscard]] const char* to_string(ModelMethod method) noexcept;
+
+/// ModelMethod from "a"/"b" (case-insensitive); ValidationError otherwise.
+[[nodiscard]] Result<ModelMethod> parse_model_method(const std::string& text);
+
+/// Runs method A or B over `m` honoring options.timeout_seconds. The
+/// matrix is passed via shared_ptr because an expired deadline abandons
+/// the computation on a detached thread, which must keep the matrix alive
+/// past the caller's scope (see core/deadline.hpp).
+[[nodiscard]] Result<ModelResult> run_model(
+    std::shared_ptr<const CsrMatrix> m, const ModelOptions& options,
+    ModelMethod method);
+
+}  // namespace spmvcache

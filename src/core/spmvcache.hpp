@@ -11,7 +11,10 @@
 #include "cachesim/hierarchy.hpp"
 #include "core/batch.hpp"
 #include "core/collection.hpp"
+#include "core/deadline.hpp"
 #include "core/experiment.hpp"
+#include "core/matrix_source.hpp"
+#include "core/model_runner.hpp"
 #include "kernels/cg.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/spmv_merge.hpp"

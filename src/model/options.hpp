@@ -50,6 +50,12 @@ struct ModelOptions {
     /// bit-identical either way (differential-tested); the knob trades
     /// memory for trace-derivation throughput only. CLI: --trace-buffer.
     std::uint64_t trace_buffer_bytes = kTraceBufferAuto;
+    /// Per-run wall-clock budget in seconds; <= 0 disables it. Enforced by
+    /// core/model_runner.hpp's run_model (the CLI --timeout flag and every
+    /// serve request share that one mechanism); the raw run_method_a/b
+    /// entry points ignore it. On expiry the run is abandoned on a
+    /// detached thread and TimeoutError returned — see core/deadline.hpp.
+    double timeout_seconds = 0.0;
 };
 
 /// Predicted misses for one sector-cache configuration.

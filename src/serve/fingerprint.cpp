@@ -1,0 +1,84 @@
+#include "serve/fingerprint.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+namespace spmvcache {
+
+namespace {
+
+/// Bucket index for a non-negative count: 0 for 0, otherwise
+/// 1 + floor(log2(count)) clamped to the last bucket.
+template <std::size_t N>
+std::size_t log2_bucket(std::uint64_t count) noexcept {
+    if (count == 0) return 0;
+    const auto bucket = static_cast<std::size_t>(std::bit_width(count));
+    return bucket < N ? bucket : N - 1;
+}
+
+/// Running 128-bit mix: feed words one at a time, alternating lanes with
+/// different odd multipliers so hi/lo decorrelate.
+struct Mix128 {
+    std::uint64_t hi = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t lo = 0xd1b54a32d192ed03ULL;
+
+    void feed(std::uint64_t word) noexcept {
+        hi = mix64(hi ^ word);
+        lo = mix64(lo + ((word * 0x2545f4914f6cdd1dULL) | 1ULL));
+    }
+};
+
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+MatrixFingerprint fingerprint_matrix(const CsrMatrix& m) {
+    MatrixFingerprint fp;
+    fp.rows = m.rows();
+    fp.cols = m.cols();
+    fp.nnz = m.nnz();
+
+    const auto rowptr = m.rowptr();
+    const auto colidx = m.colidx();
+    for (std::int64_t r = 0; r < fp.rows; ++r) {
+        const std::int64_t row_nnz = rowptr[static_cast<std::size_t>(r) + 1] -
+                                     rowptr[static_cast<std::size_t>(r)];
+        ++fp.row_hist[log2_bucket<kFingerprintRowBuckets>(
+            static_cast<std::uint64_t>(row_nnz))];
+        for (std::int64_t k = rowptr[static_cast<std::size_t>(r)];
+             k < rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
+            const std::int64_t distance = std::llabs(
+                static_cast<std::int64_t>(colidx[static_cast<std::size_t>(k)]) -
+                r);
+            ++fp.band_hist[log2_bucket<kFingerprintBandBuckets>(
+                static_cast<std::uint64_t>(distance))];
+        }
+    }
+
+    Mix128 mix;
+    mix.feed(static_cast<std::uint64_t>(fp.rows));
+    mix.feed(static_cast<std::uint64_t>(fp.cols));
+    mix.feed(static_cast<std::uint64_t>(fp.nnz));
+    for (const std::uint64_t bucket : fp.row_hist) mix.feed(bucket);
+    for (const std::uint64_t bucket : fp.band_hist) mix.feed(bucket);
+    fp.hash_hi = mix.hi;
+    fp.hash_lo = mix.lo;
+    return fp;
+}
+
+std::string to_string(const MatrixFingerprint& fp) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (const std::uint64_t word : {fp.hash_hi, fp.hash_lo})
+        for (int shift = 60; shift >= 0; shift -= 4)
+            out += kHex[(word >> shift) & 0xF];
+    return out;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,101 @@
+#include "serve/plan_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace spmvcache {
+
+PlanCache::PlanCache(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+    counters_.capacity_bytes = capacity_bytes;
+}
+
+std::optional<std::string> PlanCache::get(const PlanKey& key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++counters_.misses;
+        return std::nullopt;
+    }
+    // Refresh: splice the entry to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.hits;
+    return it->second->payload;
+}
+
+void PlanCache::put(const PlanKey& key, std::string payload) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (payload.size() > capacity_bytes_) return;  // can never fit
+    if (const auto it = index_.find(key); it != index_.end()) {
+        bytes_ -= it->second->payload.size();
+        bytes_ += payload.size();
+        it->second->payload = std::move(payload);
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        bytes_ += payload.size();
+        lru_.push_front(Entry{key, std::move(payload)});
+        index_.emplace(key, lru_.begin());
+        ++counters_.insertions;
+    }
+    evict_to_cap_locked();
+}
+
+void PlanCache::evict_to_cap_locked() {
+    while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+        const Entry& victim = lru_.back();
+        bytes_ -= victim.payload.size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++counters_.evictions;
+    }
+}
+
+PlanCacheStats PlanCache::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PlanCacheStats out = counters_;
+    out.entries = lru_.size();
+    out.bytes = bytes_;
+    return out;
+}
+
+Quarantine::Quarantine(int strike_limit) : strike_limit_(strike_limit) {
+    SPMV_EXPECTS(strike_limit >= 1);
+}
+
+std::optional<Error> Quarantine::check(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = records_.find(key);
+    if (it == records_.end() || it->second.strikes < strike_limit_)
+        return std::nullopt;
+    ++counters_.fast_failed;
+    return Error(it->second.last_error)
+        .wrap("quarantined after " + std::to_string(it->second.strikes) +
+              " failures");
+}
+
+int Quarantine::record_failure(std::uint64_t key, const Error& error) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Record& record = records_[key];
+    ++record.strikes;
+    record.last_error = error;
+    ++counters_.strikes;
+    if (record.strikes == strike_limit_) ++counters_.quarantined;
+    return record.strikes;
+}
+
+void Quarantine::record_success(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = records_.find(key);
+    if (it == records_.end()) return;
+    if (it->second.strikes >= strike_limit_ && counters_.quarantined > 0)
+        --counters_.quarantined;
+    records_.erase(it);
+}
+
+QuarantineStats Quarantine::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QuarantineStats out = counters_;
+    out.tracked = records_.size();
+    return out;
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,127 @@
+// Fingerprint-keyed LRU plan cache and the failure quarantine of the
+// serve daemon.
+//
+// PlanCache memoizes the *serialized* plan payload (the JSON object a
+// successful predict/tune/stats computed), keyed on the 128-bit matrix
+// fingerprint combined with an options digest (op, threads, method, way
+// list, ...). Caching the serialized bytes — not the ModelResult — makes
+// the cache-hit guarantee trivial: a hit replays byte-identical output,
+// so served predictions cannot drift from their one-shot counterparts.
+// The cache is bounded by payload bytes (hard cap, LRU eviction) and is
+// safe for concurrent pool workers.
+//
+// Quarantine tracks keys that keep failing: after `strike_limit`
+// non-transient failures the key fast-fails with the cached error instead
+// of re-running the doomed work (a poisoned .mtx re-requested by a sweep
+// must not cost a full parse + model every time). A success clears the
+// record, so a transiently unlucky matrix is not banned forever.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace spmvcache {
+
+/// 128-bit cache key (fingerprint mix xor'd with an options digest).
+struct PlanKey {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    [[nodiscard]] bool operator==(const PlanKey&) const noexcept = default;
+};
+
+struct PlanKeyHash {
+    [[nodiscard]] std::size_t operator()(const PlanKey& k) const noexcept {
+        return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+/// Counters surfaced through the `health` response and the final report.
+struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;           ///< payload bytes currently held
+    std::uint64_t capacity_bytes = 0;  ///< the hard cap
+};
+
+/// Byte-capped LRU of serialized plan payloads. All methods thread-safe.
+class PlanCache {
+public:
+    /// `capacity_bytes` == 0 disables caching (every get is a miss).
+    explicit PlanCache(std::uint64_t capacity_bytes);
+
+    /// The payload for `key` (refreshing its LRU position), or nullopt.
+    [[nodiscard]] std::optional<std::string> get(const PlanKey& key);
+
+    /// Inserts/overwrites `key`, then evicts LRU entries until the byte cap
+    /// holds again. A payload larger than the whole cap is not cached.
+    void put(const PlanKey& key, std::string payload);
+
+    [[nodiscard]] PlanCacheStats stats() const;
+
+private:
+    void evict_to_cap_locked();
+
+    struct Entry {
+        PlanKey key;
+        std::string payload;
+    };
+
+    mutable std::mutex mutex_;
+    std::uint64_t capacity_bytes_;
+    std::uint64_t bytes_ = 0;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash>
+        index_;
+    PlanCacheStats counters_{};
+};
+
+/// Quarantine counters for the `health` response.
+struct QuarantineStats {
+    std::uint64_t strikes = 0;       ///< failures recorded
+    std::uint64_t tracked = 0;       ///< keys with at least one strike
+    std::uint64_t quarantined = 0;   ///< keys at/over the strike limit
+    std::uint64_t fast_failed = 0;   ///< requests answered from quarantine
+};
+
+/// N-strikes failure tracker. All methods thread-safe.
+class Quarantine {
+public:
+    /// Pre: strike_limit >= 1.
+    explicit Quarantine(int strike_limit);
+
+    /// The cached error when `key` is quarantined (counts a fast-fail),
+    /// nullopt while it is still allowed to run.
+    [[nodiscard]] std::optional<Error> check(std::uint64_t key);
+
+    /// Records a non-transient failure; returns the strike count so far.
+    int record_failure(std::uint64_t key, const Error& error);
+
+    /// A success wipes the key's record.
+    void record_success(std::uint64_t key);
+
+    [[nodiscard]] QuarantineStats stats() const;
+
+private:
+    struct Record {
+        int strikes = 0;
+        Error last_error;
+    };
+
+    mutable std::mutex mutex_;
+    int strike_limit_;
+    std::unordered_map<std::uint64_t, Record> records_;
+    QuarantineStats counters_{};
+};
+
+}  // namespace spmvcache

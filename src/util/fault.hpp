@@ -16,7 +16,8 @@
 //
 // Registered points (grep for the literals): mm.open, mm.header,
 // mm.size_line, mm.read_entry, trace.generate, trace.worker, trace.pack,
-// reuse.access, batch.item, kernel.exec.
+// reuse.access, batch.item, kernel.exec, serve.accept, serve.execute,
+// serve.cache.
 #pragma once
 
 #include <cstdint>

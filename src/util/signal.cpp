@@ -1,0 +1,41 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+
+namespace spmvcache::drain {
+
+namespace {
+
+// Only async-signal-safe operations are allowed in the handler: writing a
+// volatile sig_atomic_t is the whole budget.
+volatile std::sig_atomic_t g_drain_requested = 0;
+volatile std::sig_atomic_t g_drain_signal = 0;
+
+extern "C" void drain_handler(int signum) {
+    g_drain_requested = 1;
+    g_drain_signal = signum;
+}
+
+}  // namespace
+
+bool install_drain_handlers() noexcept {
+    struct sigaction action = {};
+    action.sa_handler = drain_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: blocking reads must see EINTR
+    bool ok = true;
+    if (sigaction(SIGINT, &action, nullptr) != 0) ok = false;
+    if (sigaction(SIGTERM, &action, nullptr) != 0) ok = false;
+    return ok;
+}
+
+bool requested() noexcept { return g_drain_requested != 0; }
+
+int signal_number() noexcept { return static_cast<int>(g_drain_signal); }
+
+void reset() noexcept {
+    g_drain_requested = 0;
+    g_drain_signal = 0;
+}
+
+}  // namespace spmvcache::drain

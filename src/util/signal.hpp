@@ -1,0 +1,28 @@
+// Graceful-drain signal handling shared by the long-running front ends
+// (`spmvcache batch`, `spmvcache serve`).
+//
+// install_drain_handlers() points SIGINT and SIGTERM at a handler that only
+// sets a sig_atomic_t flag; the handlers are installed *without* SA_RESTART
+// so a blocking read (stdin JSONL loop) returns with EINTR and the caller
+// can notice the flag, finish in-flight work, and emit its final report
+// instead of dying mid-run. A second signal while draining is still just a
+// flag set — forced termination stays with SIGKILL, which cannot corrupt a
+// half-written report any further than losing it.
+#pragma once
+
+namespace spmvcache::drain {
+
+/// Installs the SIGINT/SIGTERM drain handlers (idempotent). Returns false
+/// when sigaction fails (the caller keeps running without drain support).
+bool install_drain_handlers() noexcept;
+
+/// True once any drain signal has been received.
+[[nodiscard]] bool requested() noexcept;
+
+/// The last drain signal received (SIGINT/SIGTERM), 0 when none.
+[[nodiscard]] int signal_number() noexcept;
+
+/// Clears the flag (tests re-arm between cases).
+void reset() noexcept;
+
+}  // namespace spmvcache::drain

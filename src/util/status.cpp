@@ -13,6 +13,7 @@ const char* to_string(ErrorCode code) noexcept {
         case ErrorCode::OverflowError: return "OverflowError";
         case ErrorCode::ResourceError: return "ResourceError";
         case ErrorCode::TimeoutError: return "TimeoutError";
+        case ErrorCode::OverloadedError: return "OverloadedError";
         case ErrorCode::Cancelled: return "Cancelled";
         case ErrorCode::FaultInjected: return "FaultInjected";
         case ErrorCode::InternalError: return "InternalError";

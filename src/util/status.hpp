@@ -35,6 +35,7 @@ enum class ErrorCode : std::uint8_t {
     OverflowError,     ///< dimension/nnz arithmetic would overflow
     ResourceError,     ///< missing file, unreadable stream, allocation
     TimeoutError,      ///< per-matrix wall-clock budget exceeded
+    OverloadedError,   ///< admission queue full; retry later (backpressure)
     Cancelled,         ///< caller asked the pipeline to stop
     FaultInjected,     ///< a test-armed fault::maybe_fail point fired
     InternalError,     ///< unexpected exception escaping a stage

@@ -1,0 +1,22 @@
+// Clean: the serve-daemon request-handling idiom — [[nodiscard]] on every
+// fallible parse/dispatch function, .value() only behind ok() branches,
+// snprintf (allowed) instead of sprintf, 64-bit loop indices over queues.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+[[nodiscard]] Result<Request> parse_request(const std::string& line);
+[[nodiscard]] Status enqueue(const Request& request);
+
+[[nodiscard]] Status handle_line(const std::string& line) {
+    Result<Request> parsed = parse_request(line);
+    if (!parsed.ok()) return parsed.status();
+    return enqueue(parsed.value());
+}
+
+[[nodiscard]] std::string drain_report(const std::vector<int>& pending) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "in flight: %zu", pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) touch(pending[i]);
+    return buffer;
+}

@@ -199,6 +199,28 @@ TEST_F(BatchTest, ModelStageFaultIsIsolatedPerMatrix) {
     EXPECT_EQ(failed.code, ErrorCode::FaultInjected);
 }
 
+TEST_F(BatchTest, CancelCheckDrainsRemainingMatricesAsCancelled) {
+    add_valid("a");
+    add_valid("b");
+    add_valid("c");
+    BatchOptions options = fast_options();
+    // Fires after the first matrix: exactly what the CLI's SIGINT/SIGTERM
+    // drain handler feeds through cancel_check.
+    int polls = 0;
+    options.cancel_check = [&polls] { return ++polls > 1; };
+    const BatchReport report =
+        run_batch(collect_matrix_paths(dir_.string()).value(), options);
+    ASSERT_EQ(report.items.size(), 3u);
+    EXPECT_TRUE(report.items[0].ok);
+    for (std::size_t i = 1; i < 3; ++i) {
+        EXPECT_FALSE(report.items[i].ok);
+        EXPECT_EQ(report.items[i].code, ErrorCode::Cancelled);
+        EXPECT_NE(report.items[i].message.find("drained"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(report.exit_code(), kExitSomeFailed);
+}
+
 TEST_F(BatchTest, StatsOnlyModeSkipsModelStage) {
     add_valid("quick");
     BatchOptions options = fast_options();

@@ -7,6 +7,7 @@
 //   spmvcache tune     <matrix.mtx> [--threads T]    best sector config
 //   spmvcache convert  <in.mtx> <out.mtx> [--rcm]    reorder / normalise
 //   spmvcache batch    <dir|list|matrix.mtx>         isolated sweep + report
+//   spmvcache serve                                  JSONL prediction daemon
 //   spmvcache kernelbench <matrix.mtx> [--threads T] [--variant V]
 //                                                    time the kernel engine
 //
@@ -14,18 +15,24 @@
 // instead of a .mtx path, for experimentation without input files.
 //
 // Exit codes are standardised: 0 = success, 1 = input/matrix errors (for
-// `batch`: some matrices failed), 2 = usage error or unexpected fatal
-// condition. All input failures flow through the typed Status layer
+// `batch`: some matrices failed — including matrices still pending when a
+// SIGINT/SIGTERM drain stopped the sweep), 2 = usage error or unexpected
+// fatal condition. All input failures flow through the typed Status layer
 // (util/status.hpp); the top-level catch only sees programmer errors.
+// SIGINT/SIGTERM never kill `batch` or `serve` mid-run: both drain
+// gracefully and still emit their reports.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/spmvcache.hpp"
 #include "kernels/engine.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/signal.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -46,6 +53,9 @@ using namespace spmvcache;
            "  convert   rewrite a matrix (optionally RCM-reordered)\n"
            "  batch     model a directory/list of matrices with per-matrix\n"
            "            isolation and a machine-readable failure report\n"
+           "  serve     long-running JSONL daemon on stdin/stdout: predict,\n"
+           "            tune, stats, health, shutdown requests with a\n"
+           "            fingerprint-keyed plan cache and graceful drain\n"
            "  kernelbench  run the SpMV kernel engine on the host and time\n"
            "            its variants against the spmv_csr_parallel baseline\n"
            "options: --threads T --l2-ways N --l1-ways N --method a|b "
@@ -58,8 +68,17 @@ using namespace spmvcache;
            "                   re-derive; predictions are identical)\n"
            "predict: --json FILE  machine-readable predictions + per-shard\n"
            "                      timing/reference instrumentation\n"
+           "predict/tune: --timeout SECONDS  wall-clock budget for the run\n"
+           "                      (0 = none; same mechanism as batch/serve)\n"
            "batch:   --report FILE --format csv|json --timeout SECONDS\n"
            "         --no-model --no-retry\n"
+           "         SIGINT/SIGTERM drain the sweep: finished matrices are\n"
+           "         reported, pending ones are marked Cancelled (exit 1)\n"
+           "serve:   --workers N --queue N --cache-bytes B --strikes N\n"
+           "         --timeout SECONDS --retries N --max-request-bytes B\n"
+           "         --execute-delay SECONDS (test hook)\n"
+           "         requests on stdin, one JSON object per line; responses\n"
+           "         on stdout; lifecycle + final stats on stderr\n"
            "kernelbench: --variant csr|csr-prefetch|csr-simd|sell|\n"
            "             sell-simd|merge|auto (default: all + auto pick)\n"
            "             --iters N --prefetch-distance D (0 = calibrate)\n"
@@ -74,46 +93,24 @@ void report_error(const Error& e) {
     std::cerr << "error: " << e.render() << "\n";
 }
 
-[[nodiscard]] Result<CsrMatrix> generated(const std::string& spec, std::uint64_t seed) {
-    const auto colon = spec.find(':');
-    const std::string family =
-        colon == std::string::npos ? spec : spec.substr(0, colon);
-    std::int64_t n = 512;
-    if (colon != std::string::npos) {
-        Result<std::int64_t> parsed =
-            parse_int(std::string_view(spec).substr(colon + 1));
-        if (!parsed.ok())
-            return std::move(parsed)
-                .wrap("parsing generator size in '" + spec + "'")
-                .to_error();
-        n = parsed.value();
+/// Builds the MatrixSource the flags describe; loading goes through the
+/// same core/matrix_source path the serve daemon uses.
+[[nodiscard]] MatrixSource matrix_source(const CliParser& cli,
+                                         std::size_t arg_index) {
+    MatrixSource source;
+    if (cli.has("gen")) {
+        source.gen_spec = cli.get("gen", "");
+        source.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    } else {
+        if (cli.positionals().size() <= arg_index) usage();
+        source.path = cli.positionals()[arg_index];
     }
-    if (n <= 0)
-        return Error(ErrorCode::ValidationError,
-                     "generator size must be positive in '" + spec + "'");
-    if (family == "stencil2d5") return gen::stencil_2d_5pt(n, n);
-    if (family == "stencil3d27") return gen::stencil_3d_27pt(n, n, n);
-    if (family == "banded") return gen::banded(n, 16, n / 256 + 1, seed);
-    if (family == "circuit")
-        return gen::circuit(n, 3.0, n / 64 + 1, 0.05, seed);
-    if (family == "random") return gen::random_uniform(n, n, 24, seed);
-    if (family == "randomcv")
-        return gen::random_variable_rows(n, n, 8.0, 2.0, seed);
-    if (family == "blockfem")
-        return gen::block_fem(std::max<std::int64_t>(2, n / 8), 8, 6,
-                              std::max<std::int64_t>(6, n / 64), seed);
-    return Error(ErrorCode::ValidationError,
-                 "unknown generator family: " + family);
+    source.strict_parse = cli.has("strict");
+    return source;
 }
 
 [[nodiscard]] Result<CsrMatrix> load_matrix(const CliParser& cli, std::size_t arg_index) {
-    if (cli.has("gen"))
-        return generated(cli.get("gen", ""),
-                         static_cast<std::uint64_t>(cli.get_int("seed", 42)));
-    if (cli.positionals().size() <= arg_index) usage();
-    MmReadOptions options;
-    options.strict = cli.has("strict");
-    return try_read_matrix_market_file(cli.positionals()[arg_index], options);
+    return load_matrix_source(matrix_source(cli, arg_index));
 }
 
 int cmd_stats(const CliParser& cli) {
@@ -215,12 +212,13 @@ void write_predict_json(std::ostream& out, const ModelResult& result,
 }
 
 int cmd_predict(const CliParser& cli) {
-    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    Result<CsrMatrix> loaded = load_matrix(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const CsrMatrix& m = loaded.value();
+    const auto m =
+        std::make_shared<const CsrMatrix>(std::move(loaded).value());
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -228,9 +226,15 @@ int cmd_predict(const CliParser& cli) {
     if (const std::int64_t tb = cli.get_int("trace-buffer", -1); tb >= 0)
         options.trace_buffer_bytes = static_cast<std::uint64_t>(tb);
     options.l2_way_options = {2, 3, 4, 5, 6, 7};
+    options.timeout_seconds = cli.get_double("timeout", 0.0);
     const bool use_b = to_lower(cli.get("method", "a")) == "b";
-    const ModelResult result =
-        use_b ? run_method_b(m, options) : run_method_a(m, options);
+    const Result<ModelResult> modelled =
+        run_model(m, options, use_b ? ModelMethod::B : ModelMethod::A);
+    if (!modelled.ok()) {
+        report_error(modelled.error());
+        return 1;
+    }
+    const ModelResult& result = modelled.value();
     TextTable t({"L2 ways (sector 1)", "predicted L2 misses",
                  "x share [%]"});
     for (const auto& config : result.configs) {
@@ -309,12 +313,13 @@ int cmd_simulate(const CliParser& cli) {
 }
 
 int cmd_tune(const CliParser& cli) {
-    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    Result<CsrMatrix> loaded = load_matrix(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const CsrMatrix& m = loaded.value();
+    const auto m =
+        std::make_shared<const CsrMatrix>(std::move(loaded).value());
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -323,7 +328,14 @@ int cmd_tune(const CliParser& cli) {
         options.trace_buffer_bytes = static_cast<std::uint64_t>(tb);
     options.l2_way_options = {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14};
     options.predict_l1 = false;
-    const auto result = run_method_a(m, options);
+    options.timeout_seconds = cli.get_double("timeout", 0.0);
+    const Result<ModelResult> modelled =
+        run_model(m, options, ModelMethod::A);
+    if (!modelled.ok()) {
+        report_error(modelled.error());
+        return 1;
+    }
+    const ModelResult& result = modelled.value();
     const ConfigPrediction* best = &result.configs.front();
     for (const auto& config : result.configs)
         if (config.l2_misses < best->l2_misses) best = &config;
@@ -387,7 +399,20 @@ int cmd_batch(const CliParser& cli) {
     options.timeout_seconds = cli.get_double("timeout", 0.0);
     options.retry_transient = !cli.has("no-retry");
 
+    // SIGINT/SIGTERM drain the sweep instead of killing it: the current
+    // matrix finishes, pending ones are recorded as Cancelled, and the
+    // report below is still written.
+    if (!drain::install_drain_handlers()) {
+        report_error(Error(ErrorCode::ResourceError,
+                           "cannot install SIGINT/SIGTERM drain handlers"));
+        return kExitUsage;
+    }
+    options.cancel_check = [] { return drain::requested(); };
+
     const BatchReport report = run_batch(paths.value(), options);
+    if (drain::requested())
+        std::cerr << "batch: drained after signal " << drain::signal_number()
+                  << "; partial report follows\n";
 
     TextTable t({"matrix", "status", "stage", "error", "rows", "nnz",
                  "best L2 ways"});
@@ -434,6 +459,33 @@ int cmd_batch(const CliParser& cli) {
                   << ")\n";
     }
     return report.exit_code();
+}
+
+int cmd_serve(const CliParser& cli) {
+    ServeOptions options;
+    options.workers = cli.get_int("workers", 2);
+    options.queue_capacity = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, cli.get_int("queue", 64)));
+    if (const std::int64_t cb = cli.get_int("cache-bytes", -1); cb >= 0)
+        options.cache_capacity_bytes = static_cast<std::uint64_t>(cb);
+    options.quarantine_strikes = static_cast<int>(
+        std::max<std::int64_t>(1, cli.get_int("strikes", 3)));
+    options.default_timeout_seconds = cli.get_double("timeout", 0.0);
+    options.max_retries = static_cast<int>(
+        std::max<std::int64_t>(0, cli.get_int("retries", 2)));
+    if (const std::int64_t mb = cli.get_int("max-request-bytes", -1); mb > 0)
+        options.max_request_bytes = static_cast<std::size_t>(mb);
+    options.execute_delay_seconds = cli.get_double("execute-delay", 0.0);
+
+    // No SA_RESTART: a blocked stdin read returns with EINTR so the loop
+    // notices the drain request instead of dying mid-response.
+    if (!drain::install_drain_handlers()) {
+        report_error(Error(ErrorCode::ResourceError,
+                           "cannot install SIGINT/SIGTERM drain handlers"));
+        return kExitUsage;
+    }
+    Server server(options);
+    return server.run(std::cin, std::cout, std::cerr);
 }
 
 /// One timed kernelbench leg.
@@ -581,6 +633,7 @@ int main(int argc, char** argv) {
         if (command == "tune") return cmd_tune(cli);
         if (command == "convert") return cmd_convert(cli);
         if (command == "batch") return cmd_batch(cli);
+        if (command == "serve") return cmd_serve(cli);
         if (command == "kernelbench") return cmd_kernelbench(cli);
     } catch (const std::exception& e) {
         // Input errors are handled through the Status layer above; anything
