@@ -1,0 +1,152 @@
+// Ingestion benchmark for the `.spmvc` binary cache: serial .mtx parse
+// vs chunked-parallel parse vs cached mmap load, over the synthetic suite
+// (or --mm DIR). Every leg goes through load_matrix_handle so the three
+// numbers measure the same contract — a ready-to-model LoadedMatrix with
+// fingerprint and stats attached. Emits a perf-trajectory point to
+// BENCH_ingest.json (--out overrides the path); the headline number is
+// the parse/cached-load speedup, expected well above 10x. --smoke
+// shrinks the suite for CI.
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "sparse/matrix_market.hpp"
+
+int main(int argc, char** argv) {
+    using namespace spmvcache;
+    using namespace spmvcache::bench;
+    namespace fs = std::filesystem;
+
+    const CliParser cli(argc, argv);
+    print_usage_hint("bench_ingest");
+    const bool smoke = cli.has("smoke");
+    const auto common = parse_common(cli, /*count=*/smoke ? 4 : 8,
+                                     /*scale=*/smoke ? 0.25 : 0.75);
+    const std::int64_t jobs = cli.get_int("jobs", 4);
+    const std::int64_t warm_iters =
+        cli.get_int("warm-iters", smoke ? 3 : 10);
+
+    // Stage the suite as real .mtx files: ingestion starts at the disk.
+    const fs::path work =
+        fs::temp_directory_path() /
+        ("spmvcache_bench_ingest_" + std::to_string(::getpid()));
+    const fs::path cache_dir = work / "cache";
+    fs::create_directories(work);
+
+    const auto suite = build_suite(common);
+    std::vector<std::string> paths;
+    std::uint64_t total_nnz = 0;
+    std::uint64_t total_mtx_bytes = 0;
+    for (const auto& spec : suite) {
+        const CsrMatrix m = spec.factory();
+        const std::string path = (work / (spec.name + ".mtx")).string();
+        write_matrix_market_file(path, m);
+        paths.push_back(path);
+        total_nnz += static_cast<std::uint64_t>(m.nnz());
+        total_mtx_bytes += static_cast<std::uint64_t>(fs::file_size(path));
+    }
+
+    std::cout << "Ingestion: serial parse vs parallel parse (jobs=" << jobs
+              << ") vs cached mmap load, " << paths.size()
+              << " matrices, " << fmt_bytes(total_mtx_bytes)
+              << " of .mtx text\n\n";
+
+    const auto load_seconds = [](const MatrixSource& source) {
+        const Timer timer;
+        const Result<LoadedMatrix> loaded = load_matrix_handle(source);
+        if (!loaded.ok()) {
+            std::cerr << "fatal: " << loaded.error().render() << "\n";
+            std::exit(2);
+        }
+        return timer.seconds();
+    };
+
+    TextTable table({"matrix", "parse [s]", "par parse [s]", "warm write",
+                     "cached [s]", "speedup", "origin ok"});
+    double parse_total = 0.0, parallel_total = 0.0, write_total = 0.0,
+           cached_total = 0.0;
+    bool all_cached = true;
+    for (std::size_t n = 0; n < paths.size(); ++n) {
+        MatrixSource source;
+        source.path = paths[n];
+
+        const double parse_s = load_seconds(source);
+        source.parse_jobs = jobs;
+        const double parallel_s = load_seconds(source);
+        source.parse_jobs = 1;
+
+        // Cold load with the cache enabled: parse + .spmvc write.
+        source.cache_dir = cache_dir.string();
+        const double write_s = load_seconds(source);
+
+        // Warm loads mmap the entry; best-of so the page cache (the
+        // steady state of a repeated-ingestion workload) sets the number.
+        double cached_s = 0.0;
+        bool cache_hit = true;
+        for (std::int64_t i = 0; i < warm_iters; ++i) {
+            const Timer timer;
+            const Result<LoadedMatrix> loaded =
+                load_matrix_handle(source);
+            const double s = timer.seconds();
+            if (!loaded.ok() ||
+                loaded.value().origin != LoadOrigin::CacheHit) {
+                cache_hit = false;
+                break;
+            }
+            if (i == 0 || s < cached_s) cached_s = s;
+        }
+        all_cached = all_cached && cache_hit;
+
+        parse_total += parse_s;
+        parallel_total += parallel_s;
+        write_total += write_s;
+        cached_total += cached_s;
+        table.add_row({suite[n].name, fmt(parse_s, 4), fmt(parallel_s, 4),
+                       fmt(write_s, 4), fmt(cached_s, 5),
+                       fmt(cached_s > 0 ? parse_s / cached_s : 0.0, 1),
+                       cache_hit ? "yes" : "NO"});
+        std::cerr << suite[n].name << " done\n";
+    }
+    table.render(std::cout);
+
+    const double speedup =
+        cached_total > 0 ? parse_total / cached_total : 0.0;
+    const double parallel_speedup =
+        parallel_total > 0 ? parse_total / parallel_total : 0.0;
+    std::cout << "total: parse " << fmt(parse_total, 3) << " s, parallel "
+              << fmt(parallel_total, 3) << " s ("
+              << fmt(parallel_speedup, 2) << "x), cache write "
+              << fmt(write_total, 3) << " s, cached load "
+              << fmt(cached_total, 4) << " s -> "
+              << fmt(speedup, 1) << "x over parse\n";
+    if (!all_cached)
+        std::cout << "WARNING: some warm loads missed the cache\n";
+
+    const std::string out_path = cli.get("out", "BENCH_ingest.json");
+    std::ofstream out(out_path);
+    if (out) {
+        out << "{\"bench\": \"ingest\", \"smoke\": "
+            << (smoke ? "true" : "false")
+            << ", \"matrices\": " << paths.size()
+            << ", \"total_nnz\": " << total_nnz
+            << ", \"mtx_bytes\": " << total_mtx_bytes
+            << ", \"parse_jobs\": " << jobs
+            << ", \"parse_seconds\": " << parse_total
+            << ", \"parallel_parse_seconds\": " << parallel_total
+            << ", \"parallel_parse_speedup\": " << parallel_speedup
+            << ", \"cache_write_seconds\": " << write_total
+            << ", \"cached_load_seconds\": " << cached_total
+            << ", \"cached_speedup\": " << speedup
+            << ", \"all_cache_hits\": " << (all_cached ? "true" : "false")
+            << "}\n";
+        std::cout << "perf point written to " << out_path << "\n";
+    } else {
+        std::cerr << "cannot write " << out_path << "\n";
+    }
+
+    std::error_code ec;
+    fs::remove_all(work, ec);
+    return all_cached && speedup >= 1.0 ? 0 : 1;
+}

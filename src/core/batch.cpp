@@ -11,8 +11,8 @@
 #include <utility>
 
 #include "core/deadline.hpp"
+#include "core/matrix_source.hpp"
 #include "model/method_a.hpp"
-#include "sparse/matrix_market.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "util/fault.hpp"
 #include "util/format.hpp"
@@ -53,24 +53,32 @@ BatchItemResult attempt_one(const std::string& path,
         item.stage = BatchStage::Parse;
         if (Status s = fault::maybe_fail("batch.item"); !s.ok())
             return fail(std::move(item), std::move(s).to_error());
-        MmReadOptions mm;
-        mm.strict = options.strict_parse;
-        Result<CsrMatrix> parsed = try_read_matrix_market_file(path, mm);
-        if (!parsed.ok())
-            return fail(std::move(item), std::move(parsed).to_error());
-        const CsrMatrix m = std::move(parsed).value();
+        MatrixSource source;
+        source.path = path;
+        source.strict_parse = options.strict_parse;
+        source.cache_dir = options.cache_dir;
+        source.parse_jobs = options.parse_jobs;
+        Result<LoadedMatrix> handle = load_matrix_handle(source);
+        if (!handle.ok())
+            return fail(std::move(item), std::move(handle).to_error());
+        const LoadedMatrix loaded = std::move(handle).value();
+        const CsrView m = loaded.view;
+        item.load_origin = to_string(loaded.origin);
+        item.cache_written = loaded.cache_written;
         item.rows = m.rows();
         item.cols = m.cols();
         item.nnz = m.nnz();
 
         item.stage = BatchStage::Validate;
-        if (Status s = m.check(); !s.ok())
+        if (Status s = check_csr_view(m); !s.ok())
             return fail(std::move(item),
                         std::move(s).wrap("validating '" + path + "'")
                             .to_error());
 
+        // Stats were computed once during the load (or read back from the
+        // cache header), so the stage is an accounting marker only.
         item.stage = BatchStage::Stats;
-        (void)compute_stats(m);
+        (void)loaded.stats;
 
         if (options.run_model) {
             item.stage = BatchStage::Model;
@@ -287,13 +295,16 @@ BatchReport run_batch(const std::vector<std::string>& paths,
 
 void write_batch_report_csv(std::ostream& out, const BatchReport& report) {
     out << "name,path,status,stage,error_code,message,retried,seconds,"
+           "load_origin,cache_written,"
            "rows,cols,nnz,best_l2_ways,best_l2_misses,"
            "model_seconds,model_shards,model_jobs,model_references\n";
     for (const auto& i : report.items) {
         out << csv_quote(i.name) << ',' << csv_quote(i.path) << ','
             << (i.ok ? "ok" : "failed") << ',' << to_string(i.stage) << ','
             << to_string(i.code) << ',' << csv_quote(i.message) << ','
-            << (i.retried ? 1 : 0) << ',' << i.seconds << ',' << i.rows
+            << (i.retried ? 1 : 0) << ',' << i.seconds << ','
+            << csv_quote(i.load_origin) << ',' << (i.cache_written ? 1 : 0)
+            << ',' << i.rows
             << ',' << i.cols << ',' << i.nnz << ',' << i.best_l2_ways << ','
             << i.best_l2_misses << ',' << i.model_seconds << ','
             << i.model_shards << ',' << i.model_jobs << ','
@@ -316,7 +327,11 @@ void write_batch_report_json(std::ostream& out, const BatchReport& report) {
             << "\", \"error_code\": \"" << to_string(i.code)
             << "\", \"message\": \"" << json_escape(i.message)
             << "\", \"retried\": " << (i.retried ? "true" : "false")
-            << ", \"seconds\": " << i.seconds << ", \"rows\": " << i.rows
+            << ", \"seconds\": " << i.seconds
+            << ", \"load_origin\": \"" << json_escape(i.load_origin)
+            << "\", \"cache_written\": "
+            << (i.cache_written ? "true" : "false")
+            << ", \"rows\": " << i.rows
             << ", \"cols\": " << i.cols << ", \"nnz\": " << i.nnz
             << ", \"best_l2_ways\": " << i.best_l2_ways
             << ", \"best_l2_misses\": " << i.best_l2_misses

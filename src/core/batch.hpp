@@ -57,6 +57,11 @@ struct BatchOptions {
     /// as Cancelled so the CSV/JSON report still accounts for every input.
     /// The CLI wires this to the SIGINT/SIGTERM drain flag (util/signal).
     std::function<bool()> cancel_check;
+    /// Directory for `.spmvc` binary cache entries (core/matrix_source):
+    /// a warm cache turns the parse stage into an mmap; empty disables it.
+    std::string cache_dir;
+    /// Parser workers on a cache miss (1 serial, 0 all cores, N > 1 = N).
+    std::int64_t parse_jobs = 1;
 };
 
 /// Outcome of one matrix.
@@ -69,6 +74,11 @@ struct BatchItemResult {
     std::string message;  ///< rendered error; empty on success
     bool retried = false;
     double seconds = 0.0;
+    /// How the matrix was ingested ("parsed" / "cache-hit"); see
+    /// LoadOrigin in core/matrix_source.hpp.
+    std::string load_origin = "parsed";
+    /// True when this run wrote (or refreshed) the .spmvc cache entry.
+    bool cache_written = false;
     std::int64_t rows = 0;
     std::int64_t cols = 0;
     std::int64_t nnz = 0;

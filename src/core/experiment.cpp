@@ -27,7 +27,7 @@ double MeasuredConfig::speedup_over(const MeasuredConfig& baseline) const {
 }
 
 std::vector<MeasuredConfig> run_sector_sweep(
-    const CsrMatrix& m, const std::vector<SectorWays>& configs,
+    const CsrView& m, const std::vector<SectorWays>& configs,
     const ExperimentOptions& options) {
     SPMV_EXPECTS(!configs.empty());
     SPMV_EXPECTS(options.threads >= 1 &&
@@ -87,7 +87,7 @@ std::vector<MeasuredConfig> run_sector_sweep(
 }
 
 ModelComparison model_vs_measured(
-    const CsrMatrix& m, const std::vector<std::uint32_t>& l2_way_options,
+    const CsrView& m, const std::vector<std::uint32_t>& l2_way_options,
     const ExperimentOptions& options) {
     ModelComparison comparison;
     comparison.stats = compute_stats(m);

@@ -1,6 +1,7 @@
 #include "core/matrix_source.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <string_view>
 #include <utility>
 
@@ -9,9 +10,44 @@
 #include "sparse/gen/random.hpp"
 #include "sparse/gen/stencil.hpp"
 #include "sparse/matrix_market.hpp"
+#include "sparse/mm_parallel.hpp"
 #include "util/cli.hpp"
 
 namespace spmvcache {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Parses the .mtx text of a file source, serial or chunked-parallel
+/// depending on parse_jobs.
+[[nodiscard]] Result<CsrMatrix> parse_file_source(const MatrixSource& source) {
+    if (source.parse_jobs == 1) {
+        MmReadOptions options;
+        options.strict = source.strict_parse;
+        return try_read_matrix_market_file(source.path, options);
+    }
+    MmParallelOptions options;
+    options.base.strict = source.strict_parse;
+    options.jobs = source.parse_jobs <= 0
+                       ? 0
+                       : static_cast<std::size_t>(source.parse_jobs);
+    return try_read_matrix_market_parallel_file(source.path, options);
+}
+
+/// Wraps a parsed/generated matrix into a handle, computing the derived
+/// structure summaries once.
+LoadedMatrix make_owned_handle(CsrMatrix matrix, LoadOrigin origin) {
+    LoadedMatrix loaded;
+    loaded.owned = std::make_shared<const CsrMatrix>(std::move(matrix));
+    loaded.view = CsrView(*loaded.owned);
+    loaded.fingerprint = fingerprint_matrix(loaded.view);
+    loaded.stats = compute_stats(loaded.view);
+    loaded.origin = origin;
+    return loaded;
+}
+
+}  // namespace
 
 std::string MatrixSource::canonical_key() const {
     std::string key;
@@ -23,6 +59,15 @@ std::string MatrixSource::canonical_key() const {
     key += "|strict=";
     key += strict_parse ? '1' : '0';
     return key;
+}
+
+const char* to_string(LoadOrigin origin) noexcept {
+    switch (origin) {
+        case LoadOrigin::Generated: return "generated";
+        case LoadOrigin::Parsed: return "parsed";
+        case LoadOrigin::CacheHit: return "cache-hit";
+    }
+    return "unknown";
 }
 
 [[nodiscard]] Result<CsrMatrix> generated_matrix(const std::string& spec,
@@ -64,9 +109,157 @@ std::string MatrixSource::canonical_key() const {
                      "request names no matrix (need a path or a gen spec)");
     if (!source.gen_spec.empty())
         return generated_matrix(source.gen_spec, source.seed);
-    MmReadOptions options;
-    options.strict = source.strict_parse;
-    return try_read_matrix_market_file(source.path, options);
+    return parse_file_source(source);
+}
+
+std::string spmvc_cache_path(const std::string& cache_dir,
+                             const std::string& source_path,
+                             bool strict_parse) {
+    std::error_code ec;
+    fs::path abs = fs::absolute(source_path, ec);
+    if (ec) abs = source_path;
+    const std::string key = abs.lexically_normal().string();
+    std::uint64_t h = 0;
+    for (const char ch : key)
+        h = mix64(h ^ static_cast<unsigned char>(ch));
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string digest;
+    digest.reserve(16);
+    for (int shift = 60; shift >= 0; shift -= 4)
+        digest += kHex[(h >> shift) & 0xF];
+    std::string stem = fs::path(source_path).stem().string();
+    if (stem.empty()) stem = "matrix";
+    return (fs::path(cache_dir) /
+            (stem + "-" + digest + (strict_parse ? "s" : "") + ".spmvc"))
+        .string();
+}
+
+[[nodiscard]] Result<LoadedMatrix> load_matrix_handle(
+    const MatrixSource& source) {
+    if (source.empty())
+        return Error(ErrorCode::ValidationError,
+                     "request names no matrix (need a path or a gen spec)");
+    if (!source.gen_spec.empty()) {
+        Result<CsrMatrix> generated =
+            generated_matrix(source.gen_spec, source.seed);
+        if (!generated.ok()) return std::move(generated).to_error();
+        return make_owned_handle(std::move(generated).value(),
+                                 LoadOrigin::Generated);
+    }
+
+    // File source. With a cache dir, try the mmap fast path first; every
+    // cache-side failure (missing entry, stale stamp, version bump,
+    // corruption) degrades to a parse that then refreshes the entry.
+    SourceStamp stamp{};
+    bool have_stamp = false;
+    std::string cache_path;
+    if (!source.cache_dir.empty()) {
+        cache_path = spmvc_cache_path(source.cache_dir, source.path,
+                                      source.strict_parse);
+        Result<SourceStamp> live = stat_source(source.path);
+        if (live.ok()) {
+            stamp = live.value();
+            have_stamp = true;
+            Result<MappedCsr> mapped = load_binary_cache(cache_path, &stamp);
+            if (mapped.ok()) {
+                LoadedMatrix loaded;
+                loaded.mapped = std::make_shared<const MappedCsr>(
+                    std::move(mapped).value());
+                loaded.view = loaded.mapped->view();
+                loaded.fingerprint = loaded.mapped->info().fingerprint;
+                loaded.stats = loaded.mapped->info().stats;
+                loaded.origin = LoadOrigin::CacheHit;
+                return loaded;
+            }
+        }
+        // !live.ok(): the source itself is unreadable; fall through so the
+        // parser reports the canonical "cannot open" error.
+    }
+
+    Result<CsrMatrix> parsed = parse_file_source(source);
+    if (!parsed.ok()) return std::move(parsed).to_error();
+    LoadedMatrix loaded =
+        make_owned_handle(std::move(parsed).value(), LoadOrigin::Parsed);
+
+    if (!cache_path.empty() && have_stamp) {
+        std::error_code ec;
+        fs::create_directories(source.cache_dir, ec);
+        // Best effort: a read-only cache dir or full disk must not fail
+        // the load — the parse already succeeded.
+        if (!ec) {
+            const Status written = write_binary_cache(
+                cache_path, loaded.view, loaded.fingerprint, loaded.stats,
+                source.path, stamp);
+            loaded.cache_written = written.ok();
+        }
+    }
+    return loaded;
+}
+
+[[nodiscard]] Result<LoadedMatrix> SourceCache::get(
+    const MatrixSource& source) {
+    const std::string key = source.canonical_key();
+    const bool file_backed = !source.path.empty();
+
+    SourceStamp live{};
+    if (file_backed) {
+        Result<SourceStamp> stat = stat_source(source.path);
+        if (stat.ok()) live = stat.value();
+        // stat failure: fall through with a zero stamp — a resident entry
+        // then looks stale and the reload reports the real error.
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            const bool fresh =
+                !it->second.file_backed ||
+                (it->second.stamp.size == live.size &&
+                 it->second.stamp.mtime_ns == live.mtime_ns &&
+                 (live.size != 0 || live.mtime_ns != 0));
+            if (fresh) {
+                it->second.last_used = ++tick_;
+                ++hits_;
+                return it->second.loaded;
+            }
+            entries_.erase(it);
+        }
+    }
+
+    Result<LoadedMatrix> loaded = load_matrix_handle(source);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++loads_;
+    if (!loaded.ok()) return std::move(loaded).to_error();
+
+    Entry entry;
+    entry.loaded = loaded.value();
+    entry.stamp = live;
+    entry.file_backed = file_backed;
+    entry.last_used = ++tick_;
+    entries_[key] = std::move(entry);
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+            if (it->second.last_used < victim->second.last_used) victim = it;
+        entries_.erase(victim);
+    }
+    return std::move(loaded).value();
+}
+
+std::size_t SourceCache::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t SourceCache::hits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t SourceCache::loads() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return loads_;
 }
 
 }  // namespace spmvcache

@@ -34,4 +34,18 @@ const char* to_string(ModelMethod method) noexcept {
         });
 }
 
+[[nodiscard]] Result<ModelResult> run_model(const LoadedMatrix& m,
+                                            const ModelOptions& options,
+                                            ModelMethod method) {
+    SPMV_EXPECTS(m.keepalive() != nullptr);
+    return run_with_deadline<ModelResult>(
+        options.timeout_seconds,
+        [view = m.view, keepalive = m.keepalive(), options,
+         method]() -> Result<ModelResult> {
+            (void)keepalive;  // pins the matrix bytes for abandoned workers
+            return method == ModelMethod::B ? run_method_b(view, options)
+                                            : run_method_a(view, options);
+        });
+}
+
 }  // namespace spmvcache

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "core/matrix_source.hpp"
 #include "model/options.hpp"
 #include "sparse/csr.hpp"
 #include "util/status.hpp"
@@ -29,5 +30,12 @@ enum class ModelMethod : std::uint8_t { A, B };
 [[nodiscard]] Result<ModelResult> run_model(
     std::shared_ptr<const CsrMatrix> m, const ModelOptions& options,
     ModelMethod method);
+
+/// Same, over a cache-aware handle (core/matrix_source.hpp): works for
+/// owned and mmapped matrices alike — the handle's keepalive() rides into
+/// the worker so an abandoned computation cannot outlive its mapping.
+[[nodiscard]] Result<ModelResult> run_model(const LoadedMatrix& m,
+                                            const ModelOptions& options,
+                                            ModelMethod method);
 
 }  // namespace spmvcache

@@ -47,7 +47,7 @@ std::int64_t resolve_threads(std::int64_t requested) {
 
 /// Coefficient of variation of the row lengths (cheap shape probe for the
 /// Auto heuristic; matches MatrixStats::cv_nnz_per_row).
-double row_length_cv(const CsrMatrix& a) {
+double row_length_cv(const CsrView& a) {
     const auto rowptr = a.rowptr();
     const std::int64_t n = a.rows();
     if (n == 0 || a.nnz() == 0) return 0.0;
@@ -94,13 +94,13 @@ const char* to_string(KernelVariant variant) noexcept {
                      "merge, auto)");
 }
 
-KernelEngine::KernelEngine(const CsrMatrix& a, const EngineOptions& options)
+KernelEngine::KernelEngine(const CsrView& a, const EngineOptions& options)
     : KernelEngine(a,
                    RowPartition(a, resolve_threads(options.threads),
                                 options.policy),
                    options) {}
 
-KernelEngine::KernelEngine(const CsrMatrix& a, const RowPartition& partition,
+KernelEngine::KernelEngine(const CsrView& a, const RowPartition& partition,
                            const EngineOptions& options)
     : rows_(a.rows()), cols_(a.cols()), nnz_(a.nnz()),
       partition_(partition) {
@@ -132,7 +132,7 @@ KernelEngine::KernelEngine(const CsrMatrix& a, const RowPartition& partition,
 
 KernelEngine::~KernelEngine() = default;
 
-void KernelEngine::resolve_variant(const CsrMatrix& a,
+void KernelEngine::resolve_variant(const CsrView& a,
                                    const EngineOptions& options) {
     simd_ = simd::best();
     KernelVariant variant = options.variant;
@@ -159,7 +159,7 @@ void KernelEngine::resolve_variant(const CsrMatrix& a,
                     : simd::Isa::Scalar;
 }
 
-void KernelEngine::setup_csr(const CsrMatrix& a,
+void KernelEngine::setup_csr(const CsrView& a,
                              const EngineOptions& options) {
     if (!options.first_touch) {
         rowptr_ = a.rowptr();
@@ -199,7 +199,7 @@ void KernelEngine::setup_csr(const CsrMatrix& a,
     values_ = own_values_.span();
 }
 
-void KernelEngine::setup_sell(const CsrMatrix& a,
+void KernelEngine::setup_sell(const CsrView& a,
                               const EngineOptions& options) {
     const std::int64_t chunk =
         options.sell_chunk > 0 ? options.sell_chunk : 8;
@@ -255,7 +255,7 @@ void KernelEngine::setup_sell(const CsrMatrix& a,
     sell_colidx_ = sell_own_colidx_.span();
 }
 
-void KernelEngine::setup_merge(const CsrMatrix& a) {
+void KernelEngine::setup_merge(const CsrView& a) {
     const std::int64_t pieces = info_.threads;
     const std::int64_t path_length = rows_ + nnz_;
     const std::int64_t chunk = (path_length + pieces - 1) / pieces;
@@ -274,7 +274,7 @@ void KernelEngine::setup_merge(const CsrMatrix& a) {
     }
 }
 
-void KernelEngine::calibrate_prefetch(const CsrMatrix& a,
+void KernelEngine::calibrate_prefetch(const CsrView& a,
                                       const EngineOptions& options) {
     if (options.prefetch_distance > 0) {
         info_.prefetch_distance = options.prefetch_distance;

@@ -42,7 +42,7 @@
 
 #include "kernels/simd.hpp"
 #include "kernels/spmv_merge.hpp"
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/sellcs.hpp"
 #include "sync/worker_team.hpp"
@@ -156,10 +156,10 @@ using FirstTouchVector = FirstTouchBuffer<double>;
 class KernelEngine {
 public:
     /// Builds the row partition from options.policy/threads.
-    KernelEngine(const CsrMatrix& a, const EngineOptions& options);
+    KernelEngine(const CsrView& a, const EngineOptions& options);
     /// Honors an externally supplied partition (its thread count wins
     /// over options.threads).
-    KernelEngine(const CsrMatrix& a, const RowPartition& partition,
+    KernelEngine(const CsrView& a, const RowPartition& partition,
                  const EngineOptions& options);
     ~KernelEngine();
 
@@ -183,11 +183,11 @@ public:
     [[nodiscard]] FirstTouchVector make_vector(std::size_t n, double value);
 
 private:
-    void resolve_variant(const CsrMatrix& a, const EngineOptions& options);
-    void setup_csr(const CsrMatrix& a, const EngineOptions& options);
-    void setup_sell(const CsrMatrix& a, const EngineOptions& options);
-    void setup_merge(const CsrMatrix& a);
-    void calibrate_prefetch(const CsrMatrix& a,
+    void resolve_variant(const CsrView& a, const EngineOptions& options);
+    void setup_csr(const CsrView& a, const EngineOptions& options);
+    void setup_sell(const CsrView& a, const EngineOptions& options);
+    void setup_merge(const CsrView& a);
+    void calibrate_prefetch(const CsrView& a,
                             const EngineOptions& options);
     void dispatch(const std::function<void(std::size_t)>& body);
 

@@ -5,7 +5,7 @@
 
 namespace spmvcache {
 
-void spmv_csr(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr(const CsrView& a, std::span<const double> x,
               std::span<double> y) {
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
@@ -24,7 +24,7 @@ void spmv_csr(const CsrMatrix& a, std::span<const double> x,
     }
 }
 
-void spmv_csr_parallel(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr_parallel(const CsrView& a, std::span<const double> x,
                        std::span<double> y, const RowPartition& partition) {
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
@@ -42,7 +42,7 @@ void spmv_csr_parallel(const CsrMatrix& a, std::span<const double> x,
     engine.run(x, y);
 }
 
-void spmv_csr_overwrite(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr_overwrite(const CsrView& a, std::span<const double> x,
                         std::span<double> y) {
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
     for (auto& v : y) v = 0.0;

@@ -6,14 +6,14 @@
 
 #include <span>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 #include "sparse/partition.hpp"
 
 namespace spmvcache {
 
 /// y <- y + A x, sequential (exactly the loop nest of Listing 1).
 /// Pre: x.size() == A.cols(), y.size() == A.rows().
-void spmv_csr(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr(const CsrView& a, std::span<const double> x,
               std::span<double> y);
 
 /// y <- y + A x with row-parallelism over `partition`'s ranges, executed
@@ -23,11 +23,11 @@ void spmv_csr(const CsrMatrix& a, std::span<const double> x,
 /// products construct a KernelEngine directly — it keeps the team, the
 /// first-touch data placement and the tuned kernel variant alive across
 /// iterations instead of paying setup per call.
-void spmv_csr_parallel(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr_parallel(const CsrView& a, std::span<const double> x,
                        std::span<double> y, const RowPartition& partition);
 
 /// y <- A x (overwrite), sequential; convenience for solvers.
-void spmv_csr_overwrite(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr_overwrite(const CsrView& a, std::span<const double> x,
                         std::span<double> y);
 
 }  // namespace spmvcache

@@ -7,7 +7,7 @@
 
 namespace spmvcache {
 
-MergeCoordinate merge_path_search(const CsrMatrix& a, std::int64_t diagonal) {
+MergeCoordinate merge_path_search(const CsrView& a, std::int64_t diagonal) {
     SPMV_EXPECTS(diagonal >= 0 && diagonal <= a.rows() + a.nnz());
     const auto rowptr = a.rowptr();
     // Find the split point (r, i) with r + i == diagonal such that
@@ -26,7 +26,7 @@ MergeCoordinate merge_path_search(const CsrMatrix& a, std::int64_t diagonal) {
     return MergeCoordinate{lo, diagonal - lo};
 }
 
-void spmv_csr_merge(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr_merge(const CsrView& a, std::span<const double> x,
                     std::span<double> y, std::int64_t pieces) {
     SPMV_EXPECTS(pieces >= 1);
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));

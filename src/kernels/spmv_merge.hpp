@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <span>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 
 namespace spmvcache {
 
@@ -23,14 +23,14 @@ struct MergeCoordinate {
 /// Finds the merge-path coordinate of `diagonal` via binary search over
 /// the rowptr "list" vs. the natural numbers (the nonzero indices).
 /// Pre: 0 <= diagonal <= rows + nnz.
-[[nodiscard]] MergeCoordinate merge_path_search(const CsrMatrix& a,
+[[nodiscard]] MergeCoordinate merge_path_search(const CsrView& a,
                                                 std::int64_t diagonal);
 
 /// y <- y + A x using the merge-based decomposition into `pieces` equal
 /// chunks (sequentially executed chunk loop; each chunk is independent
 /// except for the carry, which is fixed up afterwards).
 /// Pre: pieces >= 1, x.size() == cols, y.size() == rows.
-void spmv_csr_merge(const CsrMatrix& a, std::span<const double> x,
+void spmv_csr_merge(const CsrView& a, std::span<const double> x,
                     std::span<double> y, std::int64_t pieces);
 
 }  // namespace spmvcache

@@ -40,7 +40,7 @@ MatrixClass classify(const MatrixStats& stats, std::uint64_t cache_bytes,
     return MatrixClass::Class3b;
 }
 
-MatrixClass classify(const CsrMatrix& m, std::uint64_t cache_bytes,
+MatrixClass classify(const CsrView& m, std::uint64_t cache_bytes,
                      std::uint64_t sector0_bytes) {
     return classify(compute_stats(m), cache_bytes, sector0_bytes);
 }

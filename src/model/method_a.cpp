@@ -220,7 +220,7 @@ void replay_packed_pass(const std::vector<std::uint64_t>& buffer,
 
 /// Inputs shared by every shard of one run.
 struct ShardContext {
-    const CsrMatrix& m;
+    const CsrView& m;
     const SpmvLayout& layout;
     const ModelOptions& options;
     TraceConfig trace_cfg;
@@ -307,7 +307,7 @@ void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
 
 }  // namespace
 
-ModelResult run_method_a(const CsrMatrix& m, const ModelOptions& options,
+ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
                          EngineKind engine_kind) {
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);

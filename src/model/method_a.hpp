@@ -15,7 +15,7 @@
 #pragma once
 
 #include "model/options.hpp"
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 
 namespace spmvcache {
 
@@ -27,7 +27,7 @@ enum class EngineKind {
 
 /// Runs method (A). The result contains one entry per requested L2 way
 /// option plus the unpartitioned case.
-[[nodiscard]] ModelResult run_method_a(const CsrMatrix& m,
+[[nodiscard]] ModelResult run_method_a(const CsrView& m,
                                        const ModelOptions& options,
                                        EngineKind engine = EngineKind::Olken);
 

@@ -25,7 +25,7 @@ struct SegmentShare {
     std::int64_t nnz = 0;
 };
 
-std::vector<SegmentShare> segment_shares(const CsrMatrix& m,
+std::vector<SegmentShare> segment_shares(const CsrView& m,
                                          const RowPartition& partition,
                                          std::int64_t segments,
                                          std::int64_t cores_per_numa) {
@@ -49,7 +49,7 @@ std::uint64_t scaled_capacity(std::uint64_t lines, double factor) {
 
 }  // namespace
 
-ModelResult run_method_b(const CsrMatrix& m, const ModelOptions& options) {
+ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);
     SPMV_EXPECTS(options.jobs >= 0);

@@ -11,12 +11,12 @@
 #pragma once
 
 #include "model/options.hpp"
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 
 namespace spmvcache {
 
 /// Runs method (B); same result shape as method (A).
-[[nodiscard]] ModelResult run_method_b(const CsrMatrix& m,
+[[nodiscard]] ModelResult run_method_b(const CsrView& m,
                                        const ModelOptions& options);
 
 }  // namespace spmvcache

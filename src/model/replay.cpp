@@ -33,7 +33,7 @@ std::uint64_t resolve_trace_buffer_bytes(std::uint64_t requested) noexcept {
 }
 
 std::optional<std::vector<std::uint64_t>> pack_segment_within_budget(
-    const CsrMatrix& m, const SpmvLayout& layout, const TraceConfig& cfg,
+    const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
     std::int64_t cores_per_numa, std::int64_t segment,
     std::uint64_t demand_refs, std::uint64_t budget_bytes) {
     if (demand_refs > budget_bytes / sizeof(std::uint64_t))

@@ -15,7 +15,7 @@
 #include <optional>
 #include <vector>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 #include "trace/layout.hpp"
 #include "trace/spmv_trace.hpp"
 
@@ -32,7 +32,7 @@ namespace spmvcache::detail {
 /// fallback (over budget, packing fault, allocation failure, or a
 /// reference outside the packed encoding).
 [[nodiscard]] std::optional<std::vector<std::uint64_t>>
-pack_segment_within_budget(const CsrMatrix& m, const SpmvLayout& layout,
+pack_segment_within_budget(const CsrView& m, const SpmvLayout& layout,
                            const TraceConfig& cfg,
                            std::int64_t cores_per_numa, std::int64_t segment,
                            std::uint64_t demand_refs,

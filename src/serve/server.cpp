@@ -103,26 +103,34 @@ Server::Server(ServeOptions options)
       cache_(std::make_shared<PlanCache>(options.cache_capacity_bytes)),
       quarantine_(std::make_shared<Quarantine>(
           options.quarantine_strikes >= 1 ? options.quarantine_strikes : 1)),
+      sources_(std::make_shared<SourceCache>(
+          options.source_cache_entries >= 1 ? options.source_cache_entries
+                                            : 1)),
       pool_(resolve_workers(options.workers)) {}
 
 [[nodiscard]] Result<Server::ExecOutcome> Server::attempt(
     const ServeRequest& request, const ServeOptions& options,
     const std::shared_ptr<PlanCache>& cache,
     const std::shared_ptr<Quarantine>& quarantine,
+    const std::shared_ptr<SourceCache>& sources,
     const std::shared_ptr<std::atomic<std::uint64_t>>& fp_key_slot) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("serve.execute"));
     if (options.execute_delay_seconds > 0.0)
         std::this_thread::sleep_for(std::chrono::duration<double>(
             options.execute_delay_seconds));
 
-    Result<CsrMatrix> loaded = load_matrix_source(request.source);
-    if (!loaded.ok())
-        return std::move(loaded)
+    // Daemon-level ingestion knobs ride on the request's source; the
+    // canonical_key ignores them, so memoization is unaffected.
+    MatrixSource source = request.source;
+    source.cache_dir = options.cache_dir;
+    source.parse_jobs = options.parse_jobs;
+    Result<LoadedMatrix> handle = sources->get(source);
+    if (!handle.ok())
+        return std::move(handle)
             .wrap("loading '" + request.source.canonical_key() + "'")
             .to_error();
-    const auto matrix =
-        std::make_shared<const CsrMatrix>(std::move(loaded).value());
-    const MatrixFingerprint fp = fingerprint_matrix(*matrix);
+    const LoadedMatrix loaded = std::move(handle).value();
+    const MatrixFingerprint& fp = loaded.fingerprint;
     const std::uint64_t fp_key = fingerprint_quarantine_key(fp);
     fp_key_slot->store(fp_key, std::memory_order_relaxed);
     if (std::optional<Error> banned = quarantine->check(fp_key);
@@ -140,7 +148,9 @@ Server::Server(ServeOptions options)
 
     ExecOutcome outcome;
     if (request.op == RequestOp::Stats) {
-        outcome.payload = render_stats_payload(compute_stats(*matrix), fp);
+        // Stats were computed once at load (or read from the .spmvc
+        // header) and memoized with the matrix.
+        outcome.payload = render_stats_payload(loaded.stats, fp);
     } else {
         Result<ModelMethod> method = parse_model_method(
             request.op == RequestOp::Tune ? "a" : request.method);
@@ -148,7 +158,7 @@ Server::Server(ServeOptions options)
         // The per-request deadline wraps this whole attempt already; the
         // model runs without a second nested budget.
         Result<ModelResult> result =
-            run_model(matrix, model, method.value());
+            run_model(loaded, model, method.value());
         if (!result.ok())
             return std::move(result).wrap("running the model").to_error();
         outcome.payload =
@@ -196,12 +206,13 @@ ServeResponse Server::execute_matrix_op(const ServeRequest& request) {
         const ServeOptions attempt_options = options_;
         const std::shared_ptr<PlanCache> cache = cache_;
         const std::shared_ptr<Quarantine> quarantine = quarantine_;
+        const std::shared_ptr<SourceCache> sources = sources_;
         outcome = run_with_deadline<ExecOutcome>(
             timeout,
-            [attempt_request, attempt_options, cache, quarantine,
+            [attempt_request, attempt_options, cache, quarantine, sources,
              fp_key_slot] {
                 return attempt(attempt_request, attempt_options, cache,
-                               quarantine, fp_key_slot);
+                               quarantine, sources, fp_key_slot);
             });
         if (outcome.ok() || attempts > options_.max_retries ||
             !is_transient(outcome.code()))
@@ -302,6 +313,9 @@ ServeStats Server::stats() const {
     }
     out.cache = cache_->stats();
     out.quarantine = quarantine_->stats();
+    out.source_hits = sources_->hits();
+    out.source_loads = sources_->loads();
+    out.source_entries = sources_->size();
     out.uptime_seconds = uptime_.seconds();
     return out;
 }
@@ -318,6 +332,9 @@ std::string Server::render_stats_json() const {
     out += ",\"timeouts\":" + std::to_string(s.timeouts);
     out += ",\"retries\":" + std::to_string(s.retries);
     out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+    out += ",\"sources\":{\"hits\":" + std::to_string(s.source_hits);
+    out += ",\"loads\":" + std::to_string(s.source_loads);
+    out += ",\"entries\":" + std::to_string(s.source_entries) + "}";
     out += ",\"cache\":{\"hits\":" + std::to_string(s.cache.hits);
     out += ",\"misses\":" + std::to_string(s.cache.misses);
     out += ",\"insertions\":" + std::to_string(s.cache.insertions);

@@ -19,6 +19,10 @@
 //     report; the daemon never dies mid-response
 //   * health is always answerable — `health` runs on the loop thread,
 //     not the bounded queue, so a saturated daemon still reports
+//   * no repeated ingestion — loaded matrices are memoized in a
+//     SourceCache (stat-revalidated), so repeat requests for the same
+//     source skip file I/O and re-fingerprinting entirely; with a
+//     cache_dir the first load itself goes through the .spmvc mmap path
 //
 // Fault points (util/fault.hpp): serve.accept fires at admission,
 // serve.execute inside the worker (transient → exercises the retry path),
@@ -62,6 +66,13 @@ struct ServeOptions {
     /// Test/bench hook: artificial seconds of work per execution, so
     /// backpressure and drain are observable deterministically.
     double execute_delay_seconds = 0.0;
+    /// Directory for `.spmvc` binary cache entries (core/matrix_source);
+    /// empty disables the on-disk cache (loads still dedupe in memory).
+    std::string cache_dir;
+    /// Parser workers on a cache miss (1 serial, 0 all cores, N > 1 = N).
+    std::int64_t parse_jobs = 1;
+    /// Loaded matrices kept resident in the in-memory source cache.
+    std::size_t source_cache_entries = 8;
 };
 
 /// Aggregate daemon counters (snapshot; also embedded in `health`).
@@ -74,6 +85,11 @@ struct ServeStats {
     std::uint64_t timeouts = 0;
     std::uint64_t retries = 0;         ///< attempts beyond the first
     std::uint64_t cache_hits = 0;
+    /// In-memory source-cache counters: a hit means the request touched
+    /// neither the .mtx text nor the .spmvc file.
+    std::uint64_t source_hits = 0;
+    std::uint64_t source_loads = 0;
+    std::uint64_t source_entries = 0;
     PlanCacheStats cache{};
     QuarantineStats quarantine{};
     double uptime_seconds = 0.0;
@@ -118,6 +134,7 @@ private:
         const ServeRequest& request, const ServeOptions& options,
         const std::shared_ptr<PlanCache>& cache,
         const std::shared_ptr<Quarantine>& quarantine,
+        const std::shared_ptr<SourceCache>& sources,
         const std::shared_ptr<std::atomic<std::uint64_t>>& fp_key_slot);
     /// Claims an admission slot; an Error (OverloadedError or an armed
     /// serve.accept fault) means the request was rejected.
@@ -130,6 +147,9 @@ private:
     ServeOptions options_;
     std::shared_ptr<PlanCache> cache_;
     std::shared_ptr<Quarantine> quarantine_;
+    /// Loaded-matrix memo: repeat requests for the same source reuse the
+    /// resident CsrView/fingerprint/stats instead of re-reading the file.
+    std::shared_ptr<SourceCache> sources_;
     Timer uptime_;
     std::atomic<std::size_t> in_flight_{0};
     std::atomic<std::uint64_t> next_request_number_{1};

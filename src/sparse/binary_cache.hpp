@@ -1,0 +1,133 @@
+// Versioned, checksummed binary CSR cache (`.spmvc`): parse a Matrix
+// Market file once, mmap the result forever after.
+//
+// A `.spmvc` file holds the three CSR arrays in their in-memory layout
+// (int64 rowptr, int32 colidx, double values — §3.1 of the paper), each
+// starting on a 4096-byte page boundary so a read-only mmap yields
+// correctly aligned arrays with zero copying or byte-swapping on
+// little-endian hosts. The header carries a format version, the source
+// file's size and mtime (staleness detection), the structural fingerprint
+// (sparse/fingerprint.hpp) so the serve daemon can key its plan cache
+// without touching the source text, the precomputed MatrixStats, and
+// FNV-1a checksums of the header and of every section. See DESIGN.md
+// ("The .spmvc binary cache") for the byte-level layout.
+//
+// Every failure mode is a typed Status: bad magic and truncation are
+// ParseError, a format-version bump is UnsupportedError, checksum or
+// internal-consistency damage is ValidationError, and a source file that
+// changed since the cache was written is CacheStale. Callers
+// (core/matrix_source) treat any of them as "fall back to re-parse and
+// rewrite" — a corrupt or stale cache is never fatal.
+//
+// Writes are atomic: the file is assembled under a temporary name in the
+// same directory and renamed over the target, so a crash mid-write leaves
+// either the old cache or a stray .tmp the loader never looks at.
+//
+// Fault points: "cache.write" (before the write starts), "cache.map"
+// (before the mmap).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sparse/csr_view.hpp"
+#include "sparse/fingerprint.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "util/status.hpp"
+
+namespace spmvcache {
+
+/// First 8 bytes of every .spmvc file.
+inline constexpr char kSpmvcMagic[8] = {'S', 'P', 'M', 'V', 'C', 'S', 'R',
+                                        '\0'};
+/// Bumped on any layout change; readers reject other versions.
+inline constexpr std::uint32_t kSpmvcFormatVersion = 1;
+/// Sections (and the header block) are padded to this boundary. A page
+/// multiple, and comfortably a multiple of the 256-byte A64FX line.
+inline constexpr std::uint64_t kSpmvcSectionAlign = 4096;
+
+/// Identity of the source file a cache entry was built from.
+struct SourceStamp {
+    std::uint64_t size = 0;       ///< byte size of the source file
+    std::int64_t mtime_ns = 0;    ///< mtime in nanoseconds since epoch
+};
+
+/// stat() the source file. ResourceError if it does not exist.
+[[nodiscard]] Result<SourceStamp> stat_source(const std::string& path);
+
+/// Decoded header of a .spmvc file (everything but the arrays).
+struct SpmvcInfo {
+    std::uint32_t format_version = 0;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t nnz = 0;
+    SourceStamp source;           ///< stamp of the source at write time
+    MatrixFingerprint fingerprint;
+    MatrixStats stats;
+    std::string source_path;      ///< path recorded at write time
+    std::uint64_t file_bytes = 0; ///< total .spmvc size on disk
+};
+
+/// A .spmvc file mapped read-only. Owns the mapping; view() spans point
+/// into it, so keep the MappedCsr alive as long as any view is in use
+/// (core/matrix_source wraps it in a shared_ptr for exactly that).
+class MappedCsr {
+public:
+    MappedCsr() = default;
+    MappedCsr(MappedCsr&& other) noexcept;
+    MappedCsr& operator=(MappedCsr&& other) noexcept;
+    MappedCsr(const MappedCsr&) = delete;
+    MappedCsr& operator=(const MappedCsr&) = delete;
+    ~MappedCsr();
+
+    [[nodiscard]] CsrView view() const noexcept { return view_; }
+    [[nodiscard]] const SpmvcInfo& info() const noexcept { return info_; }
+
+private:
+    friend Result<MappedCsr> load_binary_cache(const std::string&,
+                                               const SourceStamp*);
+    void* base_ = nullptr;
+    std::size_t length_ = 0;
+    CsrView view_;
+    SpmvcInfo info_;
+};
+
+/// Serializes `m` (plus its fingerprint and stats) to `cache_path`
+/// atomically. `source_path`/`stamp` describe the file the matrix was
+/// parsed from; loads check the stamp against the live file.
+[[nodiscard]] Status write_binary_cache(const std::string& cache_path,
+                                        const CsrView& m,
+                                        const MatrixFingerprint& fingerprint,
+                                        const MatrixStats& stats,
+                                        const std::string& source_path,
+                                        const SourceStamp& stamp);
+
+/// Maps `cache_path` read-only and validates it end to end: magic,
+/// version, header checksum, header-internal consistency, section bounds
+/// and alignment, section checksums, and the CSR structural invariants.
+/// When `expected` is non-null, a stamp mismatch is CacheStale.
+[[nodiscard]] Result<MappedCsr> load_binary_cache(
+    const std::string& cache_path, const SourceStamp* expected = nullptr);
+
+/// Reads and validates only the header (magic/version/checksum) — the
+/// cheap path for `spmvcache cache inspect` and fingerprint reuse; array
+/// sections are neither touched nor verified.
+[[nodiscard]] Result<SpmvcInfo> inspect_binary_cache(
+    const std::string& cache_path);
+
+namespace spmvc_testing {
+
+/// Recomputes and rewrites the header checksum of an existing .spmvc
+/// file in place. Test support only: lets the corrupt-cache corpus flip
+/// semantic header fields (nnz, offsets) without tripping the checksum
+/// first, so the deeper validation layers get exercised.
+[[nodiscard]] Status fixup_header_checksum(const std::string& cache_path);
+
+/// Byte offset of the header field holding `nnz` — anchor for corpus
+/// generators that corrupt specific fields rather than random bytes.
+[[nodiscard]] std::uint64_t header_nnz_offset() noexcept;
+
+}  // namespace spmvc_testing
+
+}  // namespace spmvcache

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "sparse/csr_view.hpp"
 #include "util/error.hpp"
 
 namespace spmvcache {
@@ -21,29 +22,35 @@ void CsrMatrix::validate() const {
 }
 
 [[nodiscard]] Status CsrMatrix::check() const {
+    return check_csr_view(CsrView(*this));
+}
+
+[[nodiscard]] Status check_csr_view(const CsrView& m) {
     const auto invalid = [](std::string what) {
         return Status(ErrorCode::ValidationError, std::move(what));
     };
-    if (rowptr_.size() != static_cast<std::size_t>(rows_) + 1)
-        return invalid("rowptr has " + std::to_string(rowptr_.size()) +
+    const auto rowptr = m.rowptr();
+    const auto colidx = m.colidx();
+    if (rowptr.size() != static_cast<std::size_t>(m.rows()) + 1)
+        return invalid("rowptr has " + std::to_string(rowptr.size()) +
                        " entries, expected rows+1 = " +
-                       std::to_string(rows_ + 1));
-    if (rowptr_.front() != 0) return invalid("rowptr[0] != 0");
-    if (colidx_.size() != values_.size())
+                       std::to_string(m.rows() + 1));
+    if (rowptr.front() != 0) return invalid("rowptr[0] != 0");
+    if (colidx.size() != m.values().size())
         return invalid("colidx/values length mismatch");
-    if (rowptr_.back() != static_cast<std::int64_t>(colidx_.size()))
+    if (rowptr.back() != static_cast<std::int64_t>(colidx.size()))
         return invalid("rowptr[rows] != nnz");
-    for (std::int64_t r = 0; r < rows_; ++r) {
-        const auto begin = rowptr_[static_cast<std::size_t>(r)];
-        const auto end = rowptr_[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t r = 0; r < m.rows(); ++r) {
+        const auto begin = rowptr[static_cast<std::size_t>(r)];
+        const auto end = rowptr[static_cast<std::size_t>(r) + 1];
         if (begin > end)
             return invalid("rowptr not monotone at row " + std::to_string(r));
         for (std::int64_t i = begin; i < end; ++i) {
-            const auto c = colidx_[static_cast<std::size_t>(i)];
-            if (c < 0 || c >= cols_)
+            const auto c = colidx[static_cast<std::size_t>(i)];
+            if (c < 0 || c >= m.cols())
                 return invalid("column index " + std::to_string(c) +
                                " out of range in row " + std::to_string(r));
-            if (i > begin && colidx_[static_cast<std::size_t>(i - 1)] >= c)
+            if (i > begin && colidx[static_cast<std::size_t>(i - 1)] >= c)
                 return invalid("columns not strictly increasing in row " +
                                std::to_string(r));
         }

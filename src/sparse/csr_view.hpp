@@ -1,0 +1,112 @@
+// Non-owning read-only view of a CSR matrix.
+//
+// The paper's pipeline (trace generation, reuse-distance replay, kernels,
+// statistics, fingerprinting) only ever *reads* the three CSR arrays. A
+// CsrView carries spans over rowptr/colidx/values plus the dimensions, so
+// those consumers no longer care who owns the bytes: an aligned_vector
+// inside a CsrMatrix, or a read-only mmap of a `.spmvc` binary cache file
+// (sparse/binary_cache.hpp). The view mirrors CsrMatrix's read API exactly
+// and converts implicitly from `const CsrMatrix&`, so call sites holding a
+// real matrix keep working unchanged.
+//
+// Lifetime: a CsrView never keeps anything alive. Pair it with whatever
+// owns the storage (CsrMatrix, MappedCsr, LoadedMatrix) for any use that
+// outlives the owner's scope.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "util/status.hpp"
+
+namespace spmvcache {
+
+/// Read-only, non-owning CSR matrix view (see file comment).
+class CsrView {
+public:
+    using value_type = CsrMatrix::value_type;
+    using index_type = CsrMatrix::index_type;
+    using offset_type = CsrMatrix::offset_type;
+
+    CsrView() = default;
+
+    /// Views an owning matrix. Implicit on purpose: every consumer of the
+    /// locality pipeline takes a CsrView, and a CsrMatrix is one.
+    /* implicit */ CsrView(const CsrMatrix& m) noexcept
+        : rows_(m.rows()),
+          cols_(m.cols()),
+          rowptr_(m.rowptr()),
+          colidx_(m.colidx()),
+          values_(m.values()) {}
+
+    /// Views raw arrays (the mmap path). Pre: rowptr.size() == rows + 1,
+    /// colidx.size() == values.size() == rowptr.back().
+    CsrView(std::int64_t rows, std::int64_t cols,
+            std::span<const offset_type> rowptr,
+            std::span<const index_type> colidx,
+            std::span<const value_type> values) noexcept
+        : rows_(rows),
+          cols_(cols),
+          rowptr_(rowptr),
+          colidx_(colidx),
+          values_(values) {}
+
+    [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::int64_t nnz() const noexcept {
+        return rowptr_.empty() ? 0 : rowptr_.back();
+    }
+
+    [[nodiscard]] std::span<const offset_type> rowptr() const noexcept {
+        return rowptr_;
+    }
+    [[nodiscard]] std::span<const index_type> colidx() const noexcept {
+        return colidx_;
+    }
+    [[nodiscard]] std::span<const value_type> values() const noexcept {
+        return values_;
+    }
+
+    /// Number of nonzeros in row r. Pre: 0 <= r < rows().
+    [[nodiscard]] std::int64_t row_nnz(std::int64_t r) const {
+        SPMV_EXPECTS(r >= 0 && r < rows_);
+        return rowptr_[static_cast<std::size_t>(r) + 1] -
+               rowptr_[static_cast<std::size_t>(r)];
+    }
+
+    /// Byte sizes of the individual arrays (§3.1 working-set terms).
+    [[nodiscard]] std::uint64_t values_bytes() const noexcept {
+        return values_.size() * sizeof(value_type);
+    }
+    [[nodiscard]] std::uint64_t colidx_bytes() const noexcept {
+        return colidx_.size() * sizeof(index_type);
+    }
+    [[nodiscard]] std::uint64_t rowptr_bytes() const noexcept {
+        return rowptr_.size() * sizeof(offset_type);
+    }
+    [[nodiscard]] std::uint64_t x_bytes() const noexcept {
+        return static_cast<std::uint64_t>(cols_) * sizeof(value_type);
+    }
+    [[nodiscard]] std::uint64_t y_bytes() const noexcept {
+        return static_cast<std::uint64_t>(rows_) * sizeof(value_type);
+    }
+    [[nodiscard]] std::uint64_t working_set_bytes() const noexcept {
+        return values_bytes() + colidx_bytes() + rowptr_bytes() + x_bytes() +
+               y_bytes();
+    }
+
+private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::span<const offset_type> rowptr_;
+    std::span<const index_type> colidx_;
+    std::span<const value_type> values_;
+};
+
+/// Structural invariant check shared by CsrMatrix::check() and the binary
+/// cache loader: monotone rowptr, indices in range, strictly increasing
+/// columns per row. Never throws; reports the first violation.
+[[nodiscard]] Status check_csr_view(const CsrView& m);
+
+}  // namespace spmvcache

@@ -1,4 +1,4 @@
-#include "serve/fingerprint.hpp"
+#include "sparse/fingerprint.hpp"
 
 #include <bit>
 #include <cstdlib>
@@ -37,7 +37,7 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
     return x ^ (x >> 31);
 }
 
-MatrixFingerprint fingerprint_matrix(const CsrMatrix& m) {
+MatrixFingerprint fingerprint_matrix(const CsrView& m) {
     MatrixFingerprint fp;
     fp.rows = m.rows();
     fp.cols = m.cols();

@@ -1,0 +1,56 @@
+// Matrix fingerprint: the plan-cache key of the serve daemon.
+//
+// The locality model's predictions depend on the matrix *pattern summary*,
+// not the numerical values: dimensions, nnz, the nonzeros-per-row
+// distribution (mu_K / CV_K drive §4.5.2), and how far column indices
+// stray from the diagonal (bandedness drives x-reuse distances). The
+// fingerprint captures exactly those: dims + nnz + a log2-bucketed
+// row-length histogram + a log2-bucketed column-distance (bandwidth)
+// profile, mixed into a 128-bit key. Two requests for the same matrix —
+// or for structurally identical copies of it — hash to the same plan;
+// near-duplicates that differ in any bucket do not collide by
+// construction of the mix (see DESIGN.md §7 for the aliasing caveat:
+// matrices agreeing on every summary bucket share a plan by design).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr_view.hpp"
+
+namespace spmvcache {
+
+/// Number of log2 buckets in the row-length histogram (bucket i counts
+/// rows with nnz in [2^(i-1), 2^i), bucket 0 counts empty rows; the last
+/// bucket absorbs the tail).
+inline constexpr std::size_t kFingerprintRowBuckets = 16;
+/// Same bucketing for |col - row| of every nonzero (bucket 0 = diagonal).
+inline constexpr std::size_t kFingerprintBandBuckets = 16;
+
+/// Structural summary of a matrix plus its 128-bit mix.
+struct MatrixFingerprint {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t nnz = 0;
+    std::array<std::uint64_t, kFingerprintRowBuckets> row_hist{};
+    std::array<std::uint64_t, kFingerprintBandBuckets> band_hist{};
+    std::uint64_t hash_hi = 0;
+    std::uint64_t hash_lo = 0;
+
+    [[nodiscard]] bool operator==(const MatrixFingerprint& other)
+        const noexcept = default;
+};
+
+/// Computes the fingerprint in one pass over rowptr/colidx.
+[[nodiscard]] MatrixFingerprint fingerprint_matrix(const CsrView& m);
+
+/// 32-hex-digit key ("3f09..."), the external fingerprint identity used in
+/// responses and logs.
+[[nodiscard]] std::string to_string(const MatrixFingerprint& fp);
+
+/// splitmix64 finalizer — the mixing primitive behind the fingerprint and
+/// the plan-cache key digests (exposed so both stay consistent).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace spmvcache

@@ -1,29 +1,22 @@
 #include "sparse/matrix_market.hpp"
 
-#include <charconv>
-#include <cmath>
-#include <cstring>
+#include <algorithm>
 #include <fstream>
-#include <limits>
-#include <sstream>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "sparse/coo.hpp"
+#include "sparse/mm_detail.hpp"
 #include "util/checked.hpp"
 #include "util/fault.hpp"
-#include "util/format.hpp"
 
 namespace spmvcache {
 
 namespace {
 
-struct MmHeader {
-    bool pattern = false;
-    bool symmetric = false;
-    bool skew = false;
-};
+using mm_detail::MmHeader;
+using mm_detail::MmSize;
 
 /// Reads lines through istream::getline into a fixed buffer, so a single
 /// pathological line can never allocate more than max_line_bytes. Tracks
@@ -64,124 +57,8 @@ private:
     std::int64_t line_no_ = 0;
 };
 
-const char* skip_ws(const char* p, const char* end) {
-    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
-    return p;
-}
-
-bool rest_is_blank(const char* p, const char* end) {
-    return skip_ws(p, end) == end;
-}
-
-bool parse_i64(const char*& p, const char* end, std::int64_t& out) {
-    p = skip_ws(p, end);
-    if (p < end && *p == '+') ++p;  // from_chars rejects a leading '+'
-    const auto [ptr, ec] = std::from_chars(p, end, out);
-    if (ec != std::errc{} || ptr == p) return false;
-    p = ptr;
-    return true;
-}
-
-bool parse_f64(const char*& p, const char* end, double& out) {
-    p = skip_ws(p, end);
-    if (p < end && *p == '+') ++p;
-    const auto [ptr, ec] = std::from_chars(p, end, out);
-    if (ec != std::errc{} || ptr == p) return false;
-    p = ptr;
-    return true;
-}
-
-bool is_comment_or_blank(std::string_view line) {
-    const char* p = skip_ws(line.data(), line.data() + line.size());
-    return p == line.data() + line.size() || *p == '%';
-}
-
-[[nodiscard]] Result<MmHeader> parse_banner(std::string_view line, std::int64_t line_no) {
-    std::istringstream is{std::string(line)};
-    std::string banner, object, format, field, symmetry;
-    is >> banner >> object >> format >> field >> symmetry;
-    const auto bad = [line_no](std::string what) {
-        return Error(ErrorCode::ParseError, std::move(what), line_no);
-    };
-    if (banner != "%%MatrixMarket") return bad("not a Matrix Market file");
-    if (to_lower(object) != "matrix")
-        return Error(ErrorCode::UnsupportedError,
-                     "unsupported MatrixMarket object: " + object, line_no);
-    if (to_lower(format) != "coordinate")
-        return Error(ErrorCode::UnsupportedError,
-                     "only coordinate format is supported", line_no);
-    const std::string f = to_lower(field);
-    if (f != "real" && f != "integer" && f != "pattern")
-        return Error(ErrorCode::UnsupportedError,
-                     "unsupported MatrixMarket field: " + field, line_no);
-    const std::string s = to_lower(symmetry);
-    if (s != "general" && s != "symmetric" && s != "skew-symmetric")
-        return Error(ErrorCode::UnsupportedError,
-                     "unsupported MatrixMarket symmetry: " + symmetry,
-                     line_no);
-    MmHeader h;
-    h.pattern = (f == "pattern");
-    h.symmetric = (s == "symmetric" || s == "skew-symmetric");
-    h.skew = (s == "skew-symmetric");
-    return h;
-}
-
-struct MmSize {
-    std::int64_t rows = 0;
-    std::int64_t cols = 0;
-    std::int64_t nnz = 0;
-};
-
-[[nodiscard]] Result<MmSize> parse_size_line(std::string_view line, std::int64_t line_no,
-                               const MmHeader& header) {
-    SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.size_line"));
-    MmSize size;
-    const char* p = line.data();
-    const char* end = line.data() + line.size();
-    if (!parse_i64(p, end, size.rows) || !parse_i64(p, end, size.cols) ||
-        !parse_i64(p, end, size.nnz))
-        return Error(ErrorCode::ParseError,
-                     "malformed size line (expected 'rows cols nnz')",
-                     line_no);
-    // A fourth token means this is not a coordinate size line (array
-    // format, or a corrupted file) — never accept trailing garbage here.
-    if (!rest_is_blank(p, end))
-        return Error(ErrorCode::ParseError,
-                     "trailing garbage after size line", line_no);
-    if (size.rows < 0 || size.cols < 0 || size.nnz < 0)
-        return Error(ErrorCode::ValidationError,
-                     "negative Matrix Market dimensions", line_no);
-    if (header.symmetric && size.rows != size.cols)
-        return Error(ErrorCode::ValidationError,
-                     "symmetric file with non-square dimensions", line_no);
-    if (size.cols > std::numeric_limits<std::int32_t>::max())
-        return Error(ErrorCode::UnsupportedError,
-                     "cols exceed int32 (CSR layout stores 4-byte column "
-                     "indices)",
-                     line_no);
-    if (header.symmetric &&
-        size.rows > std::numeric_limits<std::int32_t>::max())
-        return Error(ErrorCode::UnsupportedError,
-                     "symmetric expansion needs rows to fit int32", line_no);
-    std::int64_t cells = 0;
-    if (!checked_mul(size.rows, size.cols, cells))
-        return Error(ErrorCode::OverflowError,
-                     "rows*cols overflows int64", line_no);
-    if (size.nnz > cells)
-        return Error(ErrorCode::ValidationError,
-                     "declared nnz " + std::to_string(size.nnz) +
-                         " exceeds rows*cols = " + std::to_string(cells),
-                     line_no);
-    std::int64_t logical = size.nnz;
-    if (header.symmetric &&
-        !checked_mul<std::int64_t>(size.nnz, 2, logical))
-        return Error(ErrorCode::OverflowError,
-                     "symmetric nnz expansion overflows int64", line_no);
-    (void)logical;
-    return size;
-}
-
-[[nodiscard]] Result<CsrMatrix> read_impl(std::istream& in, const MmReadOptions& options) {
+[[nodiscard]] Result<CsrMatrix> read_impl(std::istream& in,
+                                          const MmReadOptions& options) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.header"));
     LineReader reader(in, options.max_line_bytes);
 
@@ -190,7 +67,7 @@ struct MmSize {
         return Error(ErrorCode::ParseError, "empty Matrix Market stream", 1);
     SPMV_ASSIGN_OR_RETURN(
         const MmHeader header,
-        parse_banner(reader.view(), reader.line_no()));
+        mm_detail::parse_banner(reader.view(), reader.line_no()));
 
     // Skip comments and blank lines to the size line.
     for (;;) {
@@ -198,11 +75,11 @@ struct MmSize {
         if (!have_line)
             return Error(ErrorCode::ParseError, "missing size line",
                          reader.line_no() + 1);
-        if (!is_comment_or_blank(reader.view())) break;
+        if (!mm_detail::is_comment_or_blank(reader.view())) break;
     }
     SPMV_ASSIGN_OR_RETURN(
         const MmSize size,
-        parse_size_line(reader.view(), reader.line_no(), header));
+        mm_detail::parse_size_line(reader.view(), reader.line_no(), header));
 
     CooMatrix coo(size.rows, size.cols);
     // parse_size_line proved 2*nnz fits; the contract keeps that proof
@@ -225,50 +102,25 @@ struct MmSize {
         SPMV_ASSIGN_OR_RETURN(bool have_line, reader.next());
         if (!have_line) break;
         const std::string_view line = reader.view();
-        if (is_comment_or_blank(line)) continue;
+        if (mm_detail::is_comment_or_blank(line)) continue;
         const std::int64_t line_no = reader.line_no();
         if (Status s = fault::maybe_fail("mm.read_entry"); !s.ok())
             return std::move(s).wrap("entry " + std::to_string(seen + 1));
 
-        const char* p = line.data();
-        const char* end = line.data() + line.size();
-        std::int64_t r = 0, c = 0;
-        double v = 1.0;
-        if (!parse_i64(p, end, r) || !parse_i64(p, end, c))
-            return Error(ErrorCode::ParseError,
-                         "malformed entry line (expected 'row col[ value]')",
-                         line_no);
-        if (!header.pattern && !parse_f64(p, end, v))
-            return Error(ErrorCode::ParseError,
-                         "missing or non-numeric value on entry line",
-                         line_no);
-        if (options.strict && !rest_is_blank(p, end))
-            return Error(ErrorCode::ParseError,
-                         "trailing garbage after entry", line_no);
-        if (r < 1 || r > size.rows || c < 1 || c > size.cols)
+        SPMV_ASSIGN_OR_RETURN(
+            const mm_detail::MmEntry entry,
+            mm_detail::parse_entry_line(line, line_no, header, size,
+                                        options.strict));
+        if (options.strict &&
+            !seen_keys.insert(mm_detail::entry_key(entry, size)).second)
             return Error(ErrorCode::ValidationError,
-                         "index (" + std::to_string(r) + ", " +
-                             std::to_string(c) + ") out of range for " +
-                             std::to_string(size.rows) + "x" +
-                             std::to_string(size.cols) + " matrix",
+                         "duplicate entry (" + std::to_string(entry.row) +
+                             ", " + std::to_string(entry.col) + ")",
                          line_no);
-        if (options.strict) {
-            if (!std::isfinite(v))
-                return Error(ErrorCode::ValidationError,
-                             "non-finite value on entry line", line_no);
-            if (header.symmetric && c > r)
-                return Error(ErrorCode::ValidationError,
-                             "entry above the diagonal in a symmetric file",
-                             line_no);
-            if (!seen_keys.insert((r - 1) * size.cols + (c - 1)).second)
-                return Error(ErrorCode::ValidationError,
-                             "duplicate entry (" + std::to_string(r) + ", " +
-                                 std::to_string(c) + ")",
-                             line_no);
-        }
-        coo.add(r - 1, c - 1, v);
-        if (header.symmetric && r != c)
-            coo.add(c - 1, r - 1, header.skew ? -v : v);
+        coo.add(entry.row - 1, entry.col - 1, entry.value);
+        if (header.symmetric && entry.row != entry.col)
+            coo.add(entry.col - 1, entry.row - 1,
+                    header.skew ? -entry.value : entry.value);
         ++seen;
     }
     if (seen != size.nnz)
@@ -283,7 +135,7 @@ struct MmSize {
         for (;;) {
             SPMV_ASSIGN_OR_RETURN(bool have_line, reader.next());
             if (!have_line) break;
-            if (!is_comment_or_blank(reader.view()))
+            if (!mm_detail::is_comment_or_blank(reader.view()))
                 return Error(ErrorCode::ParseError,
                              "data after the declared final entry",
                              reader.line_no());

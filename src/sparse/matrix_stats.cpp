@@ -9,7 +9,7 @@
 
 namespace spmvcache {
 
-MatrixStats compute_stats(const CsrMatrix& m) {
+MatrixStats compute_stats(const CsrView& m) {
     MatrixStats s;
     s.rows = m.rows();
     s.cols = m.cols();

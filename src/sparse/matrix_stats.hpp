@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <string>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 
 namespace spmvcache {
 
@@ -28,7 +28,7 @@ struct MatrixStats {
 };
 
 /// Computes all statistics in a single pass.
-[[nodiscard]] MatrixStats compute_stats(const CsrMatrix& m);
+[[nodiscard]] MatrixStats compute_stats(const CsrView& m);
 
 /// One-line human-readable rendering ("1.5M x 1.5M, 52.7M nnz, mu=35.0 ...").
 [[nodiscard]] std::string to_string(const MatrixStats& s);

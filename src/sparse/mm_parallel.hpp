@@ -1,0 +1,48 @@
+// Parallel Matrix Market parser: chunked line scanning over an in-memory
+// copy of the file, fanned out on sync/thread_pool, merged deterministically.
+//
+// The contract is *bit identity with the serial parser*: for any input and
+// any worker/chunk count, the parallel parser produces exactly the CSR
+// arrays (and exactly the first typed error, same code/message/line) that
+// try_read_matrix_market_file produces. The header (banner, comments, size
+// line) is parsed serially; the entry region is split at '\n' boundaries
+// into chunks, each chunk parses its lines into a private entry list using
+// the shared per-line logic in mm_detail.hpp, and the merge walks chunks in
+// file order — so entry order, duplicate detection order, truncation
+// semantics and lenient-mode "stop after nnz entries" all replicate the
+// serial reader. Feeds the binary cache (sparse/binary_cache.hpp) so cold
+// ingest of large .mtx files is parse-bound on all cores instead of one.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sparse/matrix_market.hpp"
+
+namespace spmvcache {
+
+/// Knobs for the parallel reader.
+struct MmParallelOptions {
+    /// Shared grammar/strictness knobs (identical meaning to the serial
+    /// parser's options).
+    MmReadOptions base;
+    /// Worker threads for chunk parsing; 0 = default_host_jobs(). With one
+    /// worker (or one chunk) everything runs inline on the caller.
+    std::size_t jobs = 0;
+    /// Minimum entry-region bytes per chunk; the chunk count is
+    /// ceil(region / min_chunk_bytes) clamped to [1, 4 * jobs]. Tests set
+    /// this tiny to force many chunks on small inputs.
+    std::size_t min_chunk_bytes = std::size_t{1} << 20;
+};
+
+/// Parses a whole Matrix Market file already resident in memory.
+/// Fault points: "mm.parallel" (hit once per chunk task).
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel(
+    std::string_view text, const MmParallelOptions& options = {});
+
+/// Reads the file into memory, then parses it with the chunked reader.
+/// Fault points: "mm.open" (shared with the serial reader), "mm.parallel".
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel_file(
+    const std::string& path, const MmParallelOptions& options = {});
+
+}  // namespace spmvcache

@@ -6,7 +6,7 @@
 
 namespace spmvcache {
 
-RowPartition::RowPartition(const CsrMatrix& m, std::int64_t threads,
+RowPartition::RowPartition(const CsrView& m, std::int64_t threads,
                            PartitionPolicy policy) {
     SPMV_EXPECTS(threads >= 1);
     const auto n = m.rows();
@@ -53,7 +53,7 @@ const RowRange& RowPartition::range(std::int64_t thread) const {
 }
 
 std::vector<std::int64_t> RowPartition::nnz_per_thread(
-    const CsrMatrix& m) const {
+    const CsrView& m) const {
     const auto rowptr = m.rowptr();
     std::vector<std::int64_t> out(ranges_.size());
     for (std::size_t t = 0; t < ranges_.size(); ++t) {
@@ -63,7 +63,7 @@ std::vector<std::int64_t> RowPartition::nnz_per_thread(
     return out;
 }
 
-double RowPartition::imbalance(const CsrMatrix& m) const {
+double RowPartition::imbalance(const CsrView& m) const {
     const auto per_thread = nnz_per_thread(m);
     std::int64_t max = 0, sum = 0;
     for (auto k : per_thread) {

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 
 namespace spmvcache {
 
@@ -33,7 +33,7 @@ enum class PartitionPolicy {
 class RowPartition {
 public:
     /// Pre: threads >= 1.
-    RowPartition(const CsrMatrix& m, std::int64_t threads,
+    RowPartition(const CsrView& m, std::int64_t threads,
                  PartitionPolicy policy);
 
     [[nodiscard]] std::int64_t threads() const noexcept {
@@ -46,10 +46,10 @@ public:
 
     /// Nonzeros owned by each thread (for imbalance metrics).
     [[nodiscard]] std::vector<std::int64_t> nnz_per_thread(
-        const CsrMatrix& m) const;
+        const CsrView& m) const;
 
     /// max(nnz per thread) / mean(nnz per thread); 1.0 = perfectly balanced.
-    [[nodiscard]] double imbalance(const CsrMatrix& m) const;
+    [[nodiscard]] double imbalance(const CsrView& m) const;
 
 private:
     std::vector<RowRange> ranges_;

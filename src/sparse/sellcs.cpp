@@ -7,7 +7,7 @@
 
 namespace spmvcache {
 
-SellCSigmaMatrix::SellCSigmaMatrix(const CsrMatrix& csr,
+SellCSigmaMatrix::SellCSigmaMatrix(const CsrView& csr,
                                    std::int64_t chunk_height,
                                    std::int64_t sigma)
     : rows_(csr.rows()), cols_(csr.cols()), nnz_(csr.nnz()),

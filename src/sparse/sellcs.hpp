@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <span>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 #include "util/align.hpp"
 
 namespace spmvcache {
@@ -23,7 +23,7 @@ class SellCSigmaMatrix {
 public:
     /// Converts `csr`. Pre: chunk_height >= 1; sigma >= 1 and a multiple
     /// of chunk_height (or 1 for no sorting).
-    SellCSigmaMatrix(const CsrMatrix& csr, std::int64_t chunk_height,
+    SellCSigmaMatrix(const CsrView& csr, std::int64_t chunk_height,
                      std::int64_t sigma);
 
     [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }

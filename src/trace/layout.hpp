@@ -7,7 +7,7 @@
 
 #include <cstdint>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 #include "trace/memref.hpp"
 
 namespace spmvcache {
@@ -22,7 +22,7 @@ public:
                std::uint64_t line_bytes);
 
     /// Convenience: layout for a concrete matrix.
-    SpmvLayout(const CsrMatrix& m, std::uint64_t line_bytes)
+    SpmvLayout(const CsrView& m, std::uint64_t line_bytes)
         : SpmvLayout(m.rows(), m.cols(), m.nnz(), line_bytes) {}
 
     [[nodiscard]] std::uint64_t line_bytes() const noexcept {

@@ -8,7 +8,7 @@
 namespace spmvcache {
 
 [[nodiscard]] Result<std::vector<std::uint64_t>> try_pack_spmv_trace_segment(
-    const CsrMatrix& m, const SpmvLayout& layout, const TraceConfig& cfg,
+    const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
     std::int64_t cores_per_numa, std::int64_t segment) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("trace.pack"));
 

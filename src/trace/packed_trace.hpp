@@ -24,7 +24,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 #include "trace/layout.hpp"
 #include "trace/memref.hpp"
 #include "trace/spmv_trace.hpp"
@@ -87,7 +87,7 @@ inline constexpr int kPackedPrefetchShift = 63;
 /// allocation fails (ResourceError), or the `trace.pack` fault point is
 /// armed — callers are expected to fall back to streaming re-derivation.
 [[nodiscard]] Result<std::vector<std::uint64_t>> try_pack_spmv_trace_segment(
-    const CsrMatrix& m, const SpmvLayout& layout, const TraceConfig& cfg,
+    const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
     std::int64_t cores_per_numa, std::int64_t segment);
 
 }  // namespace spmvcache

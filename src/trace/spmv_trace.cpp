@@ -25,7 +25,7 @@ namespace spmvcache {
     return checked_add(row_refs, nnz_refs);
 }
 
-std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
+std::vector<MemRef> collect_spmv_trace(const CsrView& m,
                                        const SpmvLayout& layout,
                                        const TraceConfig& cfg) {
     fault::maybe_throw("trace.generate");
@@ -38,7 +38,7 @@ std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
     return trace;
 }
 
-std::vector<MemRef> collect_spmv_trace_segment(const CsrMatrix& m,
+std::vector<MemRef> collect_spmv_trace_segment(const CsrView& m,
                                                const SpmvLayout& layout,
                                                const TraceConfig& cfg,
                                                std::int64_t cores_per_numa,
@@ -57,7 +57,7 @@ std::vector<MemRef> collect_spmv_trace_segment(const CsrMatrix& m,
     return trace;
 }
 
-std::vector<std::uint64_t> spmv_segment_lengths(const CsrMatrix& m,
+std::vector<std::uint64_t> spmv_segment_lengths(const CsrView& m,
                                                 const TraceConfig& cfg,
                                                 std::int64_t cores_per_numa) {
     SPMV_EXPECTS(cores_per_numa >= 1);
@@ -85,7 +85,7 @@ std::vector<std::uint64_t> spmv_segment_lengths(const CsrMatrix& m,
     return lengths;
 }
 
-std::vector<MemRef> record_spmv_trace_mcs(const CsrMatrix& m,
+std::vector<MemRef> record_spmv_trace_mcs(const CsrView& m,
                                           const SpmvLayout& layout,
                                           std::int64_t threads,
                                           std::int64_t chunk_refs,

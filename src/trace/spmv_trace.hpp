@@ -19,7 +19,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 #include "sparse/partition.hpp"
 #include "trace/layout.hpp"
 #include "trace/memref.hpp"
@@ -74,7 +74,7 @@ struct TraceCursor {
 /// `x_prefetch_distance` > 0 interleaves prfm hints for x (see
 /// TraceConfig::x_prefetch_distance).
 template <class Sink>
-bool advance(const CsrMatrix& m, const SpmvLayout& layout, std::uint32_t t,
+bool advance(const CsrView& m, const SpmvLayout& layout, std::uint32_t t,
              TraceCursor& cur, std::int64_t quantum, Sink&& sink,
              std::int64_t x_prefetch_distance = 0) {
     if (cur.done()) return false;
@@ -136,7 +136,7 @@ bool advance(const CsrMatrix& m, const SpmvLayout& layout, std::uint32_t t,
 /// order; otherwise the per-thread streams are interleaved round-robin,
 /// cfg.quantum nonzeros per thread per turn.
 template <class Sink>
-void generate_spmv_trace(const CsrMatrix& m, const SpmvLayout& layout,
+void generate_spmv_trace(const CsrView& m, const SpmvLayout& layout,
                          const TraceConfig& cfg, Sink&& sink) {
     const RowPartition partition(m, cfg.threads, cfg.partition);
     std::vector<detail::TraceCursor> cursors(
@@ -183,7 +183,7 @@ void generate_spmv_trace(const CsrMatrix& m, const SpmvLayout& layout,
 /// per-segment) subsequence — the only orderings the per-segment and
 /// per-core stack engines can observe.
 template <class Sink>
-void generate_spmv_trace_segment(const CsrMatrix& m, const SpmvLayout& layout,
+void generate_spmv_trace_segment(const CsrView& m, const SpmvLayout& layout,
                                  const TraceConfig& cfg,
                                  std::int64_t cores_per_numa,
                                  std::int64_t segment, Sink&& sink) {
@@ -217,13 +217,13 @@ void generate_spmv_trace_segment(const CsrMatrix& m, const SpmvLayout& layout,
 }
 
 /// Materialises a trace into a vector (small matrices / tests).
-[[nodiscard]] std::vector<MemRef> collect_spmv_trace(const CsrMatrix& m,
+[[nodiscard]] std::vector<MemRef> collect_spmv_trace(const CsrView& m,
                                                      const SpmvLayout& layout,
                                                      const TraceConfig& cfg);
 
 /// Materialises one segment's filtered trace (tests / diagnostics).
 [[nodiscard]] std::vector<MemRef> collect_spmv_trace_segment(
-    const CsrMatrix& m, const SpmvLayout& layout, const TraceConfig& cfg,
+    const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
     std::int64_t cores_per_numa, std::int64_t segment);
 
 /// Demand-reference count of each segment's filtered trace (one SpMV
@@ -231,7 +231,7 @@ void generate_spmv_trace_segment(const CsrMatrix& m, const SpmvLayout& layout,
 /// segment's threads. Software-prefetch hints are not counted. The entries
 /// sum to spmv_trace_length(rows, nnz) for every partition/quantum choice.
 [[nodiscard]] std::vector<std::uint64_t> spmv_segment_lengths(
-    const CsrMatrix& m, const TraceConfig& cfg, std::int64_t cores_per_numa);
+    const CsrView& m, const TraceConfig& cfg, std::int64_t cores_per_numa);
 
 /// Records a parallel trace with real threads: each worker generates the
 /// references of its row range and submits them in chunks of `chunk_refs`
@@ -239,7 +239,7 @@ void generate_spmv_trace_segment(const CsrMatrix& m, const SpmvLayout& layout,
 /// §3.2.1 describes. The resulting interleaving is a valid concurrent
 /// ordering but not deterministic across runs.
 [[nodiscard]] std::vector<MemRef> record_spmv_trace_mcs(
-    const CsrMatrix& m, const SpmvLayout& layout, std::int64_t threads,
+    const CsrView& m, const SpmvLayout& layout, std::int64_t threads,
     std::int64_t chunk_refs = 64,
     PartitionPolicy partition = PartitionPolicy::BalancedRows);
 

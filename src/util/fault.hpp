@@ -15,9 +15,9 @@
 //   ... third entry read reports ErrorCode::FaultInjected ...
 //
 // Registered points (grep for the literals): mm.open, mm.header,
-// mm.size_line, mm.read_entry, trace.generate, trace.worker, trace.pack,
-// reuse.access, batch.item, kernel.exec, serve.accept, serve.execute,
-// serve.cache.
+// mm.size_line, mm.read_entry, mm.parallel, cache.write, cache.map,
+// trace.generate, trace.worker, trace.pack, reuse.access, batch.item,
+// kernel.exec, serve.accept, serve.execute, serve.cache.
 #pragma once
 
 #include <cstdint>

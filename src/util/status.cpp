@@ -17,6 +17,7 @@ const char* to_string(ErrorCode code) noexcept {
         case ErrorCode::Cancelled: return "Cancelled";
         case ErrorCode::FaultInjected: return "FaultInjected";
         case ErrorCode::InternalError: return "InternalError";
+        case ErrorCode::CacheStale: return "CacheStale";
     }
     return "UnknownError";
 }

@@ -39,6 +39,7 @@ enum class ErrorCode : std::uint8_t {
     Cancelled,         ///< caller asked the pipeline to stop
     FaultInjected,     ///< a test-armed fault::maybe_fail point fired
     InternalError,     ///< unexpected exception escaping a stage
+    CacheStale,        ///< binary cache no longer matches its source file
 };
 
 /// Stable identifier ("ParseError") used in failure reports and tests.

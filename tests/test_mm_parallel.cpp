@@ -1,0 +1,339 @@
+// Chunked-parallel Matrix Market parser tests: the contract is
+// bit-identity with the serial parser — same CSR arrays on success, same
+// typed error with the same 1-based line number on failure — for every
+// jobs count and chunk size, including chunk boundaries that split the
+// file mid-entry-run. The suite is intentionally TSan-friendly (CI runs
+// it under ThreadSanitizer): every case exercises the pool fan-out.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sparse/gen/banded.hpp"
+#include "sparse/gen/random.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/mm_parallel.hpp"
+#include "util/fault.hpp"
+
+namespace spmvcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The jobs/chunking grid every differential case runs over. Tiny
+/// min_chunk_bytes forces many chunks even for small inputs, so merge
+/// order, line rebasing and boundary splitting all get exercised.
+struct Grid {
+    std::size_t jobs;
+    std::size_t min_chunk_bytes;
+};
+const std::vector<Grid> kGrid = {
+    {1, 1 << 20}, {2, 64}, {3, 64}, {4, 256}, {8, 31}, {0, 4096},
+};
+
+MmParallelOptions grid_options(const Grid& g, bool strict = false) {
+    MmParallelOptions options;
+    options.base.strict = strict;
+    options.jobs = g.jobs;
+    options.min_chunk_bytes = g.min_chunk_bytes;
+    return options;
+}
+
+/// Asserts serial and parallel agree on `text` — bit-identical matrices
+/// or identical (code, line) errors — across the whole grid.
+void expect_differential(const std::string& text, bool strict = false) {
+    MmReadOptions serial_options;
+    serial_options.strict = strict;
+    std::istringstream in(text);
+    const Result<CsrMatrix> serial =
+        try_read_matrix_market(in, serial_options);
+
+    for (const Grid& g : kGrid) {
+        const Result<CsrMatrix> parallel =
+            try_read_matrix_market_parallel(text, grid_options(g, strict));
+        ASSERT_EQ(serial.ok(), parallel.ok())
+            << "jobs=" << g.jobs << " chunk=" << g.min_chunk_bytes
+            << (serial.ok() ? " parallel failed: " + parallel.error().render()
+                            : " parallel succeeded where serial failed");
+        if (!serial.ok()) {
+            EXPECT_EQ(serial.error().code, parallel.error().code)
+                << "jobs=" << g.jobs << " chunk=" << g.min_chunk_bytes;
+            EXPECT_EQ(serial.error().line, parallel.error().line)
+                << "jobs=" << g.jobs << " chunk=" << g.min_chunk_bytes
+                << " serial: " << serial.error().render()
+                << " parallel: " << parallel.error().render();
+            continue;
+        }
+        const CsrMatrix& a = serial.value();
+        const CsrMatrix& b = parallel.value();
+        ASSERT_EQ(a.rows(), b.rows());
+        ASSERT_EQ(a.cols(), b.cols());
+        ASSERT_EQ(a.nnz(), b.nnz());
+        EXPECT_EQ(std::memcmp(a.rowptr().data(), b.rowptr().data(),
+                              (static_cast<std::size_t>(a.rows()) + 1) *
+                                  sizeof(std::int64_t)),
+                  0);
+        EXPECT_EQ(std::memcmp(a.colidx().data(), b.colidx().data(),
+                              static_cast<std::size_t>(a.nnz()) *
+                                  sizeof(std::int32_t)),
+                  0);
+        EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
+                              static_cast<std::size_t>(a.nnz()) *
+                                  sizeof(double)),
+                  0);
+    }
+}
+
+std::string to_mtx(const CsrMatrix& m) {
+    std::ostringstream out;
+    write_matrix_market(out, m);
+    return out.str();
+}
+
+TEST(MmParallel, GeneratedMatricesAreBitIdentical) {
+    expect_differential(to_mtx(gen::stencil_2d_5pt(16, 16)));
+    expect_differential(to_mtx(gen::banded(120, 7, 2, 3)));
+    expect_differential(to_mtx(gen::random_uniform(90, 90, 8, 17)));
+    expect_differential(to_mtx(gen::random_variable_rows(80, 80, 5.0,
+                                                         2.0, 9)));
+}
+
+TEST(MmParallel, HandlesCommentsBlankLinesAndPattern) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% comment between header and size\n"
+        "\n"
+        "3 3 4\n"
+        "% comment between entries\n"
+        "1 1\n"
+        "2 2\n"
+        "\n"
+        "3 1\n"
+        "3 3\n");
+}
+
+TEST(MmParallel, HandlesSymmetricAndSkewMirroring) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 4\n"
+        "1 1 1.5\n"
+        "2 1 -2.0\n"
+        "3 2 0.25\n"
+        "3 3 4.0\n");
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "3 3 2\n"
+        "2 1 -2.0\n"
+        "3 2 0.25\n");
+}
+
+TEST(MmParallel, HandlesIntegerFieldAndExponents) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 3 3\n"
+        "1 1 7\n"
+        "1 3 -2\n"
+        "2 2 9\n");
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.25e-3\n"
+        "1 2 -7.5E+2\n"
+        "2 2 +0.5\n");
+}
+
+TEST(MmParallel, LenientDuplicatesSumIdentically) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 4\n"
+        "1 1 1.0\n"
+        "1 1 2.0\n"
+        "2 2 4.0\n"
+        "2 1 8.0\n");
+}
+
+// ---- Error differentials: same code, same line, every grid point -------
+
+TEST(MmParallel, MalformedEntryReportsSerialLineNumber) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 4\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n"
+        "2 x 3.0\n"
+        "3 3 4.0\n");
+}
+
+TEST(MmParallel, OutOfRangeIndexReportsSerialLineNumber) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3\n"
+        "1 1 1.0\n"
+        "% a comment to shift line numbers\n"
+        "2 7 2.0\n"
+        "3 3 3.0\n");
+}
+
+TEST(MmParallel, TruncatedFileReportsSameError) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4 4 6\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n");
+}
+
+TEST(MmParallel, MissingValueReportsSameError) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3\n"
+        "1 1 1.0\n"
+        "2 2\n"
+        "3 3 3.0\n");
+}
+
+TEST(MmParallel, StrictRejectsWhatSerialStrictRejects) {
+    // Duplicate entry (strict sums are forbidden).
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n"
+        "1 1 2.0\n"
+        "2 2 4.0\n",
+        /*strict=*/true);
+    // Data after the declared final entry.
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n"
+        "1 2 9.0\n",
+        /*strict=*/true);
+    // Trailing garbage on an entry line.
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0 junk\n"
+        "2 2 2.0\n",
+        /*strict=*/true);
+    // Above-diagonal entry in a symmetric file.
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "1 2 1.0\n"
+        "3 3 2.0\n",
+        /*strict=*/true);
+    // Non-finite value.
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 nan\n"
+        "2 2 2.0\n",
+        /*strict=*/true);
+}
+
+TEST(MmParallel, LenientIgnoresDataAfterFinalEntry) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n"
+        "1 2 9.0\n",
+        /*strict=*/false);
+}
+
+TEST(MmParallel, HeaderErrorsMatchSerial) {
+    expect_differential("%%MatrixMarket matrix coordinate complex general\n"
+                        "1 1 1\n"
+                        "1 1 1.0 0.0\n");
+    expect_differential("not a matrix market file\n");
+    expect_differential("%%MatrixMarket matrix coordinate real general\n"
+                        "2 -2 1\n"
+                        "1 1 1.0\n");
+    expect_differential("");
+}
+
+TEST(MmParallel, FileWithoutTrailingNewlineParses) {
+    expect_differential(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 2 2.0");
+}
+
+TEST(MmParallel, FileWrapperMatchesSerialWrapper) {
+    const fs::path dir =
+        fs::path(testing::TempDir()) /
+        ("spmv_mm_par_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    const CsrMatrix m = gen::stencil_2d_5pt(12, 12);
+    const std::string path = (dir / "m.mtx").string();
+    write_matrix_market_file(path, m);
+
+    const Result<CsrMatrix> serial = try_read_matrix_market_file(path);
+    MmParallelOptions options;
+    options.jobs = 3;
+    options.min_chunk_bytes = 128;
+    const Result<CsrMatrix> parallel =
+        try_read_matrix_market_parallel_file(path, options);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok()) << parallel.error().render();
+    EXPECT_EQ(serial.value().nnz(), parallel.value().nnz());
+
+    // Missing file: both wrappers produce the same typed error.
+    const Result<CsrMatrix> serial_missing =
+        try_read_matrix_market_file((dir / "no.mtx").string());
+    const Result<CsrMatrix> parallel_missing =
+        try_read_matrix_market_parallel_file((dir / "no.mtx").string(),
+                                             options);
+    EXPECT_EQ(serial_missing.error().code, parallel_missing.error().code);
+    fs::remove_all(dir);
+}
+
+TEST(MmParallel, ChunkFaultInjectionSurfacesTypedError) {
+    const std::string text = to_mtx(gen::stencil_2d_5pt(12, 12));
+    MmParallelOptions options;
+    options.jobs = 4;
+    options.min_chunk_bytes = 64;
+    {
+        fault::ScopedFault f("mm.parallel");
+        const Result<CsrMatrix> r =
+            try_read_matrix_market_parallel(text, options);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.error().code, ErrorCode::FaultInjected);
+    }
+    fault::disarm_all();
+    EXPECT_TRUE(try_read_matrix_market_parallel(text, options).ok());
+}
+
+TEST(MmParallel, OverlongLineMatchesSerial) {
+    std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n";
+    text += "2 2 2.0" + std::string(100, ' ') + "\n";
+    MmReadOptions serial_options;
+    serial_options.max_line_bytes = 32;
+    std::istringstream in(text);
+    const Result<CsrMatrix> serial =
+        try_read_matrix_market(in, serial_options);
+    MmParallelOptions options;
+    options.base.max_line_bytes = 32;
+    options.jobs = 3;
+    options.min_chunk_bytes = 16;
+    const Result<CsrMatrix> parallel =
+        try_read_matrix_market_parallel(text, options);
+    ASSERT_FALSE(serial.ok());
+    ASSERT_FALSE(parallel.ok());
+    EXPECT_EQ(serial.error().code, parallel.error().code);
+    EXPECT_EQ(serial.error().line, parallel.error().line);
+}
+
+}  // namespace
+}  // namespace spmvcache

@@ -184,6 +184,7 @@ void check_nodiscard_status(const std::string& file, const FileText& text,
     for (std::size_t i = 0; i < text.stripped.size(); ++i) {
         std::string_view s = trim(text.stripped[i]);
         bool saw_nodiscard = s.find("[[nodiscard]]") != std::string_view::npos;
+        bool saw_friend = false;
         // Strip leading attributes and declaration qualifiers.
         for (bool progressed = true; progressed;) {
             progressed = false;
@@ -197,11 +198,17 @@ void check_nodiscard_status(const std::string& file, const FileText& text,
                  {"static", "inline", "constexpr", "virtual", "explicit",
                   "friend"}) {
                 if (starts_with_word(s, q)) {
+                    if (q == "friend") saw_friend = true;
                     s = trim(s.substr(q.size()));
                     progressed = true;
                 }
             }
         }
+        // Attributes appertaining to a non-definition friend declaration
+        // are ignored by the language, so requiring one there would only
+        // produce an unfixable finding; the primary declaration is the
+        // one that matters and is checked on its own line.
+        if (saw_friend) continue;
         bool matched = false;
         std::string_view rest = consume_status_type(s, matched);
         if (!matched) continue;

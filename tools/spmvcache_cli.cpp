@@ -8,11 +8,17 @@
 //   spmvcache convert  <in.mtx> <out.mtx> [--rcm]    reorder / normalise
 //   spmvcache batch    <dir|list|matrix.mtx>         isolated sweep + report
 //   spmvcache serve                                  JSONL prediction daemon
+//   spmvcache cache    warm|inspect ...              .spmvc binary cache ops
 //   spmvcache kernelbench <matrix.mtx> [--threads T] [--variant V]
 //                                                    time the kernel engine
 //
 // Every subcommand also accepts --gen FAMILY:ARG (e.g. --gen stencil2d5:512)
 // instead of a .mtx path, for experimentation without input files.
+//
+// With --cache-dir DIR, file loads go through the `.spmvc` binary cache
+// (sparse/binary_cache.hpp): the first load parses and writes a cache
+// entry, later loads mmap it zero-copy. --parse-jobs N parses .mtx text
+// with N workers on a miss (0 = all cores; results are bit-identical).
 //
 // Exit codes are standardised: 0 = success, 1 = input/matrix errors (for
 // `batch`: some matrices failed — including matrices still pending when a
@@ -56,10 +62,20 @@ using namespace spmvcache;
            "  serve     long-running JSONL daemon on stdin/stdout: predict,\n"
            "            tune, stats, health, shutdown requests with a\n"
            "            fingerprint-keyed plan cache and graceful drain\n"
+           "  cache     warm or inspect the .spmvc binary matrix cache:\n"
+           "            cache warm <dir|list|matrix.mtx> --cache-dir DIR\n"
+           "            cache inspect <entry.spmvc | matrix.mtx --cache-dir "
+           "DIR>\n"
            "  kernelbench  run the SpMV kernel engine on the host and time\n"
            "            its variants against the spmv_csr_parallel baseline\n"
            "options: --threads T --l2-ways N --l1-ways N --method a|b "
            "--rcm --gen FAMILY:N --strict\n"
+           "         --cache-dir DIR  .spmvc binary cache for file loads\n"
+           "                   (stats/predict/tune/batch/serve/cache; a\n"
+           "                   valid entry is mmapped instead of parsed)\n"
+           "         --parse-jobs N  chunked-parallel .mtx parse on a cache\n"
+           "                   miss (default 1 = serial, 0 = all cores;\n"
+           "                   the resulting matrix is bit-identical)\n"
            "         --jobs J  host workers for the sharded model (0 = all\n"
            "                   hardware threads, 1 = serial; predictions\n"
            "                   are identical for every value)\n"
@@ -76,6 +92,7 @@ using namespace spmvcache;
            "         reported, pending ones are marked Cancelled (exit 1)\n"
            "serve:   --workers N --queue N --cache-bytes B --strikes N\n"
            "         --timeout SECONDS --retries N --max-request-bytes B\n"
+           "         --source-cache N  loaded matrices kept resident (8)\n"
            "         --execute-delay SECONDS (test hook)\n"
            "         requests on stdin, one JSON object per line; responses\n"
            "         on stdout; lifecycle + final stats on stderr\n"
@@ -106,6 +123,8 @@ void report_error(const Error& e) {
         source.path = cli.positionals()[arg_index];
     }
     source.strict_parse = cli.has("strict");
+    source.cache_dir = cli.get("cache-dir", "");
+    source.parse_jobs = cli.get_int("parse-jobs", 1);
     return source;
 }
 
@@ -113,14 +132,28 @@ void report_error(const Error& e) {
     return load_matrix_source(matrix_source(cli, arg_index));
 }
 
+/// Cache-aware load for the model-facing subcommands; honours --cache-dir
+/// and --parse-jobs and reports how the matrix was obtained.
+[[nodiscard]] Result<LoadedMatrix> load_handle(const CliParser& cli,
+                                               std::size_t arg_index) {
+    return load_matrix_handle(matrix_source(cli, arg_index));
+}
+
+void report_load_origin(const LoadedMatrix& loaded) {
+    if (loaded.origin == LoadOrigin::CacheHit)
+        std::cerr << "matrix: mmapped from .spmvc cache (zero-copy)\n";
+    else if (loaded.cache_written)
+        std::cerr << "matrix: parsed; .spmvc cache entry written\n";
+}
+
 int cmd_stats(const CliParser& cli) {
-    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    const Result<LoadedMatrix> loaded = load_handle(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const CsrMatrix& m = loaded.value();
-    const auto stats = compute_stats(m);
+    report_load_origin(loaded.value());
+    const MatrixStats& stats = loaded.value().stats;
     std::cout << to_string(stats) << "\n";
     TextTable t({"quantity", "value"});
     t.add_row({"rows", fmt_count(static_cast<unsigned long long>(stats.rows))});
@@ -143,12 +176,13 @@ int cmd_stats(const CliParser& cli) {
 }
 
 int cmd_classify(const CliParser& cli) {
-    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    const Result<LoadedMatrix> loaded = load_handle(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const CsrMatrix& m = loaded.value();
+    report_load_origin(loaded.value());
+    const CsrView m = loaded.value().view;
     const auto ways = static_cast<std::uint32_t>(cli.get_int("ways", 5));
     const A64fxConfig machine = a64fx_default();
     const std::uint64_t sector0 =
@@ -212,13 +246,13 @@ void write_predict_json(std::ostream& out, const ModelResult& result,
 }
 
 int cmd_predict(const CliParser& cli) {
-    Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    Result<LoadedMatrix> loaded = load_handle(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const auto m =
-        std::make_shared<const CsrMatrix>(std::move(loaded).value());
+    const LoadedMatrix m = std::move(loaded).value();
+    report_load_origin(m);
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -278,12 +312,13 @@ int cmd_predict(const CliParser& cli) {
 }
 
 int cmd_simulate(const CliParser& cli) {
-    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    const Result<LoadedMatrix> loaded = load_handle(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const CsrMatrix& m = loaded.value();
+    report_load_origin(loaded.value());
+    const CsrView m = loaded.value().view;
     ExperimentOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -313,13 +348,13 @@ int cmd_simulate(const CliParser& cli) {
 }
 
 int cmd_tune(const CliParser& cli) {
-    Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    Result<LoadedMatrix> loaded = load_handle(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const auto m =
-        std::make_shared<const CsrMatrix>(std::move(loaded).value());
+    const LoadedMatrix m = std::move(loaded).value();
+    report_load_origin(m);
     ModelOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -398,6 +433,8 @@ int cmd_batch(const CliParser& cli) {
         options.trace_buffer_bytes = static_cast<std::uint64_t>(tb);
     options.timeout_seconds = cli.get_double("timeout", 0.0);
     options.retry_transient = !cli.has("no-retry");
+    options.cache_dir = cli.get("cache-dir", "");
+    options.parse_jobs = cli.get_int("parse-jobs", 1);
 
     // SIGINT/SIGTERM drain the sweep instead of killing it: the current
     // matrix finishes, pending ones are recorded as Cancelled, and the
@@ -414,11 +451,12 @@ int cmd_batch(const CliParser& cli) {
         std::cerr << "batch: drained after signal " << drain::signal_number()
                   << "; partial report follows\n";
 
-    TextTable t({"matrix", "status", "stage", "error", "rows", "nnz",
-                 "best L2 ways"});
+    TextTable t({"matrix", "status", "stage", "load", "error", "rows",
+                 "nnz", "best L2 ways"});
     for (const auto& item : report.items) {
         t.add_row({item.name, item.ok ? "ok" : "FAILED",
                    to_string(item.stage),
+                   item.ok ? item.load_origin : "-",
                    item.ok ? "-" : to_string(item.code),
                    fmt_count(static_cast<unsigned long long>(item.rows)),
                    fmt_count(static_cast<unsigned long long>(item.nnz)),
@@ -476,6 +514,10 @@ int cmd_serve(const CliParser& cli) {
     if (const std::int64_t mb = cli.get_int("max-request-bytes", -1); mb > 0)
         options.max_request_bytes = static_cast<std::size_t>(mb);
     options.execute_delay_seconds = cli.get_double("execute-delay", 0.0);
+    options.cache_dir = cli.get("cache-dir", "");
+    options.parse_jobs = cli.get_int("parse-jobs", 1);
+    options.source_cache_entries = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, cli.get_int("source-cache", 8)));
 
     // No SA_RESTART: a blocked stdin read returns with EINTR so the loop
     // notices the drain request instead of dying mid-response.
@@ -486,6 +528,122 @@ int cmd_serve(const CliParser& cli) {
     }
     Server server(options);
     return server.run(std::cin, std::cout, std::cerr);
+}
+
+/// `spmvcache cache warm <dir|list|matrix.mtx> --cache-dir DIR`: parse
+/// every matrix once and write (or refresh) its .spmvc entry, so later
+/// predict/batch/serve runs mmap instead of parsing.
+int cmd_cache_warm(const CliParser& cli) {
+    if (cli.positionals().size() < 3) usage();
+    const std::string cache_dir = cli.get("cache-dir", "");
+    if (cache_dir.empty()) {
+        report_error(Error(ErrorCode::ValidationError,
+                           "cache warm requires --cache-dir DIR"));
+        return kExitUsage;
+    }
+    const Result<std::vector<std::string>> paths =
+        collect_matrix_paths(cli.positionals()[2]);
+    if (!paths.ok()) {
+        report_error(paths.error());
+        return kExitUsage;
+    }
+    std::size_t failures = 0;
+    for (const std::string& path : paths.value()) {
+        MatrixSource source;
+        source.path = path;
+        source.strict_parse = cli.has("strict");
+        source.cache_dir = cache_dir;
+        source.parse_jobs = cli.get_int("parse-jobs", 1);
+        const Timer timer;
+        const Result<LoadedMatrix> loaded = load_matrix_handle(source);
+        if (!loaded.ok()) {
+            ++failures;
+            std::cout << path << ": FAILED ("
+                      << to_string(loaded.error().code) << ")\n";
+            std::cerr << "failed: " << path << ": "
+                      << loaded.error().render() << "\n";
+            continue;
+        }
+        const LoadedMatrix& m = loaded.value();
+        std::cout << path << ": " << to_string(m.origin);
+        if (m.cache_written) std::cout << ", cache written";
+        std::cout << " ("
+                  << fmt_count(
+                         static_cast<unsigned long long>(m.view.nnz()))
+                  << " nnz, " << fmt(timer.seconds(), 3) << " s) -> "
+                  << spmvc_cache_path(cache_dir, path, source.strict_parse)
+                  << "\n";
+    }
+    std::cout << paths.value().size() - failures << "/"
+              << paths.value().size() << " cache entries warm\n";
+    return failures == 0 ? kExitOk : kExitSomeFailed;
+}
+
+/// `spmvcache cache inspect <entry.spmvc | matrix.mtx --cache-dir DIR>`:
+/// decode and print a cache header without touching the array sections.
+int cmd_cache_inspect(const CliParser& cli) {
+    if (cli.positionals().size() < 3) usage();
+    const std::string target = cli.positionals()[2];
+    std::string entry = target;
+    // A .mtx argument names its entry indirectly through --cache-dir.
+    if (target.size() < 6 ||
+        target.substr(target.size() - 6) != ".spmvc") {
+        const std::string cache_dir = cli.get("cache-dir", "");
+        if (cache_dir.empty()) {
+            report_error(Error(ErrorCode::ValidationError,
+                               "cache inspect needs a .spmvc path, or a "
+                               "matrix path plus --cache-dir DIR"));
+            return kExitUsage;
+        }
+        entry = spmvc_cache_path(cache_dir, target, cli.has("strict"));
+    }
+    const Result<SpmvcInfo> info = inspect_binary_cache(entry);
+    if (!info.ok()) {
+        report_error(info.error());
+        return 1;
+    }
+    const SpmvcInfo& i = info.value();
+    TextTable t({"field", "value"});
+    t.add_row({"entry", entry});
+    t.add_row({"format version", std::to_string(i.format_version)});
+    t.add_row({"rows", fmt_count(static_cast<unsigned long long>(i.rows))});
+    t.add_row({"cols", fmt_count(static_cast<unsigned long long>(i.cols))});
+    t.add_row(
+        {"nonzeros", fmt_count(static_cast<unsigned long long>(i.nnz))});
+    t.add_row({"source path", i.source_path});
+    t.add_row({"source size", fmt_bytes(i.source.size)});
+    t.add_row({"source mtime [ns]", std::to_string(i.source.mtime_ns)});
+    t.add_row({"fingerprint", to_string(i.fingerprint)});
+    t.add_row({"mu_K (mean nnz/row)", fmt(i.stats.mean_nnz_per_row, 2)});
+    t.add_row({"CV_K", fmt(i.stats.cv_nnz_per_row, 3)});
+    t.add_row({"working set", fmt_bytes(i.stats.working_set_bytes)});
+    t.add_row({"entry size", fmt_bytes(i.file_bytes)});
+    t.render(std::cout);
+
+    // Freshness against the live source, when it is still reachable.
+    const Result<SourceStamp> live = stat_source(i.source_path);
+    if (!live.ok()) {
+        std::cout << "source: unreachable (" << to_string(live.error().code)
+                  << ")\n";
+    } else if (live.value().size == i.source.size &&
+               live.value().mtime_ns == i.source.mtime_ns) {
+        std::cout << "source: unchanged (entry is fresh)\n";
+    } else {
+        std::cout << "source: modified since the entry was written "
+                     "(entry is stale; next load re-parses)\n";
+    }
+    return 0;
+}
+
+int cmd_cache(const CliParser& cli) {
+    if (cli.positionals().size() < 2) usage();
+    const std::string verb = cli.positionals()[1];
+    if (verb == "warm") return cmd_cache_warm(cli);
+    if (verb == "inspect") return cmd_cache_inspect(cli);
+    report_error(Error(ErrorCode::ValidationError,
+                       "unknown cache verb '" + verb +
+                           "' (expected warm or inspect)"));
+    return kExitUsage;
 }
 
 /// One timed kernelbench leg.
@@ -634,6 +792,7 @@ int main(int argc, char** argv) {
         if (command == "convert") return cmd_convert(cli);
         if (command == "batch") return cmd_batch(cli);
         if (command == "serve") return cmd_serve(cli);
+        if (command == "cache") return cmd_cache(cli);
         if (command == "kernelbench") return cmd_kernelbench(cli);
     } catch (const std::exception& e) {
         // Input errors are handled through the Status layer above; anything
