@@ -10,6 +10,7 @@ set(SPMV_LINT_PATHS
 
 add_custom_target(lint
   COMMAND spmv_lint --json ${CMAKE_BINARY_DIR}/spmv_lint_report.json
+          --fault-registry ${CMAKE_SOURCE_DIR}/src/util/fault_points.hpp
           ${SPMV_LINT_PATHS}
   COMMENT "spmv-lint over src/, tools/, bench/"
   VERBATIM)
@@ -52,6 +53,7 @@ if(SPMV_CLANG_FORMAT_EXE)
        ${CMAKE_SOURCE_DIR}/bench/*.cpp
        ${CMAKE_SOURCE_DIR}/examples/*.cpp)
   list(FILTER SPMV_FORMAT_SOURCES EXCLUDE REGEX "tests/lint_corpus/")
+  list(FILTER SPMV_FORMAT_SOURCES EXCLUDE REGEX "tests/data/lint_thread/")
   add_custom_target(format-check
     COMMAND ${SPMV_CLANG_FORMAT_EXE} --dry-run --Werror
             ${SPMV_FORMAT_SOURCES}

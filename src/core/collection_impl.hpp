@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "sync/thread_pool.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/timer.hpp"
 
 namespace spmvcache {
@@ -18,6 +19,9 @@ std::vector<CollectionOutcome<Result>> run_collection(
     const CollectionOptions& options) {
     std::vector<CollectionOutcome<Result>> outcomes(suite.size());
     std::atomic<std::size_t> completed{0};
+    // Serializes the verbose progress lines so concurrent workers never
+    // interleave characters on stderr.
+    Mutex progress_mutex;
 
     auto run_one = [&](std::size_t i) {
         const auto& spec = suite[i];
@@ -34,6 +38,7 @@ std::vector<CollectionOutcome<Result>> run_collection(
         }
         const std::size_t done = completed.fetch_add(1) + 1;
         if (options.verbose) {
+            const MutexLock lock(progress_mutex);
             std::cerr << "[" << done << "/" << suite.size() << "] "
                       << spec.name << (outcome.ok ? "" : " FAILED: ")
                       << outcome.error << " (" << timer.seconds() << "s)\n";

@@ -210,7 +210,7 @@ std::string spmvc_cache_path(const std::string& cache_dir,
     }
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
             const bool fresh =
@@ -228,7 +228,7 @@ std::string spmvc_cache_path(const std::string& cache_dir,
     }
 
     Result<LoadedMatrix> loaded = load_matrix_handle(source);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++loads_;
     if (!loaded.ok()) return std::move(loaded).to_error();
 
@@ -247,18 +247,27 @@ std::string spmvc_cache_path(const std::string& cache_dir,
     return std::move(loaded).value();
 }
 
+SourceCache::Stats SourceCache::stats() const {
+    const MutexLock lock(mutex_);
+    Stats out;
+    out.entries = entries_.size();
+    out.hits = hits_;
+    out.loads = loads_;
+    return out;
+}
+
 std::size_t SourceCache::size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return entries_.size();
 }
 
 std::uint64_t SourceCache::hits() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return hits_;
 }
 
 std::uint64_t SourceCache::loads() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return loads_;
 }
 

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -24,6 +23,7 @@
 #include "sparse/csr_view.hpp"
 #include "sparse/fingerprint.hpp"
 #include "sparse/matrix_stats.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/status.hpp"
 
 namespace spmvcache {
@@ -113,18 +113,32 @@ struct LoadedMatrix {
 /// entries reload through load_matrix_handle. Thread-safe.
 class SourceCache {
 public:
+    /// One consistent counter snapshot (single lock acquisition), so
+    /// hits + loads equals the number of completed get() calls even
+    /// while other threads are mid-get.
+    struct Stats {
+        std::size_t entries = 0;   ///< currently resident
+        std::uint64_t hits = 0;    ///< get()s answered without a load
+        std::uint64_t loads = 0;   ///< get()s that loaded (miss/stale)
+    };
+
     /// Keeps at most `capacity` entries (least-recently-used evicted).
     explicit SourceCache(std::size_t capacity = 8) : capacity_(capacity) {}
 
     /// Cached LoadedMatrix for `source`, loading (and caching) on miss.
-    [[nodiscard]] Result<LoadedMatrix> get(const MatrixSource& source);
+    [[nodiscard]] Result<LoadedMatrix> get(const MatrixSource& source)
+        SPMV_EXCLUDES(mutex_);
+
+    /// All counters under one lock; prefer this over the per-counter
+    /// accessors when the values are reported together.
+    [[nodiscard]] Stats stats() const SPMV_EXCLUDES(mutex_);
 
     /// Entries currently resident.
-    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t size() const SPMV_EXCLUDES(mutex_);
     /// get() calls answered without a load since construction.
-    [[nodiscard]] std::uint64_t hits() const;
+    [[nodiscard]] std::uint64_t hits() const SPMV_EXCLUDES(mutex_);
     /// get() calls that had to load (misses + stale reloads).
-    [[nodiscard]] std::uint64_t loads() const;
+    [[nodiscard]] std::uint64_t loads() const SPMV_EXCLUDES(mutex_);
 
 private:
     struct Entry {
@@ -134,12 +148,12 @@ private:
         std::uint64_t last_used = 0;
     };
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, Entry> entries_;
-    std::size_t capacity_;
-    std::uint64_t tick_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t loads_ = 0;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_ SPMV_GUARDED_BY(mutex_);
+    const std::size_t capacity_;  ///< immutable after construction
+    std::uint64_t tick_ SPMV_GUARDED_BY(mutex_) = 0;
+    std::uint64_t hits_ SPMV_GUARDED_BY(mutex_) = 0;
+    std::uint64_t loads_ SPMV_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace spmvcache

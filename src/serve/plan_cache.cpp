@@ -10,7 +10,7 @@ PlanCache::PlanCache(std::uint64_t capacity_bytes)
 }
 
 std::optional<std::string> PlanCache::get(const PlanKey& key) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
         ++counters_.misses;
@@ -23,7 +23,7 @@ std::optional<std::string> PlanCache::get(const PlanKey& key) {
 }
 
 void PlanCache::put(const PlanKey& key, std::string payload) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (payload.size() > capacity_bytes_) return;  // can never fit
     if (const auto it = index_.find(key); it != index_.end()) {
         bytes_ -= it->second->payload.size();
@@ -50,7 +50,7 @@ void PlanCache::evict_to_cap_locked() {
 }
 
 PlanCacheStats PlanCache::stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     PlanCacheStats out = counters_;
     out.entries = lru_.size();
     out.bytes = bytes_;
@@ -62,7 +62,7 @@ Quarantine::Quarantine(int strike_limit) : strike_limit_(strike_limit) {
 }
 
 std::optional<Error> Quarantine::check(std::uint64_t key) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = records_.find(key);
     if (it == records_.end() || it->second.strikes < strike_limit_)
         return std::nullopt;
@@ -73,7 +73,7 @@ std::optional<Error> Quarantine::check(std::uint64_t key) {
 }
 
 int Quarantine::record_failure(std::uint64_t key, const Error& error) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     Record& record = records_[key];
     ++record.strikes;
     record.last_error = error;
@@ -83,7 +83,7 @@ int Quarantine::record_failure(std::uint64_t key, const Error& error) {
 }
 
 void Quarantine::record_success(std::uint64_t key) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = records_.find(key);
     if (it == records_.end()) return;
     if (it->second.strikes >= strike_limit_ && counters_.quarantined > 0)
@@ -92,7 +92,7 @@ void Quarantine::record_success(std::uint64_t key) {
 }
 
 QuarantineStats Quarantine::stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     QuarantineStats out = counters_;
     out.tracked = records_.size();
     return out;

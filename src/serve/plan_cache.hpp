@@ -19,12 +19,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "util/annotated_mutex.hpp"
 #include "util/status.hpp"
 
 namespace spmvcache {
@@ -61,29 +61,32 @@ public:
     explicit PlanCache(std::uint64_t capacity_bytes);
 
     /// The payload for `key` (refreshing its LRU position), or nullopt.
-    [[nodiscard]] std::optional<std::string> get(const PlanKey& key);
+    [[nodiscard]] std::optional<std::string> get(const PlanKey& key)
+        SPMV_EXCLUDES(mutex_);
 
     /// Inserts/overwrites `key`, then evicts LRU entries until the byte cap
     /// holds again. A payload larger than the whole cap is not cached.
-    void put(const PlanKey& key, std::string payload);
+    void put(const PlanKey& key, std::string payload) SPMV_EXCLUDES(mutex_);
 
-    [[nodiscard]] PlanCacheStats stats() const;
+    /// One consistent snapshot (single lock acquisition).
+    [[nodiscard]] PlanCacheStats stats() const SPMV_EXCLUDES(mutex_);
 
 private:
-    void evict_to_cap_locked();
+    void evict_to_cap_locked() SPMV_REQUIRES(mutex_);
 
     struct Entry {
         PlanKey key;
         std::string payload;
     };
 
-    mutable std::mutex mutex_;
-    std::uint64_t capacity_bytes_;
-    std::uint64_t bytes_ = 0;
-    std::list<Entry> lru_;  ///< front = most recently used
+    mutable Mutex mutex_;
+    const std::uint64_t capacity_bytes_;  ///< immutable after construction
+    std::uint64_t bytes_ SPMV_GUARDED_BY(mutex_) = 0;
+    /// front = most recently used
+    std::list<Entry> lru_ SPMV_GUARDED_BY(mutex_);
     std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash>
-        index_;
-    PlanCacheStats counters_{};
+        index_ SPMV_GUARDED_BY(mutex_);
+    PlanCacheStats counters_ SPMV_GUARDED_BY(mutex_){};
 };
 
 /// Quarantine counters for the `health` response.
@@ -102,15 +105,18 @@ public:
 
     /// The cached error when `key` is quarantined (counts a fast-fail),
     /// nullopt while it is still allowed to run.
-    [[nodiscard]] std::optional<Error> check(std::uint64_t key);
+    [[nodiscard]] std::optional<Error> check(std::uint64_t key)
+        SPMV_EXCLUDES(mutex_);
 
     /// Records a non-transient failure; returns the strike count so far.
-    int record_failure(std::uint64_t key, const Error& error);
+    int record_failure(std::uint64_t key, const Error& error)
+        SPMV_EXCLUDES(mutex_);
 
     /// A success wipes the key's record.
-    void record_success(std::uint64_t key);
+    void record_success(std::uint64_t key) SPMV_EXCLUDES(mutex_);
 
-    [[nodiscard]] QuarantineStats stats() const;
+    /// One consistent snapshot (single lock acquisition).
+    [[nodiscard]] QuarantineStats stats() const SPMV_EXCLUDES(mutex_);
 
 private:
     struct Record {
@@ -118,10 +124,11 @@ private:
         Error last_error;
     };
 
-    mutable std::mutex mutex_;
-    int strike_limit_;
-    std::unordered_map<std::uint64_t, Record> records_;
-    QuarantineStats counters_{};
+    mutable Mutex mutex_;
+    const int strike_limit_;  ///< immutable after construction
+    std::unordered_map<std::uint64_t, Record> records_
+        SPMV_GUARDED_BY(mutex_);
+    QuarantineStats counters_ SPMV_GUARDED_BY(mutex_){};
 };
 
 }  // namespace spmvcache

@@ -294,7 +294,7 @@ void Server::finish_one() {
 }
 
 void Server::count_response(const ServeResponse& response) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const MutexLock lock(stats_mutex_);
     ++counters_.requests;
     if (response.ok) ++counters_.ok;
     else ++counters_.failed;
@@ -308,14 +308,18 @@ void Server::count_response(const ServeResponse& response) {
 ServeStats Server::stats() const {
     ServeStats out;
     {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const MutexLock lock(stats_mutex_);
         out = counters_;
     }
     out.cache = cache_->stats();
     out.quarantine = quarantine_->stats();
-    out.source_hits = sources_->hits();
-    out.source_loads = sources_->loads();
-    out.source_entries = sources_->size();
+    // One lock acquisition per subsystem: the three source counters come
+    // from a single snapshot, so hits/loads/entries are consistent with
+    // each other even while requests are loading matrices concurrently.
+    const SourceCache::Stats sources = sources_->stats();
+    out.source_hits = sources.hits;
+    out.source_loads = sources.loads;
+    out.source_entries = sources.entries;
     out.uptime_seconds = uptime_.seconds();
     return out;
 }
@@ -377,7 +381,7 @@ std::string Server::handle_line(const std::string& line) {
         response = error_response(fallback_id, "", parsed.error());
         // Malformed lines carry whatever code the parser assigned
         // (ParseError or ValidationError) but always count here.
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const MutexLock lock(stats_mutex_);
         ++counters_.parse_errors;
     } else {
         ServeRequest request = std::move(parsed).value();
@@ -402,12 +406,12 @@ std::string Server::handle_line(const std::string& line) {
 }
 
 int Server::run(std::istream& in, std::ostream& out, std::ostream& log) {
-    std::mutex out_mutex;
+    Mutex out_mutex;
     const auto respond = [&out, &out_mutex, this](
                              const ServeResponse& response) {
         const std::string line = render_response(response);
         {
-            const std::lock_guard<std::mutex> lock(out_mutex);
+            const MutexLock lock(out_mutex);
             out << line << '\n';
             out.flush();
         }
@@ -441,7 +445,7 @@ int Server::run(std::istream& in, std::ostream& out, std::ostream& log) {
             ServeResponse response =
                 error_response(fallback_id, "", got.error());
             {
-                const std::lock_guard<std::mutex> lock(stats_mutex_);
+                const MutexLock lock(stats_mutex_);
                 ++counters_.parse_errors;
             }
             respond(response);
@@ -457,7 +461,7 @@ int Server::run(std::istream& in, std::ostream& out, std::ostream& log) {
         Result<ServeRequest> parsed = parse_request(trimmed);
         if (!parsed.ok()) {
             {
-                const std::lock_guard<std::mutex> lock(stats_mutex_);
+                const MutexLock lock(stats_mutex_);
                 ++counters_.parse_errors;
             }
             respond(error_response(fallback_id, "", parsed.error()));

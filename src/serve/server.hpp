@@ -33,13 +33,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "serve/plan_cache.hpp"
 #include "serve/protocol.hpp"
 #include "sync/thread_pool.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/timer.hpp"
 
 namespace spmvcache {
@@ -109,9 +109,16 @@ public:
     /// Parses and executes one request synchronously on the calling
     /// thread (admission control and quarantine still apply); returns the
     /// rendered response line. Never throws.
-    [[nodiscard]] std::string handle_line(const std::string& line);
+    [[nodiscard]] std::string handle_line(const std::string& line)
+        SPMV_EXCLUDES(stats_mutex_);
 
-    [[nodiscard]] ServeStats stats() const;
+    /// One mutually consistent snapshot: the daemon counters are read
+    /// under a single stats_mutex_ acquisition, and each subsystem
+    /// (plan cache, quarantine, source cache) contributes its own
+    /// single-lock snapshot, so invariants like requests == ok + failed
+    /// and cache.entries == insertions - evictions hold in the result
+    /// even while requests are in flight.
+    [[nodiscard]] ServeStats stats() const SPMV_EXCLUDES(stats_mutex_);
 
     /// Serialized stats snapshot (the final report and `health` payload).
     [[nodiscard]] std::string render_stats_json() const;
@@ -141,8 +148,10 @@ private:
     [[nodiscard]] std::optional<Error> admit();
     /// Releases the slot claimed by a successful admit().
     void finish_one();
-    [[nodiscard]] std::string render_health_payload() const;
-    void count_response(const ServeResponse& response);
+    [[nodiscard]] std::string render_health_payload() const
+        SPMV_EXCLUDES(stats_mutex_);
+    void count_response(const ServeResponse& response)
+        SPMV_EXCLUDES(stats_mutex_);
 
     ServeOptions options_;
     std::shared_ptr<PlanCache> cache_;
@@ -154,8 +163,8 @@ private:
     std::atomic<std::size_t> in_flight_{0};
     std::atomic<std::uint64_t> next_request_number_{1};
 
-    mutable std::mutex stats_mutex_;
-    ServeStats counters_;
+    mutable Mutex stats_mutex_;
+    ServeStats counters_ SPMV_GUARDED_BY(stats_mutex_);
     // Declared last so the pool joins (and its tasks stop touching the
     // members above) before anything else is destroyed.
     ThreadPool pool_;

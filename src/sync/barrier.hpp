@@ -10,6 +10,14 @@
 namespace spmvcache {
 
 /// Reusable barrier for a fixed number of participants.
+///
+/// Deliberately outside the annotated-capability system
+/// (util/thread_annotations.hpp): a barrier is not a lock — no thread
+/// "holds" it, so there is no capability for Clang's thread-safety
+/// analysis to track. Its two atomics are self-contained, and callers
+/// must not hold any Mutex/McsLock across arrive_and_wait() (a waiting
+/// peer could need that lock to reach the barrier); DESIGN.md §9 lists it
+/// with the annotated types for completeness.
 class SpinBarrier {
 public:
     explicit SpinBarrier(std::size_t participants)

@@ -9,12 +9,19 @@
 
 #include <atomic>
 
+#include "util/thread_annotations.hpp"
+
 namespace spmvcache {
 
 /// Queue-based FIFO spin lock. Each acquire/release pair uses a caller-
 /// provided QNode which must stay alive (and not be reused for a second
 /// concurrent acquisition) until release() returns.
-class McsLock {
+///
+/// The lock is a full capability for Clang's thread-safety analysis:
+/// prefer McsGuard (a scoped capability) so an early return or a thrown
+/// exception can never leak an acquire — with raw acquire()/release(),
+/// an unbalanced path is a compile error under -Werror=thread-safety.
+class SPMV_CAPABILITY("mutex") McsLock {
 public:
     struct QNode {
         std::atomic<QNode*> next{nullptr};
@@ -26,10 +33,12 @@ public:
     McsLock& operator=(const McsLock&) = delete;
 
     /// Enqueues `node` and spins until the lock is granted.
-    void acquire(QNode& node) noexcept;
+    void acquire(QNode& node) noexcept SPMV_ACQUIRE()
+        SPMV_NO_THREAD_SAFETY_ANALYSIS;
 
     /// Releases the lock, handing it to the next queued thread if any.
-    void release(QNode& node) noexcept;
+    void release(QNode& node) noexcept SPMV_RELEASE()
+        SPMV_NO_THREAD_SAFETY_ANALYSIS;
 
     /// True if some thread currently holds or is queued for the lock.
     /// Only a heuristic (racy by nature); used by tests.
@@ -41,13 +50,18 @@ private:
     std::atomic<QNode*> tail_{nullptr};
 };
 
-/// RAII guard for McsLock; owns its queue node on the stack.
-class McsGuard {
+/// RAII guard for McsLock; owns its queue node on the stack. A scoped
+/// capability: the analysis knows the lock is held exactly for the
+/// guard's lifetime.
+class SPMV_SCOPED_CAPABILITY McsGuard {
 public:
-    explicit McsGuard(McsLock& lock) noexcept : lock_(lock) {
+    explicit McsGuard(McsLock& lock) noexcept SPMV_ACQUIRE(lock)
+        SPMV_NO_THREAD_SAFETY_ANALYSIS : lock_(lock) {
         lock_.acquire(node_);
     }
-    ~McsGuard() { lock_.release(node_); }
+    ~McsGuard() SPMV_RELEASE() SPMV_NO_THREAD_SAFETY_ANALYSIS {
+        lock_.release(node_);
+    }
     McsGuard(const McsGuard&) = delete;
     McsGuard& operator=(const McsGuard&) = delete;
 

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         shutting_down_ = true;
     }
     work_available_.notify_all();
@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         if (shutting_down_)
             throw std::runtime_error("submit() on shutting-down ThreadPool");
         queue_.push_back(std::move(task));
@@ -34,8 +34,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    const MutexLock lock(mutex_);
+    while (!(queue_.empty() && active_ == 0)) idle_.wait(mutex_);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -43,14 +43,14 @@ void ThreadPool::parallel_for(std::size_t n,
     // Workers must never let exceptions escape task() (std::terminate);
     // capture the first failure and rethrow it to the caller once the
     // remaining indices have drained.
-    std::mutex failure_mutex;
+    Mutex failure_mutex;
     std::exception_ptr failure;
     for (std::size_t i = 0; i < n; ++i)
         submit([&fn, i, &failure_mutex, &failure] {
             try {
                 fn(i);
             } catch (...) {
-                const std::lock_guard<std::mutex> lock(failure_mutex);
+                const MutexLock lock(failure_mutex);
                 if (!failure) failure = std::current_exception();
             }
         });
@@ -67,9 +67,9 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_available_.wait(
-                lock, [this] { return shutting_down_ || !queue_.empty(); });
+            const MutexLock lock(mutex_);
+            while (!shutting_down_ && queue_.empty())
+                work_available_.wait(mutex_);
             if (queue_.empty()) return;  // shutting down
             task = std::move(queue_.front());
             queue_.pop_front();
@@ -77,7 +77,7 @@ void ThreadPool::worker_loop() {
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(mutex_);
             --active_;
             if (queue_.empty() && active_ == 0) idle_.notify_all();
         }

@@ -3,13 +3,13 @@
 // drivers simply fan matrices out over the pool).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace spmvcache {
 
@@ -25,10 +25,10 @@ public:
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /// Enqueues a task; throws if wait_idle() raced with shutdown.
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) SPMV_EXCLUDES(mutex_);
 
     /// Blocks until the queue is empty and all workers are idle.
-    void wait_idle();
+    void wait_idle() SPMV_EXCLUDES(mutex_);
 
     [[nodiscard]] std::size_t worker_count() const noexcept {
         return threads_.size();
@@ -41,15 +41,15 @@ public:
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 private:
-    void worker_loop();
+    void worker_loop() SPMV_EXCLUDES(mutex_);
 
-    std::mutex mutex_;
-    std::condition_variable work_available_;
-    std::condition_variable idle_;
-    std::deque<std::function<void()>> queue_;
+    Mutex mutex_;
+    CondVar work_available_;
+    CondVar idle_;
+    std::deque<std::function<void()>> queue_ SPMV_GUARDED_BY(mutex_);
     std::vector<std::thread> threads_;
-    std::size_t active_ = 0;
-    bool shutting_down_ = false;
+    std::size_t active_ SPMV_GUARDED_BY(mutex_) = 0;
+    bool shutting_down_ SPMV_GUARDED_BY(mutex_) = false;
 };
 
 /// Worker count for "use the whole host": std::thread::hardware_concurrency

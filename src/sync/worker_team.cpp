@@ -13,7 +13,7 @@ WorkerTeam::WorkerTeam(std::size_t workers) {
 
 WorkerTeam::~WorkerTeam() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         stopping_ = true;
     }
     start_.notify_all();
@@ -22,7 +22,7 @@ WorkerTeam::~WorkerTeam() {
 
 void WorkerTeam::run(const std::function<void(std::size_t)>& fn) {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         SPMV_EXPECTS(remaining_ == 0);  // not reentrant
         fn_ = &fn;
         failure_ = nullptr;
@@ -32,8 +32,8 @@ void WorkerTeam::run(const std::function<void(std::size_t)>& fn) {
     start_.notify_all();
     std::exception_ptr failure;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_.wait(lock, [this] { return remaining_ == 0; });
+        const MutexLock lock(mutex_);
+        while (remaining_ != 0) done_.wait(mutex_);
         fn_ = nullptr;
         failure = failure_;
         failure_ = nullptr;
@@ -46,9 +46,8 @@ void WorkerTeam::worker_loop(std::size_t index) {
     for (;;) {
         const std::function<void(std::size_t)>* fn = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            start_.wait(lock,
-                        [this, seen] { return stopping_ || generation_ != seen; });
+            const MutexLock lock(mutex_);
+            while (!stopping_ && generation_ == seen) start_.wait(mutex_);
             if (stopping_) return;
             seen = generation_;
             fn = fn_;
@@ -60,7 +59,7 @@ void WorkerTeam::worker_loop(std::size_t index) {
             error = std::current_exception();
         }
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(mutex_);
             if (error && !failure_) failure_ = error;
             if (--remaining_ == 0) done_.notify_all();
         }

@@ -12,14 +12,14 @@
 // `#pragma omp parallel for`.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace spmvcache {
 
@@ -39,23 +39,25 @@ public:
     /// calling thread after the barrier (the remaining workers still finish
     /// their indices). Not reentrant: run() must not be called from inside
     /// a team task, and only one run() may be active at a time.
-    void run(const std::function<void(std::size_t)>& fn);
+    void run(const std::function<void(std::size_t)>& fn)
+        SPMV_EXCLUDES(mutex_);
 
     [[nodiscard]] std::size_t size() const noexcept {
         return threads_.size();
     }
 
 private:
-    void worker_loop(std::size_t index);
+    void worker_loop(std::size_t index) SPMV_EXCLUDES(mutex_);
 
-    std::mutex mutex_;
-    std::condition_variable start_;
-    std::condition_variable done_;
-    const std::function<void(std::size_t)>* fn_ = nullptr;
-    std::uint64_t generation_ = 0;
-    std::size_t remaining_ = 0;
-    bool stopping_ = false;
-    std::exception_ptr failure_;
+    Mutex mutex_;
+    CondVar start_;
+    CondVar done_;
+    const std::function<void(std::size_t)>* fn_ SPMV_GUARDED_BY(mutex_) =
+        nullptr;
+    std::uint64_t generation_ SPMV_GUARDED_BY(mutex_) = 0;
+    std::size_t remaining_ SPMV_GUARDED_BY(mutex_) = 0;
+    bool stopping_ SPMV_GUARDED_BY(mutex_) = false;
+    std::exception_ptr failure_ SPMV_GUARDED_BY(mutex_);
     std::vector<std::thread> threads_;
 };
 

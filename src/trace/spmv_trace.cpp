@@ -1,10 +1,10 @@
 #include "trace/spmv_trace.hpp"
 
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "sync/mcs_lock.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/checked.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -97,7 +97,7 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrView& m,
     // Workers must not let exceptions escape their thread (std::terminate);
     // the first failure is captured and rethrown on the calling thread
     // after all workers have drained.
-    std::mutex failure_mutex;
+    Mutex failure_mutex;
     std::exception_ptr failure;
 
     Result<std::uint64_t> length = try_spmv_trace_length(m.rows(), m.nnz());
@@ -141,7 +141,7 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrView& m,
         try {
             worker(t);
         } catch (...) {
-            const std::lock_guard<std::mutex> failure_guard(failure_mutex);
+            const MutexLock failure_guard(failure_mutex);
             if (!failure) failure = std::current_exception();
         }
     };

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <utility>
 
+#include "util/annotated_mutex.hpp"
+#include "util/checked.hpp"
+#include "util/fault_points.hpp"
 #include "util/prng.hpp"
 
 namespace spmvcache::fault {
@@ -19,8 +21,8 @@ struct PointState {
 };
 
 struct Registry {
-    std::mutex mutex;
-    std::map<std::string, PointState> points;
+    Mutex mutex;
+    std::map<std::string, PointState> points SPMV_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -35,8 +37,12 @@ std::atomic<std::int64_t> g_armed{0};
 }  // namespace
 
 void arm(std::string point, FaultSpec spec) {
+    // A typo'd point would arm a trigger no library code ever checks —
+    // exactly the dead-point bug the registry exists to catch. Test-local
+    // "t." points are exempt by convention (see util/fault_points.hpp).
+    SPMV_EXPECT(is_registered_point(point) || is_test_point(point));
     auto& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     auto [it, inserted] = r.points.insert_or_assign(
         std::move(point), PointState{spec, 0, Xoshiro256(spec.seed), false});
     (void)it;
@@ -45,14 +51,14 @@ void arm(std::string point, FaultSpec spec) {
 
 void disarm(const std::string& point) {
     auto& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     if (r.points.erase(point) > 0)
         g_armed.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void disarm_all() {
     auto& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     g_armed.fetch_sub(static_cast<std::int64_t>(r.points.size()),
                       std::memory_order_relaxed);
     r.points.clear();
@@ -64,7 +70,7 @@ bool any_armed() noexcept {
 
 std::int64_t hits(const std::string& point) {
     auto& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     const auto it = r.points.find(point);
     return it == r.points.end() ? 0 : it->second.hits;
 }
@@ -72,7 +78,7 @@ std::int64_t hits(const std::string& point) {
 bool should_fail(const char* point) {
     if (g_armed.load(std::memory_order_relaxed) == 0) return false;
     auto& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     const auto it = r.points.find(point);
     if (it == r.points.end()) return false;
     PointState& state = it->second;
@@ -92,7 +98,7 @@ namespace {
 
 ErrorCode armed_code(const char* point) {
     auto& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     const auto it = r.points.find(point);
     return it == r.points.end() ? ErrorCode::FaultInjected
                                 : it->second.spec.code;

@@ -14,10 +14,10 @@
 //   fault::ScopedFault f("mm.read_entry", {.fail_after = 3});
 //   ... third entry read reports ErrorCode::FaultInjected ...
 //
-// Registered points (grep for the literals): mm.open, mm.header,
-// mm.size_line, mm.read_entry, mm.parallel, cache.write, cache.map,
-// trace.generate, trace.worker, trace.pack, reuse.access, batch.item,
-// kernel.exec, serve.accept, serve.execute, serve.cache.
+// Every library point name is listed in util/fault_points.hpp (the
+// central registry): arm() soft-checks names against it at runtime, and
+// spmv-lint's `unknown-fault-point` rule cross-checks the literals at the
+// injection sites, so a typo'd point cannot silently never fire.
 #pragma once
 
 #include <cstdint>

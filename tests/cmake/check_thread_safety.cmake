@@ -1,0 +1,87 @@
+# Negative-compile driver for the thread-safety annotation corpus
+# (tests/data/lint_thread). Run as:
+#
+#   cmake -DCXX=<compiler> -DCXX_ID=<id> -DCORPUS_DIR=<dir> -DINCLUDE_DIR=<dir>
+#         -P check_thread_safety.cmake
+#
+# Two phases per corpus file:
+#   1. validity  — `-fsyntax-only` WITHOUT the analysis must succeed for
+#                  every file, so a rotted corpus file (broken include,
+#                  syntax error) fails loudly instead of "failing" the
+#                  analysis for the wrong reason.
+#   2. analysis  — only when CXX_ID is Clang (GCC has no thread-safety
+#                  analysis and the SPMV_* macros expand to nothing
+#                  there): fail_*.cpp MUST be rejected and pass_*.cpp
+#                  MUST be accepted under
+#                  `-Wthread-safety -Werror=thread-safety`.
+#
+# The fail files are the proof that the annotations have teeth: if
+# util/thread_annotations.hpp ever decays to no-ops under Clang, phase 2
+# starts accepting them and this script errors out.
+
+foreach(var CXX CXX_ID CORPUS_DIR INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_thread_safety.cmake: ${var} not set")
+  endif()
+endforeach()
+
+set(base_flags -std=c++20 -fsyntax-only "-I${INCLUDE_DIR}")
+set(analysis_flags -Wthread-safety -Werror=thread-safety)
+
+file(GLOB fail_files "${CORPUS_DIR}/fail_*.cpp")
+file(GLOB pass_files "${CORPUS_DIR}/pass_*.cpp")
+list(LENGTH fail_files n_fail)
+if(n_fail LESS 5)
+  message(FATAL_ERROR "corpus has only ${n_fail} fail files (need >= 5)")
+endif()
+if(NOT pass_files)
+  message(FATAL_ERROR "corpus has no pass_*.cpp file")
+endif()
+
+set(errors 0)
+
+function(compile_one file extra_flags should_succeed phase)
+  execute_process(
+    COMMAND ${CXX} ${base_flags} ${extra_flags} ${file}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  get_filename_component(name ${file} NAME)
+  if(should_succeed AND NOT rc EQUAL 0)
+    message(SEND_ERROR
+      "${name}: ${phase} compile FAILED but must succeed:\n${err}")
+    math(EXPR e "${errors} + 1")
+    set(errors ${e} PARENT_SCOPE)
+  elseif(NOT should_succeed AND rc EQUAL 0)
+    message(SEND_ERROR
+      "${name}: ${phase} compile SUCCEEDED but must be rejected — the "
+      "thread-safety annotations have no teeth")
+    math(EXPR e "${errors} + 1")
+    set(errors ${e} PARENT_SCOPE)
+  else()
+    message(STATUS "${name}: ${phase} ok")
+  endif()
+endfunction()
+
+# Phase 1: every corpus file must be valid C++ without the analysis.
+foreach(file ${fail_files} ${pass_files})
+  compile_one(${file} "" TRUE "validity")
+endforeach()
+
+# Phase 2: the analysis verdicts, Clang only.
+if(CXX_ID MATCHES "Clang")
+  foreach(file ${fail_files})
+    compile_one(${file} "${analysis_flags}" FALSE "analysis")
+  endforeach()
+  foreach(file ${pass_files})
+    compile_one(${file} "${analysis_flags}" TRUE "analysis")
+  endforeach()
+else()
+  message(STATUS
+    "compiler '${CXX_ID}' has no thread-safety analysis; "
+    "analysis phase skipped (validity phase ran on all files)")
+endif()
+
+if(errors GREATER 0)
+  message(FATAL_ERROR "${errors} corpus file(s) misbehaved")
+endif()

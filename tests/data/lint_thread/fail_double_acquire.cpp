@@ -1,0 +1,27 @@
+// MUST fail -Wthread-safety: acquiring a non-reentrant mutex that is
+// already held (a guaranteed deadlock at runtime).
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Deadlock {
+public:
+    void twice() {
+        const spmvcache::MutexLock outer(mutex_);
+        const spmvcache::MutexLock inner(mutex_);  // error: already held
+        ++count_;
+    }
+
+private:
+    spmvcache::Mutex mutex_;
+    long count_ SPMV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch(Deadlock& d);
+void drive() {
+    Deadlock d;
+    d.twice();
+    touch(d);
+}

@@ -1,0 +1,27 @@
+// MUST fail -Wthread-safety: calling an EXCLUDES(mutex) method while
+// holding that mutex (self-deadlock through a public re-entry).
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Stats {
+public:
+    void bump() SPMV_EXCLUDES(mutex_) {
+        const spmvcache::MutexLock lock(mutex_);
+        ++count_;
+        bump();  // error: bump() excludes mutex_, but it is held here
+    }
+
+private:
+    spmvcache::Mutex mutex_;
+    long count_ SPMV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch(Stats& s);
+void drive() {
+    Stats s;
+    s.bump();
+    touch(s);
+}

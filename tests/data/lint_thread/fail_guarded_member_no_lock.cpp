@@ -1,0 +1,25 @@
+// MUST fail -Wthread-safety: writing a GUARDED_BY member without
+// holding its mutex.
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Counter {
+public:
+    void bump_unlocked() {
+        ++count_;  // error: writing count_ requires holding mutex_
+    }
+
+private:
+    spmvcache::Mutex mutex_;
+    long count_ SPMV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch(Counter& c);
+void drive() {
+    Counter c;
+    c.bump_unlocked();
+    touch(c);
+}

@@ -1,0 +1,24 @@
+// MUST fail -Wthread-safety: releasing a mutex the caller does not
+// hold.
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Unbalanced {
+public:
+    void release_only() {
+        mutex_.unlock();  // error: releasing mutex_ that is not held
+    }
+
+private:
+    spmvcache::Mutex mutex_;
+};
+
+}  // namespace
+
+void touch(Unbalanced& u);
+void drive() {
+    Unbalanced u;
+    u.release_only();
+    touch(u);
+}

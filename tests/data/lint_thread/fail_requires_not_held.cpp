@@ -1,0 +1,27 @@
+// MUST fail -Wthread-safety: calling a REQUIRES(mutex) helper without
+// the mutex held.
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Table {
+public:
+    void rebalance() {
+        evict_locked();  // error: requires mutex_, not held here
+    }
+
+private:
+    void evict_locked() SPMV_REQUIRES(mutex_) { ++evictions_; }
+
+    spmvcache::Mutex mutex_;
+    long evictions_ SPMV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch(Table& t);
+void drive() {
+    Table t;
+    t.rebalance();
+    touch(t);
+}

@@ -1,0 +1,42 @@
+// MUST compile clean under -Wthread-safety: the full approved idiom —
+// scoped locking, a REQUIRES helper called with the lock held, a
+// guarded member only touched under its mutex, and a CondVar wait.
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class Queue {
+public:
+    void push() SPMV_EXCLUDES(mutex_) {
+        {
+            const spmvcache::MutexLock lock(mutex_);
+            ++depth_;
+            trim_locked();
+        }
+        ready_.notify_one();
+    }
+
+    void wait_nonempty() SPMV_EXCLUDES(mutex_) {
+        const spmvcache::MutexLock lock(mutex_);
+        while (depth_ == 0) ready_.wait(mutex_);
+    }
+
+private:
+    void trim_locked() SPMV_REQUIRES(mutex_) {
+        if (depth_ > 8) depth_ = 8;
+    }
+
+    spmvcache::Mutex mutex_;
+    spmvcache::CondVar ready_;
+    long depth_ SPMV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch(Queue& q);
+void drive() {
+    Queue q;
+    q.push();
+    q.wait_nonempty();
+    touch(q);
+}

@@ -1,0 +1,20 @@
+// lint-expect: naked-mutex
+// Raw std primitives are invisible to Clang's thread-safety analysis;
+// outside util/ the annotated wrappers are mandatory.
+#include <mutex>
+
+namespace spmvcache {
+
+class Counter {
+public:
+    void bump() {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++count_;
+    }
+
+private:
+    std::mutex mutex_;
+    long count_ = 0;
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,17 @@
+// lint-expect: unchecked-result-value
+// The has_value() guard lives in a block that has already closed by the
+// time the second unwrap runs — a line-window check would wrongly accept
+// this; the scope-aware rule must not.
+#include <optional>
+
+namespace spmvcache {
+
+int consume(std::optional<int> a, std::optional<int> b) {
+    int total = 0;
+    {
+        if (a.has_value()) total += a.value();
+    }
+    return total + b.value();
+}
+
+}  // namespace spmvcache

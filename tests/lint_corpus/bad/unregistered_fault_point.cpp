@@ -1,0 +1,13 @@
+// lint-expect: unknown-fault-point
+// Typo'd fault point: armed under one name, probed under another, so the
+// injection silently never fires. The registry check catches it as long
+// as the lint runs with --fault-registry.
+#include "util/fault.hpp"
+
+namespace spmvcache {
+
+void poke() {
+    fault::maybe_throw("serve.acept");  // registry spells it serve.accept
+}
+
+}  // namespace spmvcache

@@ -1,0 +1,19 @@
+// The approved locking idiom outside util/: the annotated wrappers,
+// with the protected member tied to its mutex via SPMV_GUARDED_BY.
+#include "util/annotated_mutex.hpp"
+
+namespace spmvcache {
+
+class Counter {
+public:
+    void bump() SPMV_EXCLUDES(mutex_) {
+        const MutexLock lock(mutex_);
+        ++count_;
+    }
+
+private:
+    Mutex mutex_;
+    long count_ SPMV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace spmvcache

@@ -1,0 +1,13 @@
+// Registered points and "t."-prefixed test-local points both pass the
+// unknown-fault-point rule.
+#include "util/fault.hpp"
+
+namespace spmvcache {
+
+void poke() {
+    fault::maybe_throw("trace.generate");
+    fault::arm("t.corpus.local");
+    const fault::ScopedFault guard("serve.accept");
+}
+
+}  // namespace spmvcache

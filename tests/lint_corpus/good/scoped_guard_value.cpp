@@ -1,0 +1,12 @@
+// Early-return guard at the same brace depth as the unwrap: still in
+// scope when .value() runs, so the scope-aware rule accepts it.
+#include <optional>
+
+namespace spmvcache {
+
+int consume(std::optional<int> v) {
+    if (!v.has_value()) return 0;
+    return v.value();
+}
+
+}  // namespace spmvcache

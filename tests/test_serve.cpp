@@ -341,6 +341,82 @@ TEST(ServeServer, EofDrainsCleanlyWithoutShutdownRequest) {
     EXPECT_NE(log.str().find("final stats:"), std::string::npos);
 }
 
+TEST(ServeServer, StatsSnapshotsStayConsistentWhileServing) {
+    // stats() promises a mutually consistent snapshot: the daemon
+    // counters come from one stats_mutex_ acquisition and each subsystem
+    // (plan cache, source cache, quarantine) contributes a single-lock
+    // snapshot of its own. Hammer stats() from reader threads while
+    // writer threads serve requests, and check the cross-counter
+    // invariants on every observed snapshot — under TSan this also
+    // proves the lock discipline the annotations claim.
+    ServeOptions options;
+    options.workers = 2;
+    Server server(options);
+
+    constexpr int kWriters = 4;
+    constexpr int kRequestsPerWriter = 30;
+    std::atomic<bool> done{false};
+    std::atomic<int> violations{0};
+    std::atomic<int> snapshots{0};
+
+    auto reader = [&] {
+        std::uint64_t last_requests = 0;
+        std::uint64_t last_source_hits = 0;
+        std::uint64_t last_source_loads = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            const ServeStats s = server.stats();
+            snapshots.fetch_add(1, std::memory_order_relaxed);
+            // Dispatch counters are updated under one lock per response.
+            if (s.requests != s.ok + s.failed) violations.fetch_add(1);
+            // The plan cache snapshots entries and counters together.
+            if (s.cache.insertions < s.cache.evictions ||
+                s.cache.entries !=
+                    s.cache.insertions - s.cache.evictions)
+                violations.fetch_add(1);
+            if (s.cache.bytes > s.cache.capacity_bytes)
+                violations.fetch_add(1);
+            // Monotonicity across snapshots (counters never run back).
+            if (s.requests < last_requests) violations.fetch_add(1);
+            if (s.source_hits < last_source_hits) violations.fetch_add(1);
+            if (s.source_loads < last_source_loads)
+                violations.fetch_add(1);
+            last_requests = s.requests;
+            last_source_hits = s.source_hits;
+            last_source_loads = s.source_loads;
+        }
+    };
+
+    auto writer = [&](int w) {
+        for (int i = 0; i < kRequestsPerWriter; ++i) {
+            const std::string spec =
+                (i % 2 == 0) ? "stencil2d5:16" : "banded:128";
+            const std::string line = server.handle_line(predict_line(
+                "w" + std::to_string(w) + "n" + std::to_string(i), spec));
+            EXPECT_TRUE(response_ok(line)) << line;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.emplace_back(reader);
+    threads.emplace_back(reader);
+    for (int w = 0; w < kWriters; ++w) threads.emplace_back(writer, w);
+    for (std::size_t t = 2; t < threads.size(); ++t) threads[t].join();
+    done.store(true, std::memory_order_release);
+    threads[0].join();
+    threads[1].join();
+
+    EXPECT_EQ(violations.load(), 0);
+    EXPECT_GT(snapshots.load(), 0);
+    const ServeStats final_stats = server.stats();
+    EXPECT_EQ(final_stats.requests,
+              static_cast<std::uint64_t>(kWriters * kRequestsPerWriter));
+    EXPECT_EQ(final_stats.ok + final_stats.failed, final_stats.requests);
+    // Two distinct generated sources: exactly two loads, the rest hits.
+    EXPECT_EQ(final_stats.source_loads, 2u);
+    EXPECT_EQ(final_stats.source_hits,
+              final_stats.requests - final_stats.source_loads);
+}
+
 // --------------------------------------------------------------------- soak
 
 TEST(ServeSoak, ThousandMixedRequestsUnderInjectedFaults) {

@@ -6,11 +6,13 @@
 //   nodiscard-status        every function returning Status or Result<T>
 //                           is declared [[nodiscard]] — a dropped Status
 //                           is a swallowed input error
-//   unchecked-result-value  no .value() on a Result/optional without a
-//                           preceding ok()/has_value() guard (or an
-//                           SPMV_ASSIGN_OR_RETURN) nearby in the same
-//                           scope — .value() on an error is a contract
-//                           abort at best, UB in optional's case
+//   unchecked-result-value  no .value() on a Result/optional without an
+//                           ok()/has_value() guard (or an
+//                           SPMV_ASSIGN_OR_RETURN) still in scope: brace
+//                           depth is tracked, so a guard buried in an
+//                           already-closed block does not count —
+//                           .value() on an error is a contract abort at
+//                           best, UB in optional's case
 //   int-loop-index          no raw int/short/int32_t loop variable whose
 //                           bound is container-sized (size()/nnz/rows()/
 //                           cols()) — nnz exceeds int32 on SuiteSparse-
@@ -21,6 +23,18 @@
 //   raw-new-delete          no raw new/delete — containers or RAII only
 //   reinterpret-cast        no reinterpret_cast — use std::bit_cast or
 //                           justify with a suppression
+//   naked-mutex             no std::mutex/std::lock_guard/
+//                           std::condition_variable outside util/ — use
+//                           Mutex/MutexLock/CondVar from
+//                           util/annotated_mutex.hpp so Clang's
+//                           thread-safety analysis can see the lock
+//   unknown-fault-point     every fault-point string literal handed to
+//                           fault::maybe_throw/maybe_fail/arm/ScopedFault
+//                           must appear in the central registry
+//                           (util/fault_points.hpp) or carry the "t."
+//                           test prefix — a typo'd point is armed but
+//                           never fires. Active only with
+//                           --fault-registry FILE.
 //
 // A finding on line N is suppressed by `// spmv-lint: allow(rule-id)` on
 // line N or N-1. Diagnostics are file:line: [rule] message; --json FILE
@@ -35,6 +49,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -241,31 +256,52 @@ void check_nodiscard_status(const std::string& file, const FileText& text,
 // Rule: unchecked-result-value
 // ---------------------------------------------------------------------------
 
+/// Scope-aware: brace depth is tracked across the whole file, a guard
+/// (`.ok()`, `has_value(`, `SPMV_ASSIGN_OR_RETURN`) is recorded with the
+/// depth where it appears, and closing a block discards every guard that
+/// lived inside it. So `if (!r.ok()) return;` covers the rest of its
+/// enclosing block, but a guard buried in an already-closed block does
+/// NOT excuse a later `.value()` — the pattern a line-window check
+/// cannot tell apart.
 void check_unchecked_value(const std::string& file, const FileText& text,
                            std::vector<Finding>& findings) {
-    constexpr std::size_t kWindow = 40;  // guard must appear this close
+    long depth = 0;
+    std::vector<long> guard_depths;  // live guards, innermost last
     for (std::size_t i = 0; i < text.stripped.size(); ++i) {
         const std::string& s = text.stripped[i];
-        std::size_t pos = s.find(".value()");
-        if (pos == std::string::npos) continue;
-        // `SPMV_ASSIGN_OR_RETURN` expansions and macro definitions are
-        // guarded by construction.
-        if (s.find("SPMV_ASSIGN_OR_RETURN") != std::string::npos) continue;
-        bool guarded = false;
-        const std::size_t begin = i >= kWindow ? i - kWindow : 0;
-        for (std::size_t j = begin; j <= i && !guarded; ++j) {
-            const std::string& g = text.stripped[j];
-            if (g.find(".ok()") != std::string::npos ||
-                g.find("has_value(") != std::string::npos ||
-                g.find("SPMV_ASSIGN_OR_RETURN") != std::string::npos)
-                guarded = true;
+        // `SPMV_ASSIGN_OR_RETURN` lines are guarded by construction (the
+        // macro both checks and unwraps).
+        const bool assign_macro_line =
+            s.find("SPMV_ASSIGN_OR_RETURN") != std::string::npos;
+        for (std::size_t c = 0; c < s.size(); ++c) {
+            const char ch = s[c];
+            if (ch == '{') {
+                ++depth;
+                continue;
+            }
+            if (ch == '}') {
+                --depth;
+                while (!guard_depths.empty() && guard_depths.back() > depth)
+                    guard_depths.pop_back();
+                continue;
+            }
+            const std::string_view rest = std::string_view(s).substr(c);
+            const bool boundary = c == 0 || !is_ident_char(s[c - 1]);
+            if (rest.rfind(".ok()", 0) == 0 ||
+                (boundary && (rest.rfind("has_value(", 0) == 0 ||
+                              rest.rfind("SPMV_ASSIGN_OR_RETURN", 0) == 0))) {
+                guard_depths.push_back(depth);
+                continue;
+            }
+            if (rest.rfind(".value()", 0) != 0) continue;
+            if (assign_macro_line || !guard_depths.empty()) continue;
+            if (suppressed(text, i, "unchecked-result-value")) continue;
+            findings.push_back(
+                {file, i + 1, "unchecked-result-value",
+                 ".value() without an ok()/has_value() guard still in "
+                 "scope; use SPMV_ASSIGN_OR_RETURN or branch on ok() "
+                 "first"});
         }
-        if (guarded) continue;
-        if (suppressed(text, i, "unchecked-result-value")) continue;
-        findings.push_back(
-            {file, i + 1, "unchecked-result-value",
-             ".value() without a preceding ok()/has_value() guard in "
-             "scope; use SPMV_ASSIGN_OR_RETURN or branch on ok() first"});
     }
 }
 
@@ -421,10 +457,131 @@ void check_reinterpret_cast(const std::string& file, const FileText& text,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: naked-mutex
+// ---------------------------------------------------------------------------
+
+/// std primitives are invisible to Clang's thread-safety analysis; the
+/// annotated wrappers in util/annotated_mutex.hpp are not. Only util/
+/// (where the wrappers themselves live) may touch the raw types.
+void check_naked_mutex(const std::string& file, const FileText& text,
+                       std::vector<Finding>& findings) {
+    if (file.find("util/") != std::string::npos) return;
+    struct Naked {
+        std::string_view token;
+        std::string_view instead;
+    };
+    static constexpr Naked kNaked[] = {
+        {"std::mutex", "Mutex"},
+        {"std::recursive_mutex", "Mutex (and remove the reentrancy)"},
+        {"std::timed_mutex", "Mutex"},
+        {"std::shared_mutex", "Mutex"},
+        {"std::lock_guard", "MutexLock"},
+        {"std::unique_lock", "MutexLock"},
+        {"std::scoped_lock", "MutexLock"},
+        {"std::condition_variable", "CondVar"},
+        {"std::condition_variable_any", "CondVar"},
+    };
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        const std::string& s = text.stripped[i];
+        for (const Naked& n : kNaked) {
+            std::size_t pos = 0;
+            bool hit = false;
+            while (!hit &&
+                   (pos = s.find(n.token, pos)) != std::string::npos) {
+                const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+                const std::size_t after = pos + n.token.size();
+                const bool right_ok =
+                    after >= s.size() || !is_ident_char(s[after]);
+                if (left_ok && right_ok) hit = true;
+                pos += n.token.size();
+            }
+            if (!hit) continue;
+            if (suppressed(text, i, "naked-mutex")) continue;
+            findings.push_back(
+                {file, i + 1, "naked-mutex",
+                 "naked " + std::string(n.token) + " outside util/; use " +
+                     std::string(n.instead) +
+                     " from util/annotated_mutex.hpp so the thread-safety "
+                     "analysis can see the lock"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unknown-fault-point
+// ---------------------------------------------------------------------------
+
+/// Extracts the first double-quoted literal after column `from` of the RAW
+/// line (the stripped copy blanks literals); nullopt when the next
+/// non-space run is not a literal (e.g. a variable argument).
+std::optional<std::string> first_string_literal(const std::string& raw,
+                                                std::size_t from) {
+    std::size_t i = from;
+    while (i < raw.size() && raw[i] != '"') {
+        if (raw[i] == ')' || raw[i] == ';') return std::nullopt;
+        ++i;
+    }
+    if (i >= raw.size()) return std::nullopt;
+    std::string out;
+    for (++i; i < raw.size() && raw[i] != '"'; ++i) {
+        if (raw[i] == '\\' && i + 1 < raw.size()) ++i;
+        out += raw[i];
+    }
+    return out;
+}
+
+/// Every fault-point literal handed to the fault harness must be in the
+/// central registry (util/fault_points.hpp) or carry the "t." test
+/// prefix; a typo'd point silently never fires. Only runs when the
+/// caller loaded a registry via --fault-registry.
+void check_fault_points(const std::string& file, const FileText& text,
+                        const std::vector<std::string>& registry,
+                        std::vector<Finding>& findings) {
+    if (registry.empty()) return;
+    static constexpr std::string_view kSinks[] = {"maybe_throw",
+                                                  "maybe_fail", "arm",
+                                                  "ScopedFault"};
+    for (std::size_t i = 0; i < text.stripped.size(); ++i) {
+        const std::string& s = text.stripped[i];
+        for (const std::string_view name : kSinks) {
+            std::size_t pos = 0;
+            while ((pos = s.find(name, pos)) != std::string::npos) {
+                const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+                std::size_t k = pos + name.size();
+                pos += name.size();
+                if (!left_ok) continue;
+                // Accept `name(` and `ScopedFault guard(` — an optional
+                // variable name between the type and the open paren.
+                while (k < s.size() && s[k] == ' ') ++k;
+                if (k < s.size() && is_ident_char(s[k])) {
+                    while (k < s.size() && is_ident_char(s[k])) ++k;
+                    while (k < s.size() && s[k] == ' ') ++k;
+                }
+                if (k >= s.size() || s[k] != '(') continue;
+                const std::optional<std::string> point =
+                    first_string_literal(text.raw[i], k);
+                if (!point || point->rfind("t.", 0) == 0) continue;
+                if (std::find(registry.begin(), registry.end(), *point) !=
+                    registry.end())
+                    continue;
+                if (suppressed(text, i, "unknown-fault-point")) continue;
+                findings.push_back(
+                    {file, i + 1, "unknown-fault-point",
+                     "fault point '" + *point +
+                         "' is not in util/fault_points.hpp; register it "
+                         "there or use a 't.'-prefixed test point"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
-bool lint_file(const fs::path& path, std::vector<Finding>& findings) {
+bool lint_file(const fs::path& path,
+               const std::vector<std::string>& fault_registry,
+               std::vector<Finding>& findings) {
     std::ifstream in(path);
     if (!in) {
         std::cerr << "spmv-lint: cannot read " << path << "\n";
@@ -441,7 +598,42 @@ bool lint_file(const fs::path& path, std::vector<Finding>& findings) {
     check_banned_calls(name, text, findings);
     check_raw_new_delete(name, text, findings);
     check_reinterpret_cast(name, text, findings);
+    check_naked_mutex(name, text, findings);
+    check_fault_points(name, text, fault_registry, findings);
     return true;
+}
+
+/// Loads the fault-point registry: every double-quoted literal in the
+/// code of `path` (comments excluded) is a registered point name.
+std::optional<std::vector<std::string>> load_fault_registry(
+    const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "spmv-lint: cannot read fault registry " << path
+                  << "\n";
+        return std::nullopt;
+    }
+    std::vector<std::string> points;
+    for (std::string line; std::getline(in, line);) {
+        const std::size_t comment = line.find("//");
+        if (comment != std::string::npos) line.resize(comment);
+        std::size_t pos = 0;
+        while ((pos = line.find('"', pos)) != std::string::npos) {
+            const std::optional<std::string> lit =
+                first_string_literal(line, pos);
+            if (!lit) break;
+            points.push_back(*lit);
+            pos = line.find('"', pos + 1);  // skip to the closing quote
+            if (pos == std::string::npos) break;
+            ++pos;
+        }
+    }
+    if (points.empty()) {
+        std::cerr << "spmv-lint: fault registry " << path
+                  << " contains no point names\n";
+        return std::nullopt;
+    }
+    return points;
 }
 
 bool lintable(const fs::path& p) {
@@ -515,7 +707,8 @@ bool write_json_report(const std::string& path,
 }
 
 /// Known-answer corpus mode: see file header.
-int run_self_test(const std::string& dir) {
+int run_self_test(const std::string& dir,
+                  const std::vector<std::string>& fault_registry) {
     std::vector<fs::path> files;
     if (!collect_inputs({dir}, files)) return 2;
     if (files.empty()) {
@@ -525,7 +718,7 @@ int run_self_test(const std::string& dir) {
     int failures = 0;
     for (const fs::path& p : files) {
         std::vector<Finding> findings;
-        if (!lint_file(p, findings)) return 2;
+        if (!lint_file(p, fault_registry, findings)) return 2;
         std::ifstream in(p);
         std::string first_line;
         std::getline(in, first_line);
@@ -573,14 +766,18 @@ int main(int argc, char** argv) {
     std::vector<std::string> paths;
     std::string json_path;
     std::string self_test_dir;
+    std::string fault_registry_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--self-test" && i + 1 < argc) {
             self_test_dir = argv[++i];
+        } else if (arg == "--fault-registry" && i + 1 < argc) {
+            fault_registry_path = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: spmv_lint [--json REPORT] [--self-test DIR] "
+            std::cout << "usage: spmv_lint [--json REPORT] "
+                         "[--fault-registry FILE] [--self-test DIR] "
                          "<file|dir>...\n";
             return 0;
         } else if (arg.rfind("--", 0) == 0) {
@@ -590,9 +787,18 @@ int main(int argc, char** argv) {
             paths.push_back(arg);
         }
     }
-    if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+    std::vector<std::string> fault_registry;
+    if (!fault_registry_path.empty()) {
+        std::optional<std::vector<std::string>> loaded =
+            load_fault_registry(fault_registry_path);
+        if (!loaded) return 2;
+        fault_registry = std::move(*loaded);
+    }
+    if (!self_test_dir.empty())
+        return run_self_test(self_test_dir, fault_registry);
     if (paths.empty()) {
-        std::cerr << "usage: spmv_lint [--json REPORT] [--self-test DIR] "
+        std::cerr << "usage: spmv_lint [--json REPORT] "
+                     "[--fault-registry FILE] [--self-test DIR] "
                      "<file|dir>...\n";
         return 2;
     }
@@ -600,7 +806,7 @@ int main(int argc, char** argv) {
     if (!collect_inputs(paths, files)) return 2;
     std::vector<Finding> findings;
     for (const fs::path& p : files)
-        if (!lint_file(p, findings)) return 2;
+        if (!lint_file(p, fault_registry, findings)) return 2;
     for (const Finding& f : findings)
         std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
                   << f.message << "\n";
