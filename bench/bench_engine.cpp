@@ -1,15 +1,25 @@
-// Raw reuse-distance engine throughput: the serial virtual access() path
-// versus the batched access_batch() pipeline (devirtualized loop +
-// software-prefetched hash probes), for both the Kim and Olken engines.
+// Raw reuse-distance engine throughput across the three execution modes:
+//
+//   exact        serial virtual access() and the pre-interleave batched
+//                lookahead pipeline (measured by arming the
+//                `reuse.interleave` fault, which makes access_batch fall
+//                back to the simple loop)
+//   interleaved  access_batch's AMAC-style multi-stream probe scheduler
+//                (the default batched path; distances stay bit-identical
+//                to serial)
+//   approx       SampledEngine at R = 0.01 over the interleaved batch
+//                path — throughput counted in *input* refs/s, since the
+//                model's cost per demand reference is what sampling cuts
 //
 // The workload is a uniform-random line stream over a footprint large
 // enough that the line->node hash map falls out of every cache level, so
 // each probe is a dependent DRAM miss in the serial leg — exactly the
-// stall access_batch() hides by prefetching the probe slots of upcoming
-// lines while the current access does its group/tree bookkeeping.
+// stall the interleaved scheduler hides by keeping N probes in flight.
 //
 // Emits a perf-trajectory point to BENCH_engine_throughput.json (--out
-// overrides the path). --smoke shrinks the stream for CI.
+// overrides the path). --smoke shrinks the stream for CI. The legacy
+// "kim"/"olken" keys keep their schema (batched = the interleaved path);
+// "interleaved" and "approx" carry the per-mode breakdown.
 #include <cstdint>
 #include <fstream>
 #include <vector>
@@ -17,6 +27,8 @@
 #include "bench_common.hpp"
 #include "reuse/kim.hpp"
 #include "reuse/olken.hpp"
+#include "reuse/sampled.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -42,19 +54,43 @@ std::vector<std::uint64_t> make_stream(std::uint64_t refs,
     return lines;
 }
 
+constexpr std::size_t kBatch = 1024;
+
+/// One timed access_batch sweep over the stream; returns the distance
+/// checksum (kSkippedDistance entries excluded so sampled legs stay
+/// summable) and records the wall-clock in `seconds`.
+template <class Engine>
+std::uint64_t run_batched(Engine& engine,
+                          const std::vector<std::uint64_t>& lines,
+                          double& seconds) {
+    std::vector<std::uint64_t> dists(kBatch);
+    std::uint64_t checksum = 0;
+    Timer timer;
+    for (std::size_t i = 0; i < lines.size(); i += kBatch) {
+        const std::size_t n = std::min(kBatch, lines.size() - i);
+        engine.access_batch(lines.data() + i, dists.data(), n);
+        for (std::size_t k = 0; k < n; ++k)
+            if (dists[k] != kSkippedDistance) checksum += dists[k];
+    }
+    seconds = timer.seconds();
+    return checksum;
+}
+
 struct Legs {
     double serial_seconds = 0.0;
-    double batch_seconds = 0.0;
+    double simple_seconds = 0.0;       ///< pre-interleave batched pipeline
+    double interleaved_seconds = 0.0;  ///< default access_batch
+    double approx_seconds = 0.0;       ///< SampledEngine, input refs/s
     std::uint64_t checksum_serial = 0;
-    std::uint64_t checksum_batch = 0;
+    std::uint64_t checksum_simple = 0;
+    std::uint64_t checksum_interleaved = 0;
+    std::uint64_t approx_sampled_refs = 0;
 };
 
-/// Runs both legs on fresh engines over the same stream. The serial leg
-/// goes through the virtual interface (the pre-batching model loop); the
-/// batched leg uses access_batch in model-sized chunks.
+/// Runs all four legs on fresh engines over the same stream.
 template <class Engine, class... Args>
-Legs run_legs(const std::vector<std::uint64_t>& lines, Args&&... args) {
-    constexpr std::size_t kBatch = 1024;
+Legs run_legs(const std::vector<std::uint64_t>& lines, double sample_rate,
+              Args&&... args) {
     Legs legs;
     {
         Engine engine(args...);
@@ -65,16 +101,23 @@ Legs run_legs(const std::vector<std::uint64_t>& lines, Args&&... args) {
         legs.serial_seconds = timer.seconds();
     }
     {
+        // Armed reuse.interleave = access_batch degrades to the simple
+        // lookahead loop: this is the pre-interleave exact batched path.
+        fault::ScopedFault fallback("reuse.interleave",
+                                    {.probability = 1.0, .once = false});
         Engine engine(args...);
-        std::vector<std::uint64_t> dists(kBatch);
-        Timer timer;
-        for (std::size_t i = 0; i < lines.size(); i += kBatch) {
-            const std::size_t n = std::min(kBatch, lines.size() - i);
-            engine.access_batch(lines.data() + i, dists.data(), n);
-            for (std::size_t k = 0; k < n; ++k)
-                legs.checksum_batch += dists[k];
-        }
-        legs.batch_seconds = timer.seconds();
+        legs.checksum_simple =
+            run_batched(engine, lines, legs.simple_seconds);
+    }
+    {
+        Engine engine(args...);
+        legs.checksum_interleaved =
+            run_batched(engine, lines, legs.interleaved_seconds);
+    }
+    {
+        SampledEngine<Engine> engine(SampleFilter(sample_rate), args...);
+        (void)run_batched(engine, lines, legs.approx_seconds);
+        legs.approx_sampled_refs = engine.sampled_refs();
     }
     return legs;
 }
@@ -97,6 +140,7 @@ int main(int argc, char** argv) {
         cli.get_int("refs", smoke ? (1 << 19) : (1 << 24)));
     const std::uint64_t seed =
         static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const double sample_rate = cli.get_double("sample-rate", 0.01);
     // Wide groups (8 groups over the default footprint) keep Kim's
     // O(#groups) demotion cascade proportionate to the hash and node
     // misses the batched pipeline hides; sub-group distance resolution is
@@ -106,55 +150,96 @@ int main(int argc, char** argv) {
 
     std::cout << "Engine throughput, " << refs << " refs over " << distinct
               << " distinct lines (serial virtual access() vs batched "
-                 "access_batch())\n\n";
+                 "access_batch() vs SHARDS-sampled R="
+              << sample_rate << ")\n\n";
 
     const std::vector<std::uint64_t> lines =
         make_stream(refs, distinct, seed);
 
-    const Legs kim = run_legs<KimEngine>(lines, kim_groups);
-    const Legs olken = run_legs<OlkenEngine>(lines, distinct);
-    if (kim.checksum_serial != kim.checksum_batch ||
-        olken.checksum_serial != olken.checksum_batch) {
-        std::cerr << "FATAL: batched distances differ from serial\n";
-        return 1;
+    const Legs kim = run_legs<KimEngine>(lines, sample_rate, kim_groups);
+    const Legs olken = run_legs<OlkenEngine>(lines, sample_rate, distinct);
+    for (const Legs* legs : {&kim, &olken}) {
+        if (legs->checksum_serial != legs->checksum_simple ||
+            legs->checksum_serial != legs->checksum_interleaved) {
+            std::cerr << "FATAL: batched distances differ from serial\n";
+            return 1;
+        }
     }
 
     const auto rate = [&](double s) {
         return s > 0 ? static_cast<double>(refs) / s : 0.0;
     };
-    const double kim_speedup = kim.batch_seconds > 0
-                                   ? kim.serial_seconds / kim.batch_seconds
-                                   : 0.0;
-    const double olken_speedup =
-        olken.batch_seconds > 0 ? olken.serial_seconds / olken.batch_seconds
-                                : 0.0;
+    const auto speedup = [](double base, double s) {
+        return s > 0 ? base / s : 0.0;
+    };
 
-    TextTable table({"engine", "serial [Mref/s]", "batched [Mref/s]",
-                     "speedup"});
-    table.add_row({"kim", fmt(rate(kim.serial_seconds) / 1e6, 2),
-                   fmt(rate(kim.batch_seconds) / 1e6, 2),
-                   fmt(kim_speedup, 2)});
-    table.add_row({"olken", fmt(rate(olken.serial_seconds) / 1e6, 2),
-                   fmt(rate(olken.batch_seconds) / 1e6, 2),
-                   fmt(olken_speedup, 2)});
+    TextTable table({"engine", "serial [Mref/s]", "simple [Mref/s]",
+                     "interleaved [Mref/s]", "approx [Mref/s]",
+                     "ilv width", "approx/serial"});
+    const auto add_row = [&](const char* name, const Legs& legs,
+                             std::size_t width) {
+        table.add_row({name, fmt(rate(legs.serial_seconds) / 1e6, 2),
+                       fmt(rate(legs.simple_seconds) / 1e6, 2),
+                       fmt(rate(legs.interleaved_seconds) / 1e6, 2),
+                       fmt(rate(legs.approx_seconds) / 1e6, 2),
+                       std::to_string(width),
+                       fmt(speedup(legs.serial_seconds,
+                                   legs.approx_seconds),
+                           1)});
+    };
+    add_row("kim", kim, KimEngine::interleave_width());
+    add_row("olken", olken, OlkenEngine::interleave_width());
     table.render(std::cout);
-    std::cout << "distances identical across legs (checksums match)\n";
+    std::cout << "exact distances identical across serial/simple/"
+                 "interleaved legs (checksums match); approx counted in "
+                 "input refs/s ("
+              << kim.approx_sampled_refs << " kim / "
+              << olken.approx_sampled_refs
+              << " olken refs survived the filter)\n";
 
     const std::string out_path =
         cli.get("out", "BENCH_engine_throughput.json");
     std::ofstream out(out_path);
     if (out) {
+        const auto engine_json = [&](const Legs& legs, std::size_t width) {
+            std::string s = "{\"serial_refs_per_sec\": " +
+                            std::to_string(rate(legs.serial_seconds));
+            s += ", \"batched_refs_per_sec\": " +
+                 std::to_string(rate(legs.interleaved_seconds));
+            s += ", \"speedup\": " +
+                 std::to_string(speedup(legs.serial_seconds,
+                                        legs.interleaved_seconds));
+            s += ", \"exact\": {\"simple_refs_per_sec\": " +
+                 std::to_string(rate(legs.simple_seconds)) + "}";
+            s += ", \"interleaved\": {\"width\": " + std::to_string(width);
+            s += ", \"refs_per_sec\": " +
+                 std::to_string(rate(legs.interleaved_seconds));
+            s += ", \"speedup_vs_simple\": " +
+                 std::to_string(speedup(legs.simple_seconds,
+                                        legs.interleaved_seconds)) +
+                 "}";
+            s += ", \"approx\": {\"sample_rate\": " +
+                 std::to_string(sample_rate);
+            s += ", \"input_refs_per_sec\": " +
+                 std::to_string(rate(legs.approx_seconds));
+            s += ", \"sampled_refs\": " +
+                 std::to_string(legs.approx_sampled_refs);
+            s += ", \"speedup_vs_batched\": " +
+                 std::to_string(speedup(legs.simple_seconds,
+                                        legs.approx_seconds));
+            s += ", \"speedup_vs_serial\": " +
+                 std::to_string(speedup(legs.serial_seconds,
+                                        legs.approx_seconds)) +
+                 "}}";
+            return s;
+        };
         out << "{\"bench\": \"engine_throughput\", \"refs\": " << refs
             << ", \"distinct_lines\": " << distinct
             << ", \"smoke\": " << (smoke ? "true" : "false")
-            << ",\n \"kim\": {\"serial_refs_per_sec\": "
-            << rate(kim.serial_seconds)
-            << ", \"batched_refs_per_sec\": " << rate(kim.batch_seconds)
-            << ", \"speedup\": " << kim_speedup
-            << "},\n \"olken\": {\"serial_refs_per_sec\": "
-            << rate(olken.serial_seconds)
-            << ", \"batched_refs_per_sec\": " << rate(olken.batch_seconds)
-            << ", \"speedup\": " << olken_speedup << "}}\n";
+            << ", \"sample_rate\": " << sample_rate << ",\n \"kim\": "
+            << engine_json(kim, KimEngine::interleave_width())
+            << ",\n \"olken\": "
+            << engine_json(olken, OlkenEngine::interleave_width()) << "}\n";
         std::cout << "perf point written to " << out_path << "\n";
     } else {
         std::cerr << "cannot write " << out_path << "\n";

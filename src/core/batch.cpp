@@ -88,6 +88,7 @@ BatchItemResult attempt_one(const std::string& path,
             model.trace_buffer_bytes = options.trace_buffer_bytes;
             model.l2_way_options = options.l2_way_options;
             model.predict_l1 = false;
+            model.sample_rate = options.sample_rate;
             const ModelResult result = run_method_a(m, model);
             const ConfigPrediction* best = &result.configs.front();
             for (const auto& config : result.configs)
@@ -100,6 +101,9 @@ BatchItemResult attempt_one(const std::string& path,
             item.model_jobs = result.jobs;
             for (const auto& shard : result.shards)
                 item.model_references += shard.references;
+            item.model_sampled = result.sampled;
+            item.model_sample_rate = result.sample_rate;
+            item.model_sampled_refs = result.sampled_refs;
         }
         item.ok = true;
         item.code = ErrorCode::Ok;
@@ -297,7 +301,8 @@ void write_batch_report_csv(std::ostream& out, const BatchReport& report) {
     out << "name,path,status,stage,error_code,message,retried,seconds,"
            "load_origin,cache_written,"
            "rows,cols,nnz,best_l2_ways,best_l2_misses,"
-           "model_seconds,model_shards,model_jobs,model_references\n";
+           "model_seconds,model_shards,model_jobs,model_references,"
+           "model_sampled,model_sample_rate,model_sampled_refs\n";
     for (const auto& i : report.items) {
         out << csv_quote(i.name) << ',' << csv_quote(i.path) << ','
             << (i.ok ? "ok" : "failed") << ',' << to_string(i.stage) << ','
@@ -308,7 +313,8 @@ void write_batch_report_csv(std::ostream& out, const BatchReport& report) {
             << ',' << i.cols << ',' << i.nnz << ',' << i.best_l2_ways << ','
             << i.best_l2_misses << ',' << i.model_seconds << ','
             << i.model_shards << ',' << i.model_jobs << ','
-            << i.model_references << '\n';
+            << i.model_references << ',' << (i.model_sampled ? 1 : 0) << ','
+            << i.model_sample_rate << ',' << i.model_sampled_refs << '\n';
     }
 }
 
@@ -338,7 +344,10 @@ void write_batch_report_json(std::ostream& out, const BatchReport& report) {
             << ", \"model_seconds\": " << i.model_seconds
             << ", \"model_shards\": " << i.model_shards
             << ", \"model_jobs\": " << i.model_jobs
-            << ", \"model_references\": " << i.model_references << "}"
+            << ", \"model_references\": " << i.model_references
+            << ", \"model_sampled\": " << (i.model_sampled ? "true" : "false")
+            << ", \"model_sample_rate\": " << i.model_sample_rate
+            << ", \"model_sampled_refs\": " << i.model_sampled_refs << "}"
             << (n + 1 < report.items.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

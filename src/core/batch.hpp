@@ -62,6 +62,10 @@ struct BatchOptions {
     std::string cache_dir;
     /// Parser workers on a cache miss (1 serial, 0 all cores, N > 1 = N).
     std::int64_t parse_jobs = 1;
+    /// SHARDS sampling rate for the model stage (ModelOptions::
+    /// sample_rate): 1 = exact, R < 1 = approximate predictions at ~R of
+    /// the stack-pass cost. CLI: --approx[=R].
+    double sample_rate = 1.0;
 };
 
 /// Outcome of one matrix.
@@ -92,6 +96,14 @@ struct BatchItemResult {
     std::int64_t model_shards = 0;
     std::int64_t model_jobs = 0;
     std::uint64_t model_references = 0;
+    /// True when the model ran as a SHARDS estimate (sample_rate < 1 and
+    /// not degraded to exact by an armed `reuse.sample` fault).
+    bool model_sampled = false;
+    /// Rate the model stage actually used (1.0 when exact or degraded).
+    double model_sample_rate = 1.0;
+    /// References that survived the sampling filter and reached the
+    /// engines (== model_references when exact).
+    std::uint64_t model_sampled_refs = 0;
 };
 
 /// Standardised CLI exit codes (also used by `spmvcache batch`).

@@ -10,6 +10,7 @@
 #include "reuse/histogram.hpp"
 #include "reuse/kim.hpp"
 #include "reuse/olken.hpp"
+#include "reuse/sampled.hpp"
 #include "trace/packed_trace.hpp"
 #include "trace/spmv_trace.hpp"
 #include "util/error.hpp"
@@ -51,7 +52,8 @@ struct EngineMaker;
 template <>
 struct EngineMaker<KimEngine> {
     static KimEngine make(std::size_t /*lines_hint*/,
-                          std::uint64_t group_capacity) {
+                          std::uint64_t group_capacity,
+                          const SampleFilter& /*filter*/) {
         return KimEngine(group_capacity);
     }
 };
@@ -59,8 +61,31 @@ struct EngineMaker<KimEngine> {
 template <>
 struct EngineMaker<OlkenEngine> {
     static OlkenEngine make(std::size_t lines_hint,
-                            std::uint64_t /*group_capacity*/) {
+                            std::uint64_t /*group_capacity*/,
+                            const SampleFilter& /*filter*/) {
         return OlkenEngine(lines_hint);
+    }
+};
+
+/// Sampled variants: the adapter carries the run's SHARDS filter; hints
+/// shrink by R because the engine only ever tracks the kept subset.
+template <>
+struct EngineMaker<SampledEngine<KimEngine>> {
+    static SampledEngine<KimEngine> make(std::size_t /*lines_hint*/,
+                                         std::uint64_t group_capacity,
+                                         const SampleFilter& filter) {
+        return SampledEngine<KimEngine>(filter, group_capacity);
+    }
+};
+
+template <>
+struct EngineMaker<SampledEngine<OlkenEngine>> {
+    static SampledEngine<OlkenEngine> make(std::size_t lines_hint,
+                                           std::uint64_t /*group_capacity*/,
+                                           const SampleFilter& filter) {
+        const auto hint = static_cast<std::size_t>(
+            static_cast<double>(lines_hint) * filter.rate());
+        return SampledEngine<OlkenEngine>(filter, hint + 64);
     }
 };
 
@@ -84,6 +109,7 @@ struct ShardCounters {
     CapacityMissCounter cntU, cnt_xU;       // unpartitioned pass
     CapacityMissCounter cntL1, cnt_xL1;     // per-core L1 model
     std::uint64_t references = 0;
+    std::uint64_t sampled_refs = 0;
     double seconds = 0.0;
     bool packed = false;
 };
@@ -93,13 +119,14 @@ struct ShardCounters {
 template <class Engine>
 struct ShardEngines {
     ShardEngines(std::size_t lines_hint, std::uint64_t group_capacity,
-                 std::int64_t l1_engines)
-        : eng0(EngineMaker<Engine>::make(lines_hint, group_capacity)),
-          eng1(EngineMaker<Engine>::make(lines_hint, group_capacity)),
-          engU(EngineMaker<Engine>::make(lines_hint, group_capacity)) {
+                 std::int64_t l1_engines, const SampleFilter& filter)
+        : eng0(EngineMaker<Engine>::make(lines_hint, group_capacity, filter)),
+          eng1(EngineMaker<Engine>::make(lines_hint, group_capacity, filter)),
+          engU(EngineMaker<Engine>::make(lines_hint, group_capacity, filter)) {
         engL1.reserve(static_cast<std::size_t>(l1_engines));
         for (std::int64_t c = 0; c < l1_engines; ++c)
-            engL1.push_back(EngineMaker<Engine>::make(4096, group_capacity));
+            engL1.push_back(
+                EngineMaker<Engine>::make(4096, group_capacity, filter));
     }
 
     Engine eng0, eng1, engU;
@@ -227,6 +254,10 @@ struct ShardContext {
     std::size_t lines_hint = 0;
     std::vector<std::uint64_t> segment_lengths;  ///< demand refs per segment
     std::uint64_t shard_budget_bytes = 0;
+    /// The run's SHARDS filter (exact unless sampling is on); shared by
+    /// the packed-trace pre-filter and the shard engines so both agree on
+    /// the kept line subset.
+    SampleFilter filter;
 };
 
 /// One shard = one L2 segment. Derives the segment's slice of the trace
@@ -246,13 +277,13 @@ void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
         std::min(options.threads, t_begin + machine.cores_per_numa) - t_begin;
 
     ShardEngines<Engine> eng(ctx.lines_hint, options.kim_group_capacity,
-                             options.predict_l1 ? t_count : 0);
+                             options.predict_l1 ? t_count : 0, ctx.filter);
 
     const std::optional<std::vector<std::uint64_t>> packed =
         detail::pack_segment_within_budget(
             ctx.m, ctx.layout, ctx.trace_cfg, machine.cores_per_numa, s,
             ctx.segment_lengths[static_cast<std::size_t>(s)],
-            ctx.shard_budget_bytes);
+            ctx.shard_budget_bytes, ctx.filter);
     st.packed = packed.has_value();
 
     if (packed.has_value()) {
@@ -261,6 +292,12 @@ void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
                            st, /*counting=*/false);  // warm-up
         replay_packed_pass(*packed, options.policy, t_begin, eng, scratch,
                            st, /*counting=*/true);  // measured
+        // A sampled buffer holds only the kept references, so the replay
+        // counted the sampled subset; the full demand count comes from
+        // the segment lengths.
+        st.sampled_refs = st.references;
+        if (!ctx.filter.exact())
+            st.references = ctx.segment_lengths[static_cast<std::size_t>(s)];
         st.seconds = shard_timer.seconds();
         return;
     }
@@ -273,6 +310,12 @@ void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
         const int sector = sector_of(ref.object, options.policy);
         const std::uint64_t dp =
             (sector == 1 ? eng.eng1 : eng.eng0).access_one(ref.line);
+        if (dp == kSkippedDistance) {
+            // The sampling filter rejected this line; every engine would
+            // agree (same hash), so skip them and record nothing.
+            if (counting) ++st.references;
+            return;
+        }
         const std::uint64_t du = eng.engU.access_one(ref.line);
         std::uint64_t dl1 = 0;
         if (options.predict_l1)
@@ -282,6 +325,7 @@ void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
                       .access_one(ref.line);
         if (!counting) return;
         ++st.references;
+        ++st.sampled_refs;
         if (sector == 1) {
             st.cnt1.record(dp);
         } else {
@@ -312,7 +356,15 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);
     SPMV_EXPECTS(options.jobs >= 0);
+    SPMV_EXPECTS(options.sample_rate > 0.0 && options.sample_rate <= 1.0);
     const Timer timer;
+
+    // Resolved once per run: every shard (and the packed-trace
+    // pre-filter) shares this filter, so all passes agree on the kept
+    // line subset. An armed `reuse.sample` fault yields the exact filter
+    // here — the whole run degrades to exact computation.
+    const SampleFilter filter =
+        detail::resolve_sample_filter(options.sample_rate);
 
     const auto& machine = options.machine;
     const SpmvLayout layout(m, machine.l2.line_bytes);
@@ -349,7 +401,8 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
                          machine.cores_per_numa),
                      detail::resolve_trace_buffer_bytes(
                          options.trace_buffer_bytes) /
-                         static_cast<std::uint64_t>(effective_jobs)};
+                         static_cast<std::uint64_t>(effective_jobs),
+                     filter};
 
     std::vector<ShardCounters> shard_state;
     shard_state.reserve(static_cast<std::size_t>(segments));
@@ -358,14 +411,27 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
 
     detail::for_each_shard(segments, jobs, [&](std::int64_t s) {
         auto& st = shard_state[static_cast<std::size_t>(s)];
-        if (engine_kind == EngineKind::Kim)
-            run_shard<KimEngine>(ctx, s, st);
-        else
-            run_shard<OlkenEngine>(ctx, s, st);
+        if (engine_kind == EngineKind::Kim) {
+            if (filter.exact())
+                run_shard<KimEngine>(ctx, s, st);
+            else
+                run_shard<SampledEngine<KimEngine>>(ctx, s, st);
+        } else {
+            if (filter.exact())
+                run_shard<OlkenEngine>(ctx, s, st);
+            else
+                run_shard<SampledEngine<OlkenEngine>>(ctx, s, st);
+        }
     });
 
     // ---- Assemble ---------------------------------------------------------
+    // Under sampling each recorded reference stands for 1/R of the full
+    // trace, so the integer counter totals are scaled once here (scale is
+    // exactly 1.0 for exact runs — multiplying preserves bit-identity).
+    const double scale = filter.inverse_rate();
     ModelResult result;
+    result.sampled = !filter.exact();
+    result.sample_rate = filter.rate();
     {
         ConfigPrediction off;
         off.l2_sector_ways = 0;
@@ -376,8 +442,8 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
             misses += st.cntU.total_misses(cap_full);
             x_misses += st.cnt_xU.total_misses(cap_full);
         }
-        off.l2_misses = static_cast<double>(misses);
-        off.l2_x_misses = static_cast<double>(x_misses);
+        off.l2_misses = static_cast<double>(misses) * scale;
+        off.l2_x_misses = static_cast<double>(x_misses) * scale;
         result.configs.push_back(off);
     }
     for (std::size_t i = 0; i < options.l2_way_options.size(); ++i) {
@@ -389,8 +455,8 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
                       st.cnt1.total_misses(caps1[i]);
             x_misses += st.cnt_x.total_misses(caps0[i]);
         }
-        p.l2_misses = static_cast<double>(misses);
-        p.l2_x_misses = static_cast<double>(x_misses);
+        p.l2_misses = static_cast<double>(misses) * scale;
+        p.l2_x_misses = static_cast<double>(x_misses) * scale;
         result.configs.push_back(p);
     }
     if (options.predict_l1) {
@@ -399,8 +465,8 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
             misses += st.cntL1.total_misses(l1_cap);
             x_misses += st.cnt_xL1.total_misses(l1_cap);
         }
-        result.l1_misses = static_cast<double>(misses);
-        result.l1_x_misses = static_cast<double>(x_misses);
+        result.l1_misses = static_cast<double>(misses) * scale;
+        result.l1_x_misses = static_cast<double>(x_misses) * scale;
     }
     const double total_unpart = result.configs.front().l2_misses;
     result.x_traffic_fraction =
@@ -413,7 +479,8 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
             s,
             std::min(options.threads, t_begin + machine.cores_per_numa) -
                 t_begin,
-            st.references, st.seconds, st.packed});
+            st.references, st.seconds, st.packed, st.sampled_refs});
+        result.sampled_refs += st.sampled_refs;
     }
     result.jobs = effective_jobs;
     result.seconds = timer.seconds();

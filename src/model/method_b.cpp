@@ -53,7 +53,15 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);
     SPMV_EXPECTS(options.jobs >= 0);
+    SPMV_EXPECTS(options.sample_rate > 0.0 && options.sample_rate <= 1.0);
     const Timer timer;
+
+    // One filter per run, shared by the packed-trace pre-filter and the
+    // x-vector stack passes; the analytic streaming terms below stay
+    // exact — sampling only approximates the reuse-distance part. An
+    // armed `reuse.sample` fault degrades the run to exact computation.
+    const SampleFilter filter =
+        detail::resolve_sample_filter(options.sample_rate);
 
     const auto& machine = options.machine;
     const SpmvLayout layout(m, machine.l2.line_bytes);
@@ -154,7 +162,8 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
         const std::optional<std::vector<std::uint64_t>> packed =
             detail::pack_segment_within_budget(
                 m, layout, trace_cfg, machine.cores_per_numa, g,
-                segment_lengths[static_cast<std::size_t>(g)], shard_budget);
+                segment_lengths[static_cast<std::size_t>(g)], shard_budget,
+                filter);
         st.packed_replay = packed.has_value();
 
         if (packed.has_value()) {
@@ -196,27 +205,42 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
                 if (!counting) continue;
                 st.references += refs;
                 for (const std::uint64_t d : dist_x) {
-                    cnt_p.record(d);
-                    cnt_u.record(d);
+                    const std::uint64_t ds = filter.scale_distance(d);
+                    cnt_p.record(ds);
+                    cnt_u.record(ds);
                 }
                 if (options.predict_l1)
                     for (const auto& dists : distL1)
                         for (const std::uint64_t d : dists)
-                            cntL1[static_cast<std::size_t>(g)]->record(d);
+                            cntL1[static_cast<std::size_t>(g)]->record(
+                                filter.scale_distance(d));
             }
+            // A sampled buffer holds only the kept references, so the
+            // replay counted the sampled subset; the full demand count
+            // comes from the segment lengths.
+            st.sampled_refs = st.references;
+            if (!filter.exact())
+                st.references =
+                    segment_lengths[static_cast<std::size_t>(g)];
         } else {
             bool counting = false;
             auto sink = [&](const MemRef& ref) {
                 if (ref.is_prefetch) return;
-                if (counting) ++st.references;
-                if (ref.object != DataObject::X) return;
-                const std::uint64_t d = eng.access_one(ref.line);
+                const bool kept = filter.keep(ref.line);
+                if (counting) {
+                    ++st.references;
+                    if (kept) ++st.sampled_refs;
+                }
+                if (!kept || ref.object != DataObject::X) return;
+                const std::uint64_t d =
+                    filter.scale_distance(eng.access_one(ref.line));
                 std::uint64_t dl1 = 0;
                 if (options.predict_l1)
-                    dl1 = engL1[static_cast<std::size_t>(
-                                    static_cast<std::int64_t>(ref.thread) -
-                                    t_begin)]
-                              .access_one(ref.line);
+                    dl1 = filter.scale_distance(
+                        engL1[static_cast<std::size_t>(
+                                  static_cast<std::int64_t>(ref.thread) -
+                                  t_begin)]
+                            .access_one(ref.line));
                 if (!counting) return;
                 cnt_p.record(d);
                 cnt_u.record(d);
@@ -237,7 +261,12 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
     });
 
     // ---- Analytic terms for a, colidx, rowptr and y (§3.1 / §3.2.2) ------
+    // Sampled counter totals scale by 1/R (exactly 1.0 for exact runs);
+    // the analytic streaming terms are closed-form and never sampled.
+    const double scale = filter.inverse_rate();
     ModelResult result;
+    result.sampled = !filter.exact();
+    result.sample_rate = filter.rate();
     const std::uint64_t x_bytes = static_cast<std::uint64_t>(m.cols()) * 8;
 
     // Unpartitioned entry.
@@ -251,7 +280,7 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
                 12 * static_cast<std::uint64_t>(shares[g].nnz) +
                 16 * static_cast<std::uint64_t>(shares[g].rows) + x_bytes;
             const double x_misses =
-                static_cast<double>(cntU[g]->total_misses(capU[g]));
+                static_cast<double>(cntU[g]->total_misses(capU[g])) * scale;
             off.l2_x_misses += x_misses;
             off.l2_misses += x_misses;
             if (ws_seg > cache_bytes)
@@ -277,7 +306,8 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
             const std::uint64_t reusable_bytes =
                 x_bytes + 16 * static_cast<std::uint64_t>(shares[g].rows) + 8;
             const double x_misses =
-                static_cast<double>(cntP[g]->total_misses(capsP[g][i]));
+                static_cast<double>(cntP[g]->total_misses(capsP[g][i])) *
+                scale;
             p.l2_x_misses += x_misses;
             p.l2_misses += x_misses;
             if (matrix_bytes > n1_bytes)
@@ -299,7 +329,7 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
                 12 * static_cast<std::uint64_t>(shares[g].nnz) +
                 16 * static_cast<std::uint64_t>(shares[g].rows) + x_bytes;
             const double x_misses =
-                static_cast<double>(cntL1[g]->total_misses(capL1[g]));
+                static_cast<double>(cntL1[g]->total_misses(capL1[g])) * scale;
             result.l1_x_misses += x_misses;
             result.l1_misses += x_misses;
             if (ws_seg > machine.l1.size_bytes *
@@ -314,6 +344,7 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
         total_unpart > 0.0 ? result.configs.front().l2_x_misses / total_unpart
                            : 0.0;
     result.shards = std::move(shard_stats);
+    for (const auto& st : result.shards) result.sampled_refs += st.sampled_refs;
     result.jobs = std::max<std::int64_t>(1, std::min(jobs, segments));
     result.seconds = timer.seconds();
     return result;

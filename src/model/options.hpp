@@ -50,6 +50,15 @@ struct ModelOptions {
     /// bit-identical either way (differential-tested); the knob trades
     /// memory for trace-derivation throughput only. CLI: --trace-buffer.
     std::uint64_t trace_buffer_bytes = kTraceBufferAuto;
+    /// SHARDS spatial-sampling rate R in (0, 1]. 1 (default) is the exact
+    /// model — bit-identical to every pre-sampling prediction. R < 1
+    /// processes only references whose line hashes below R·2⁶⁴
+    /// (trace/sample.hpp) and scales distances and miss totals by 1/R, an
+    /// unbiased estimate typically within a few percent at R = 0.01 while
+    /// the stack passes do ~R times the work. CLI: --approx[=R]. An armed
+    /// `reuse.sample` fault degrades the run to exact computation (never
+    /// to wrong numbers); ModelResult::sampled reports what actually ran.
+    double sample_rate = 1.0;
     /// Per-run wall-clock budget in seconds; <= 0 disables it. Enforced by
     /// core/model_runner.hpp's run_model (the CLI --timeout flag and every
     /// serve request share that one mechanism); the raw run_method_a/b
@@ -80,6 +89,9 @@ struct ShardStats {
     /// True when the shard replayed a packed trace buffer; false when it
     /// streamed (budget exceeded, --trace-buffer 0, or packing failed).
     bool packed_replay = false;
+    /// References that survived the sampling filter and reached the
+    /// engines (== references when the run was exact).
+    std::uint64_t sampled_refs = 0;
 };
 
 /// Result of one model run (either method).
@@ -97,6 +109,16 @@ struct ModelResult {
     std::vector<ShardStats> shards;
     /// Host workers the run actually used (after resolving jobs = 0).
     std::int64_t jobs = 1;
+    /// True when predictions are SHARDS estimates (sample_rate < 1 *and*
+    /// sampling was not degraded to exact by an armed `reuse.sample`
+    /// fault). Reporters surface this so approximate numbers are never
+    /// silently presented as exact.
+    bool sampled = false;
+    /// The rate the run actually used (1.0 when exact or degraded).
+    double sample_rate = 1.0;
+    /// Demand references that reached the engines, summed over shards
+    /// (== total references when exact).
+    std::uint64_t sampled_refs = 0;
 
     /// Typed lookup: the prediction for `l2_sector_ways` (0 = disabled),
     /// or ValidationError when that configuration was not priced. The

@@ -8,6 +8,7 @@
 
 #include "model/options.hpp"
 #include "trace/packed_trace.hpp"
+#include "util/fault.hpp"
 
 namespace spmvcache::detail {
 
@@ -35,13 +36,30 @@ std::uint64_t resolve_trace_buffer_bytes(std::uint64_t requested) noexcept {
 std::optional<std::vector<std::uint64_t>> pack_segment_within_budget(
     const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
     std::int64_t cores_per_numa, std::int64_t segment,
-    std::uint64_t demand_refs, std::uint64_t budget_bytes) {
-    if (demand_refs > budget_bytes / sizeof(std::uint64_t))
+    std::uint64_t demand_refs, std::uint64_t budget_bytes,
+    const SampleFilter& filter) {
+    // Expected packed words: all demand refs when exact, ~R of them (with
+    // headroom for hash-subset variance) when sampling.
+    const std::uint64_t expected_words =
+        filter.exact()
+            ? demand_refs
+            : static_cast<std::uint64_t>(
+                  static_cast<double>(demand_refs) * filter.rate() * 1.25) +
+                  1024;
+    if (expected_words > budget_bytes / sizeof(std::uint64_t))
         return std::nullopt;
     Result<std::vector<std::uint64_t>> packed = try_pack_spmv_trace_segment(
-        m, layout, cfg, cores_per_numa, segment);
+        m, layout, cfg, cores_per_numa, segment, filter);
     if (!packed.ok()) return std::nullopt;
     return std::move(packed).value();
+}
+
+SampleFilter resolve_sample_filter(double sample_rate) {
+    if (sample_rate >= 1.0) return SampleFilter{};
+    // Armed `reuse.sample` degrades the run to exact computation — the
+    // same never-wrong-only-slower contract as the packing fallback.
+    if (fault::should_fail("reuse.sample")) return SampleFilter{};
+    return SampleFilter(sample_rate);
 }
 
 }  // namespace spmvcache::detail

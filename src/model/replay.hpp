@@ -17,9 +17,17 @@
 
 #include "sparse/csr_view.hpp"
 #include "trace/layout.hpp"
+#include "trace/sample.hpp"
 #include "trace/spmv_trace.hpp"
 
 namespace spmvcache::detail {
+
+/// Resolves ModelOptions::sample_rate into the filter every shard of the
+/// run shares. R = 1 yields the exact filter; so does an armed
+/// `reuse.sample` fault — sampling failure degrades to exact computation
+/// (slower, never wrong), mirroring how a packing failure degrades to
+/// streaming. Callers detect degradation via filter.exact().
+[[nodiscard]] SampleFilter resolve_sample_filter(double sample_rate);
 
 /// Resolves ModelOptions::trace_buffer_bytes: kTraceBufferAuto becomes
 /// 1/8 of physical RAM clamped to [64 MiB, 8 GiB] (256 MiB when the host
@@ -27,15 +35,18 @@ namespace spmvcache::detail {
 [[nodiscard]] std::uint64_t resolve_trace_buffer_bytes(
     std::uint64_t requested) noexcept;
 
-/// Packs segment `segment`'s trace iff its demand references fit
-/// `budget_bytes` (8 bytes each). Empty optional = use the streaming
-/// fallback (over budget, packing fault, allocation failure, or a
-/// reference outside the packed encoding).
+/// Packs segment `segment`'s trace iff its expected packed size fits
+/// `budget_bytes` (8 bytes per reference; under sampling only ~R of the
+/// `demand_refs` survive the filter, so the budget check scales
+/// accordingly and larger segments stay packable). Empty optional = use
+/// the streaming fallback (over budget, packing fault, allocation
+/// failure, or a reference outside the packed encoding).
 [[nodiscard]] std::optional<std::vector<std::uint64_t>>
 pack_segment_within_budget(const CsrView& m, const SpmvLayout& layout,
                            const TraceConfig& cfg,
                            std::int64_t cores_per_numa, std::int64_t segment,
                            std::uint64_t demand_refs,
-                           std::uint64_t budget_bytes);
+                           std::uint64_t budget_bytes,
+                           const SampleFilter& filter = SampleFilter{});
 
 }  // namespace spmvcache::detail

@@ -1,0 +1,64 @@
+// Interleave-width calibration for the engines' AMAC-style batch paths.
+//
+// Kim::access_batch and Olken::access_batch advance N independent probe
+// streams round-robin through explicit stages, with __builtin_prefetch
+// issued at every stage transition so the dependent-load misses of the N
+// in-flight references overlap. The right N is a machine property (it
+// depends on miss latency and how many outstanding loads the core
+// sustains), so — exactly like KernelEngine's software-prefetch distance
+// — it is picked once per process by timing a fixed candidate set on a
+// small scrambled stream and keeping the fastest.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace spmvcache::detail {
+
+/// Upper bound on calibrated widths; batch paths may size per-stream
+/// state arrays statically with it.
+inline constexpr std::size_t kMaxInterleaveWidth = 64;
+
+/// Times `run(width, lines, dists, n)` for each candidate width on a
+/// splitmix64-scrambled stream (twice each, best-of to shed warm-up and
+/// scheduler noise) and returns the fastest width. `run` must process
+/// the stream on a *fresh* engine so candidates compete fairly.
+template <class RunBatch>
+std::size_t calibrate_interleave_width(RunBatch&& run) {
+    constexpr std::size_t kRefs = std::size_t{1} << 14;
+    constexpr std::size_t kDistinct = std::size_t{1} << 12;
+    std::vector<std::uint64_t> lines(kRefs);
+    std::uint64_t state = 0x2545f4914f6cdd1dULL;
+    for (std::uint64_t& line : lines) {
+        state += 0x9e3779b97f4a7c15ULL;  // splitmix64 stream
+        std::uint64_t h = state;
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+        line = (h ^ (h >> 31)) % kDistinct;
+    }
+    std::vector<std::uint64_t> dists(kRefs);
+
+    constexpr std::size_t kCandidates[] = {4, 8, 16, 24, 32, 48, 64};
+    std::size_t best_width = kCandidates[0];
+    double best_seconds = std::numeric_limits<double>::infinity();
+    for (const std::size_t width : kCandidates) {
+        double seconds = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < 2; ++rep) {
+            Timer timer;
+            run(width, lines.data(), dists.data(), kRefs);
+            seconds = std::min(seconds, timer.seconds());
+        }
+        if (seconds < best_seconds) {
+            best_seconds = seconds;
+            best_width = width;
+        }
+    }
+    return best_width;
+}
+
+}  // namespace spmvcache::detail

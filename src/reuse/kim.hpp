@@ -38,12 +38,30 @@ public:
     std::uint64_t access_one(std::uint64_t line);
 
     /// Processes `n` accesses, writing each reuse distance to `dists`.
-    /// Identical results to n access() calls in order; the hash probes of
-    /// upcoming lines are software-prefetched a few elements ahead so
-    /// their (random) cache misses overlap the current access's group
-    /// bookkeeping.
+    /// Identical results to n access() calls in order. Large batches run
+    /// the AMAC-style interleaved scheduler (interleave_width() probe
+    /// streams advanced round-robin: slot prefetch → slot read + node
+    /// prefetch → node read + link/tail prefetch → in-order retire);
+    /// short batches, or any batch while the `reuse.interleave` fault is
+    /// armed, degrade to the lookahead pipeline with the same results.
     void access_batch(const std::uint64_t* lines, std::uint64_t* dists,
                       std::size_t n);
+
+    /// Removes `line`'s history (SHARDS eviction when the sampling rate
+    /// is lowered); returns whether the line was tracked. The vacated
+    /// pool slot is recycled by the next insertion.
+    bool evict(std::uint64_t line);
+
+    /// Calls fn(line) for every tracked line (arbitrary order).
+    template <class Fn>
+    void for_each_line(Fn&& fn) const {
+        node_of_line_.for_each(
+            [&](std::uint64_t line, std::uint64_t) { fn(line); });
+    }
+
+    /// Calibrated in-flight probe-stream count (once per process; timed
+    /// candidates, like KernelEngine's prefetch distance).
+    [[nodiscard]] static std::size_t interleave_width();
 
     [[nodiscard]] std::uint64_t group_capacity() const noexcept {
         return group_capacity_;
@@ -71,9 +89,15 @@ private:
     void push_front(std::uint32_t group_index, std::int64_t node_index) noexcept;
     /// Detaches the LRU node of group `g` and returns its index.
     std::int64_t pop_tail(std::uint32_t group_index) noexcept;
+    void access_batch_simple(const std::uint64_t* lines, std::uint64_t* dists,
+                             std::size_t n);
+    void access_batch_interleaved(const std::uint64_t* lines,
+                                  std::uint64_t* dists, std::size_t n,
+                                  std::size_t width);
 
     std::uint64_t group_capacity_;
     std::vector<Node> nodes_;
+    std::vector<std::int64_t> free_nodes_;  ///< pool slots vacated by evict()
     std::vector<Group> groups_;
     FlatMap64 node_of_line_;  ///< line -> index into nodes_
     std::uint64_t line_count_ = 0;

@@ -31,12 +31,37 @@ public:
     std::uint64_t access_one(std::uint64_t line);
 
     /// Processes `n` accesses, writing each reuse distance to `dists`.
-    /// Identical results to n access() calls in order, with the upcoming
-    /// hash probes software-prefetched a few elements ahead.
+    /// Identical results to n access() calls in order. Large batches run
+    /// the AMAC-style interleaved scheduler (interleave_width() probe
+    /// streams advanced round-robin: map-slot prefetch → slot read plus
+    /// Fenwick-path prefetch → in-order retire); short batches, or any
+    /// batch while the `reuse.interleave` fault is armed, degrade to the
+    /// simple lookahead loop with the same results.
     void access_batch(const std::uint64_t* lines, std::uint64_t* dists,
                       std::size_t n);
 
+    /// Removes `line`'s history (SHARDS eviction when the sampling rate
+    /// is lowered); returns whether the line was tracked. Subsequent
+    /// distances behave as if the line had never been accessed.
+    bool evict(std::uint64_t line);
+
+    /// Calls fn(line) for every tracked line (arbitrary order).
+    template <class Fn>
+    void for_each_line(Fn&& fn) const {
+        last_access_.for_each(
+            [&](std::uint64_t line, std::uint64_t) { fn(line); });
+    }
+
+    /// Calibrated in-flight probe-stream count (once per process; timed
+    /// candidates, like KernelEngine's prefetch distance).
+    [[nodiscard]] static std::size_t interleave_width();
+
 private:
+    void access_batch_simple(const std::uint64_t* lines, std::uint64_t* dists,
+                             std::size_t n);
+    void access_batch_interleaved(const std::uint64_t* lines,
+                                  std::uint64_t* dists, std::size_t n,
+                                  std::size_t width);
     void fenwick_add(std::size_t index, int delta) noexcept;
     [[nodiscard]] std::uint64_t fenwick_prefix(std::size_t index) const noexcept;
     void compact();

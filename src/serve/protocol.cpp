@@ -386,6 +386,21 @@ const char* to_string(RequestOp op) noexcept {
         request.timeout_seconds = timeout->number;
     }
 
+    if (const Json* approx = root.find("approx"); approx != nullptr) {
+        if (approx->kind == Json::Kind::Bool) {
+            request.sample_rate = approx->boolean ? 0.01 : 1.0;
+        } else if (approx->kind == Json::Kind::Number) {
+            if (!(approx->number > 0.0 && approx->number <= 1.0))
+                return Error(ErrorCode::ValidationError,
+                             "field 'approx' must be a rate in (0, 1]");
+            request.sample_rate = approx->number;
+        } else {
+            return Error(ErrorCode::ValidationError,
+                         "field 'approx' must be a bool or a rate in "
+                         "(0, 1]");
+        }
+    }
+
     if (const Json* ways = root.find("l2_ways"); ways != nullptr) {
         if (ways->kind != Json::Kind::Array)
             return Error(ErrorCode::ValidationError,
@@ -427,6 +442,7 @@ std::string render_response(const ServeResponse& response) {
     out += response.cache_hit ? "true" : "false";
     out += ",\"retries\":" + std::to_string(response.retries);
     out += ",\"seconds\":" + json_double(response.seconds);
+    out += ",\"sample_rate\":" + json_double(response.sample_rate);
     if (!response.payload.empty()) out += ",\"payload\":" + response.payload;
     out += "}";
     return out;
@@ -454,6 +470,16 @@ void append_fingerprint(std::string& out, const MatrixFingerprint& fp) {
     out += ",\"nnz\":" + std::to_string(fp.nnz);
 }
 
+/// What the model actually did (cached payloads must say whether their
+/// numbers are exact or SHARDS estimates, because cache hits replay them
+/// verbatim for the lifetime of the plan).
+void append_sampling(std::string& out, const ModelResult& result) {
+    out += ",\"sampled\":";
+    out += result.sampled ? "true" : "false";
+    out += ",\"sample_rate\":" + json_double(result.sample_rate);
+    out += ",\"sampled_refs\":" + std::to_string(result.sampled_refs);
+}
+
 }  // namespace
 
 std::string render_predict_payload(const ModelResult& result,
@@ -464,6 +490,7 @@ std::string render_predict_payload(const ModelResult& result,
     append_fingerprint(out, fp);
     out += ",\"method\":" + json_quote(method);
     out += ",\"threads\":" + std::to_string(threads);
+    append_sampling(out, result);
     out += ",\"x_traffic_fraction\":" +
            json_double(result.x_traffic_fraction);
     out += ',';
@@ -486,6 +513,7 @@ std::string render_tune_payload(const ModelResult& result,
     std::string out = "{";
     append_fingerprint(out, fp);
     out += ",\"threads\":" + std::to_string(threads);
+    append_sampling(out, result);
     out += ",\"best_l2_ways\":" + std::to_string(best->l2_sector_ways);
     out += ",\"best_l2_misses\":" + json_double(best->l2_misses);
     out += ",\"predicted_reduction_percent\":" + json_double(reduction);

@@ -90,6 +90,11 @@ struct ServeRequest {
     double timeout_seconds = -1.0;
     /// Sector-1 way counts to price; empty = the op's default list.
     std::vector<std::uint32_t> l2_ways;
+    /// SHARDS sampling rate (ModelOptions::sample_rate) from the request's
+    /// "approx" field: absent = 1 (exact), true = 0.01, a number = that
+    /// rate. Part of the plan-cache key — exact and sampled plans for the
+    /// same matrix never alias.
+    double sample_rate = 1.0;
 };
 
 /// Parses one request line (already length-bounded by read_line_bounded).
@@ -105,6 +110,11 @@ struct ServeResponse {
     bool cache_hit = false;
     int retries = 0;
     double seconds = 0.0;
+    /// Rate the request asked for (1 = exact); echoed in the envelope so
+    /// every response states how its numbers were computed. The payload's
+    /// own "sampled" field reports what the model actually did (an armed
+    /// `reuse.sample` fault can degrade a sampled request to exact).
+    double sample_rate = 1.0;
     std::string payload;  ///< serialized JSON object; empty when none
 };
 

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <bit>
 #include <chrono>
 #include <istream>
 #include <ostream>
@@ -64,13 +65,17 @@ ModelOptions model_options_for(const ServeRequest& request) {
         options.l2_way_options = {2, 3, 4, 5, 6, 7};
     }
     if (request.op == RequestOp::Tune) options.predict_l1 = false;
+    options.sample_rate = request.sample_rate;
     return options;
 }
 
 /// Plan-cache key: fingerprint mix xor'd with a digest of everything that
-/// changes the payload (op, threads, method, way list). `jobs` and the
-/// trace buffer are deliberately excluded — predictions are bit-identical
-/// across them, so requests differing only there share a plan.
+/// changes the payload (op, threads, method, way list, sampling rate).
+/// `jobs` and the trace buffer are deliberately excluded — predictions are
+/// bit-identical across them, so requests differing only there share a
+/// plan. The sampling rate is included for the opposite reason: an exact
+/// plan and a SHARDS estimate for the same matrix must never alias, and
+/// two different rates produce different estimates.
 PlanKey plan_key_for(const MatrixFingerprint& fp,
                      const ServeRequest& request,
                      const ModelOptions& options) {
@@ -79,9 +84,12 @@ PlanKey plan_key_for(const MatrixFingerprint& fp,
     digest = mix64(digest ^ static_cast<std::uint64_t>(request.threads));
     if (request.op == RequestOp::Predict)
         digest = mix64(digest ^ (request.method == "b" ? 2u : 1u));
-    if (request.op != RequestOp::Stats)
+    if (request.op != RequestOp::Stats) {
         for (const std::uint32_t way : options.l2_way_options)
             digest = mix64(digest ^ (0x10000u + way));
+        digest = mix64(
+            digest ^ std::bit_cast<std::uint64_t>(options.sample_rate));
+    }
     return PlanKey{fp.hash_hi ^ digest, fp.hash_lo ^ mix64(digest)};
 }
 
@@ -177,6 +185,7 @@ ServeResponse Server::execute_matrix_op(const ServeRequest& request) {
     ServeResponse response;
     response.id = request.id;
     response.op = to_string(request.op);
+    response.sample_rate = request.sample_rate;
     const Timer timer;
 
     const std::uint64_t source_key = source_quarantine_key(request.source);
@@ -303,6 +312,7 @@ void Server::count_response(const ServeResponse& response) {
     if (response.code == ErrorCode::TimeoutError) ++counters_.timeouts;
     counters_.retries += static_cast<std::uint64_t>(response.retries);
     if (response.cache_hit) ++counters_.cache_hits;
+    if (response.sample_rate < 1.0) ++counters_.approx_requests;
 }
 
 ServeStats Server::stats() const {
@@ -336,6 +346,7 @@ std::string Server::render_stats_json() const {
     out += ",\"timeouts\":" + std::to_string(s.timeouts);
     out += ",\"retries\":" + std::to_string(s.retries);
     out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+    out += ",\"approx_requests\":" + std::to_string(s.approx_requests);
     out += ",\"sources\":{\"hits\":" + std::to_string(s.source_hits);
     out += ",\"loads\":" + std::to_string(s.source_loads);
     out += ",\"entries\":" + std::to_string(s.source_entries) + "}";

@@ -85,6 +85,8 @@ struct ServeStats {
     std::uint64_t timeouts = 0;
     std::uint64_t retries = 0;         ///< attempts beyond the first
     std::uint64_t cache_hits = 0;
+    /// Requests that asked for SHARDS-sampled (approximate) predictions.
+    std::uint64_t approx_requests = 0;
     /// In-memory source-cache counters: a hit means the request touched
     /// neither the .mtx text nor the .spmvc file.
     std::uint64_t source_hits = 0;

@@ -9,22 +9,33 @@ namespace spmvcache {
 
 [[nodiscard]] Result<std::vector<std::uint64_t>> try_pack_spmv_trace_segment(
     const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
-    std::int64_t cores_per_numa, std::int64_t segment) {
+    std::int64_t cores_per_numa, std::int64_t segment,
+    const SampleFilter& filter) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("trace.pack"));
 
     // Demand-reference count of this segment; exact when no software
     // prefetch hints are configured, a lower-bound reserve otherwise.
+    // Under sampling only ~R·expected references survive the filter; the
+    // reserve is an estimate with headroom and the vector grows past it
+    // if an unlucky hash subset runs dense.
     const auto lengths = spmv_segment_lengths(m, cfg, cores_per_numa);
     const std::uint64_t expected =
         lengths[static_cast<std::size_t>(segment)];
+    const std::uint64_t reserve_hint =
+        filter.exact()
+            ? expected
+            : static_cast<std::uint64_t>(
+                  static_cast<double>(expected) * filter.rate() * 1.25) +
+                  1024;
 
     std::vector<std::uint64_t> packed;
     bool unpackable = false;
     MemRef bad{};
     try {
-        packed.reserve(static_cast<std::size_t>(expected));
+        packed.reserve(static_cast<std::size_t>(reserve_hint));
         generate_spmv_trace_segment(
             m, layout, cfg, cores_per_numa, segment, [&](const MemRef& ref) {
+                if (!filter.keep(ref.line)) return;  // SHARDS pre-filter
                 if (!memref_packable(ref)) {
                     if (!unpackable) bad = ref;
                     unpackable = true;

@@ -27,6 +27,7 @@
 #include "sparse/csr_view.hpp"
 #include "trace/layout.hpp"
 #include "trace/memref.hpp"
+#include "trace/sample.hpp"
 #include "trace/spmv_trace.hpp"
 #include "util/status.hpp"
 
@@ -82,12 +83,17 @@ inline constexpr int kPackedPrefetchShift = 63;
 }
 
 /// Derives segment `segment`'s filtered trace once and packs it, reserving
-/// from spmv_segment_lengths up front. Typed errors instead of values when
-/// a reference does not fit the encoding (ValidationError), the packing
-/// allocation fails (ResourceError), or the `trace.pack` fault point is
-/// armed — callers are expected to fall back to streaming re-derivation.
+/// from spmv_segment_lengths up front. `filter` applies SHARDS spatial
+/// sampling at packing time: references whose line the filter rejects are
+/// dropped before they ever enter the buffer, so a sampled replay scans
+/// ~R·refs words instead of refs (the default exact filter keeps all).
+/// Typed errors instead of values when a reference does not fit the
+/// encoding (ValidationError), the packing allocation fails
+/// (ResourceError), or the `trace.pack` fault point is armed — callers
+/// are expected to fall back to streaming re-derivation.
 [[nodiscard]] Result<std::vector<std::uint64_t>> try_pack_spmv_trace_segment(
     const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
-    std::int64_t cores_per_numa, std::int64_t segment);
+    std::int64_t cores_per_numa, std::int64_t segment,
+    const SampleFilter& filter = SampleFilter{});
 
 }  // namespace spmvcache

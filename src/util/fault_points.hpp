@@ -38,6 +38,8 @@ inline constexpr std::string_view kRegisteredPoints[] = {
     "trace.pack",
     // Reuse-distance engines (reuse/)
     "reuse.access",
+    "reuse.sample",
+    "reuse.interleave",
     // Batch driver (core/batch)
     "batch.item",
     // Kernel engine (kernels/engine)

@@ -82,6 +82,12 @@ using namespace spmvcache;
            "         --trace-buffer BYTES  packed-trace replay budget\n"
            "                   (default: 1/8 of host RAM; 0 = always\n"
            "                   re-derive; predictions are identical)\n"
+           "         --approx[=R]  SHARDS-sampled approximate model\n"
+           "                   (predict/tune/batch): process only refs\n"
+           "                   whose line hashes below R (default 0.01)\n"
+           "                   and scale the totals by 1/R -- order-of-\n"
+           "                   magnitude faster, typically within a few\n"
+           "                   percent; outputs are marked as sampled\n"
            "predict: --json FILE  machine-readable predictions + per-shard\n"
            "                      timing/reference instrumentation\n"
            "predict/tune: --timeout SECONDS  wall-clock budget for the run\n"
@@ -108,6 +114,18 @@ using namespace spmvcache;
 
 void report_error(const Error& e) {
     std::cerr << "error: " << e.render() << "\n";
+}
+
+/// Resolves --approx[=R] into a ModelOptions::sample_rate: absent = 1
+/// (exact), bare --approx = 0.01, --approx=R = R. Rates outside (0, 1]
+/// are a usage error.
+[[nodiscard]] Result<double> approx_rate(const CliParser& cli) {
+    if (!cli.has("approx")) return 1.0;
+    const double rate = cli.get_double("approx", 0.01);
+    if (!(rate > 0.0 && rate <= 1.0))
+        return Error(ErrorCode::ValidationError,
+                     "--approx rate must be in (0, 1]");
+    return rate;
 }
 
 /// Builds the MatrixSource the flags describe; loading goes through the
@@ -222,6 +240,9 @@ void write_predict_json(std::ostream& out, const ModelResult& result,
         << "\",\n  \"threads\": " << options.threads
         << ",\n  \"jobs\": " << result.jobs
         << ",\n  \"seconds\": " << result.seconds
+        << ",\n  \"sampled\": " << (result.sampled ? "true" : "false")
+        << ",\n  \"sample_rate\": " << result.sample_rate
+        << ",\n  \"sampled_refs\": " << result.sampled_refs
         << ",\n  \"x_traffic_fraction\": " << result.x_traffic_fraction
         << ",\n  \"configs\": [\n";
     for (std::size_t i = 0; i < result.configs.size(); ++i) {
@@ -239,7 +260,8 @@ void write_predict_json(std::ostream& out, const ModelResult& result,
             << ", \"references\": " << shard.references
             << ", \"seconds\": " << shard.seconds
             << ", \"packed_replay\": "
-            << (shard.packed_replay ? "true" : "false") << "}"
+            << (shard.packed_replay ? "true" : "false")
+            << ", \"sampled_refs\": " << shard.sampled_refs << "}"
             << (s + 1 < result.shards.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -261,6 +283,12 @@ int cmd_predict(const CliParser& cli) {
         options.trace_buffer_bytes = static_cast<std::uint64_t>(tb);
     options.l2_way_options = {2, 3, 4, 5, 6, 7};
     options.timeout_seconds = cli.get_double("timeout", 0.0);
+    const Result<double> rate = approx_rate(cli);
+    if (!rate.ok()) {
+        report_error(rate.error());
+        return kExitUsage;
+    }
+    options.sample_rate = rate.value();
     const bool use_b = to_lower(cli.get("method", "a")) == "b";
     const Result<ModelResult> modelled =
         run_model(m, options, use_b ? ModelMethod::B : ModelMethod::A);
@@ -284,10 +312,20 @@ int cmd_predict(const CliParser& cli) {
     }
     t.render(std::cout, std::string("method (") + (use_b ? "B" : "A") +
                             "), " + std::to_string(options.threads) +
-                            " threads:");
+                            " threads:" +
+                            (result.sampled
+                                 ? " [SHARDS estimate, R=" +
+                                       fmt(result.sample_rate, 4) + "]"
+                                 : ""));
     std::cout << "model runtime: " << fmt(result.seconds, 2) << " s on "
               << result.jobs << " host job(s), "
               << result.shards.size() << " shard(s)\n";
+    if (result.sampled)
+        std::cout << "sampling: R=" << fmt(result.sample_rate, 4) << ", "
+                  << fmt_count(static_cast<unsigned long long>(
+                         result.sampled_refs))
+                  << " of the demand refs reached the engines; predictions "
+                     "are scaled estimates, not exact counts\n";
     for (const auto& shard : result.shards)
         std::cout << "  shard " << shard.segment << ": " << shard.threads
                   << " threads, "
@@ -364,6 +402,12 @@ int cmd_tune(const CliParser& cli) {
     options.l2_way_options = {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14};
     options.predict_l1 = false;
     options.timeout_seconds = cli.get_double("timeout", 0.0);
+    const Result<double> rate = approx_rate(cli);
+    if (!rate.ok()) {
+        report_error(rate.error());
+        return kExitUsage;
+    }
+    options.sample_rate = rate.value();
     const Result<ModelResult> modelled =
         run_model(m, options, ModelMethod::A);
     if (!modelled.ok()) {
@@ -371,6 +415,10 @@ int cmd_tune(const CliParser& cli) {
         return 1;
     }
     const ModelResult& result = modelled.value();
+    if (result.sampled)
+        std::cout << "note: recommendation derived from a SHARDS estimate "
+                     "(R=" << fmt(result.sample_rate, 4)
+                  << "); re-run without --approx to confirm\n";
     const ConfigPrediction* best = &result.configs.front();
     for (const auto& config : result.configs)
         if (config.l2_misses < best->l2_misses) best = &config;
@@ -435,6 +483,12 @@ int cmd_batch(const CliParser& cli) {
     options.retry_transient = !cli.has("no-retry");
     options.cache_dir = cli.get("cache-dir", "");
     options.parse_jobs = cli.get_int("parse-jobs", 1);
+    const Result<double> rate = approx_rate(cli);
+    if (!rate.ok()) {
+        report_error(rate.error());
+        return kExitUsage;
+    }
+    options.sample_rate = rate.value();
 
     // SIGINT/SIGTERM drain the sweep instead of killing it: the current
     // matrix finishes, pending ones are recorded as Cancelled, and the
