@@ -175,20 +175,22 @@ int main(int argc, char** argv) {
 
     TextTable table({"engine", "serial [Mref/s]", "simple [Mref/s]",
                      "interleaved [Mref/s]", "approx [Mref/s]",
-                     "ilv width", "approx/serial"});
+                     "ilv width", "mode", "approx/serial"});
     const auto add_row = [&](const char* name, const Legs& legs,
-                             std::size_t width) {
+                             std::size_t width, const char* mode) {
         table.add_row({name, fmt(rate(legs.serial_seconds) / 1e6, 2),
                        fmt(rate(legs.simple_seconds) / 1e6, 2),
                        fmt(rate(legs.interleaved_seconds) / 1e6, 2),
                        fmt(rate(legs.approx_seconds) / 1e6, 2),
-                       std::to_string(width),
+                       std::to_string(width), mode,
                        fmt(speedup(legs.serial_seconds,
                                    legs.approx_seconds),
                            1)});
     };
-    add_row("kim", kim, KimEngine::interleave_width());
-    add_row("olken", olken, OlkenEngine::interleave_width());
+    add_row("kim", kim, KimEngine::interleave_width(),
+            KimEngine::batch_mode());
+    add_row("olken", olken, OlkenEngine::interleave_width(),
+            OlkenEngine::batch_mode());
     table.render(std::cout);
     std::cout << "exact distances identical across serial/simple/"
                  "interleaved legs (checksums match); approx counted in "
@@ -201,9 +203,13 @@ int main(int argc, char** argv) {
         cli.get("out", "BENCH_engine_throughput.json");
     std::ofstream out(out_path);
     if (out) {
-        const auto engine_json = [&](const Legs& legs, std::size_t width) {
+        const auto engine_json = [&](const Legs& legs, std::size_t width,
+                                     const char* mode) {
             std::string s = "{\"serial_refs_per_sec\": " +
                             std::to_string(rate(legs.serial_seconds));
+            // The mode best-of calibration shipped for access_batch:
+            // "interleaved" only when it beat the simple exact path.
+            s += ", \"chosen_mode\": \"" + std::string(mode) + "\"";
             s += ", \"batched_refs_per_sec\": " +
                  std::to_string(rate(legs.interleaved_seconds));
             s += ", \"speedup\": " +
@@ -237,9 +243,12 @@ int main(int argc, char** argv) {
             << ", \"distinct_lines\": " << distinct
             << ", \"smoke\": " << (smoke ? "true" : "false")
             << ", \"sample_rate\": " << sample_rate << ",\n \"kim\": "
-            << engine_json(kim, KimEngine::interleave_width())
+            << engine_json(kim, KimEngine::interleave_width(),
+                           KimEngine::batch_mode())
             << ",\n \"olken\": "
-            << engine_json(olken, OlkenEngine::interleave_width()) << "}\n";
+            << engine_json(olken, OlkenEngine::interleave_width(),
+                           OlkenEngine::batch_mode())
+            << "}\n";
         std::cout << "perf point written to " << out_path << "\n";
     } else {
         std::cerr << "cannot write " << out_path << "\n";

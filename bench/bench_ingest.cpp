@@ -111,6 +111,43 @@ int main(int argc, char** argv) {
     }
     table.render(std::cout);
 
+    // ---- 64-vs-32 index-width leg: cache footprint + warm-load time ----
+    // The suite's matrices all fit 32-bit indices, so the default cache
+    // above is narrow. Re-warm a second cache at forced 64-bit and
+    // compare bytes on disk and the mmap-load time each width pays.
+    const fs::path cache_w64 = work / "cache_w64";
+    std::uint64_t bytes_w32 = 0, bytes_w64 = 0;
+    double cached_w64_total = 0.0;
+    for (const auto& path : paths) {
+        MatrixSource source;
+        source.path = path;
+        source.cache_dir = cache_w64.string();
+        source.index_width = IndexWidthChoice::W64;
+        (void)load_seconds(source);  // cold: parse + wide write
+        double best = 0.0;
+        for (std::int64_t i = 0; i < warm_iters; ++i) {
+            const double s = load_seconds(source);
+            if (i == 0 || s < best) best = s;
+        }
+        cached_w64_total += best;
+    }
+    for (const fs::path& dir : {cache_dir, cache_w64}) {
+        std::uint64_t& total = (dir == cache_w64) ? bytes_w64 : bytes_w32;
+        for (const auto& e : fs::directory_iterator(dir))
+            if (e.path().extension() == ".spmvc")
+                total += static_cast<std::uint64_t>(
+                    fs::file_size(e.path()));
+    }
+    const double size_ratio =
+        bytes_w64 > 0 ? static_cast<double>(bytes_w32) /
+                            static_cast<double>(bytes_w64)
+                      : 0.0;
+    std::cout << "index width: .spmvc total " << fmt_bytes(bytes_w32)
+              << " (32-bit) vs " << fmt_bytes(bytes_w64)
+              << " (64-bit) -> " << fmt(size_ratio, 2)
+              << "x; warm load " << fmt(cached_total, 4) << " s vs "
+              << fmt(cached_w64_total, 4) << " s\n";
+
     const double speedup =
         cached_total > 0 ? parse_total / cached_total : 0.0;
     const double parallel_speedup =
@@ -140,7 +177,12 @@ int main(int argc, char** argv) {
             << ", \"cached_load_seconds\": " << cached_total
             << ", \"cached_speedup\": " << speedup
             << ", \"all_cache_hits\": " << (all_cached ? "true" : "false")
-            << "}\n";
+            << ",\n \"index_width\": {\"spmvc_bytes_w32\": " << bytes_w32
+            << ", \"spmvc_bytes_w64\": " << bytes_w64
+            << ", \"size_ratio\": " << size_ratio
+            << ", \"cached_load_seconds_w32\": " << cached_total
+            << ", \"cached_load_seconds_w64\": " << cached_w64_total
+            << "}}\n";
         std::cout << "perf point written to " << out_path << "\n";
     } else {
         std::cerr << "cannot write " << out_path << "\n";

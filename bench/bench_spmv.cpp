@@ -12,8 +12,11 @@
 //
 // Emits BENCH_spmv_kernel.json (--out overrides). --smoke shrinks
 // matrices and iteration counts for CI.
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -21,9 +24,12 @@
 #include "bench_common.hpp"
 #include "kernels/engine.hpp"
 #include "kernels/spmv.hpp"
+#include "sparse/binary_cache.hpp"
+#include "sparse/fingerprint.hpp"
 #include "sparse/gen/banded.hpp"
 #include "sparse/gen/random.hpp"
 #include "sparse/gen/stencil.hpp"
+#include "sparse/matrix_stats.hpp"
 #include "sync/worker_team.hpp"
 #include "util/prng.hpp"
 
@@ -134,6 +140,37 @@ struct MatrixResult {
     double best_speedup = 0.0;
     std::string best_label;
 };
+
+/// The 64-vs-32 index-width leg: same matrix, same kernel variant, both
+/// physical widths, plus the .spmvc cache-entry footprint each width
+/// pays on disk.
+struct WidthResult {
+    std::string name;
+    std::int64_t rows = 0;
+    std::int64_t nnz = 0;
+    double gflops_w32 = 0.0;
+    double gflops_w64 = 0.0;
+    double speedup_32_over_64 = 0.0;
+    std::uint64_t spmvc_bytes_w32 = 0;
+    std::uint64_t spmvc_bytes_w64 = 0;
+    double size_ratio = 0.0;  ///< w32 bytes / w64 bytes
+};
+
+/// Times `iters` products on an engine built over `view` at its physical
+/// width; returns GFLOP/s.
+template <class Engine, class View>
+double time_width_leg(const View& view, const EngineOptions& options,
+                      std::int64_t iters, std::span<const double> x,
+                      std::span<double> y) {
+    Engine engine(view, options);
+    engine.run_iterations(x, y, 1);  // warm-up
+    Timer timer;
+    engine.run_iterations(x, y, iters);
+    const double seconds = timer.seconds();
+    const double flops = 2.0 * static_cast<double>(view.nnz()) *
+                         static_cast<double>(iters);
+    return seconds > 0 ? flops / seconds / 1e9 : 0.0;
+}
 
 }  // namespace
 
@@ -366,5 +403,107 @@ int main(int argc, char** argv) {
     } else {
         std::cerr << "cannot write " << out_path << "\n";
     }
+
+    // ---- 64-vs-32 index-width leg -------------------------------------
+    // Same matrix, same kernel variant (the SIMD CSR kernel — it streams
+    // colidx hardest), both physical widths, at the largest team size.
+    // The .spmvc footprint of each width rides along so one JSON carries
+    // both halves of the narrow-index claim: faster SpMV, smaller cache.
+    namespace fs = std::filesystem;
+    const fs::path width_work =
+        fs::temp_directory_path() /
+        ("spmvcache_bench_width_" + std::to_string(::getpid()));
+    fs::create_directories(width_work);
+
+    const std::int64_t width_threads = thread_counts.back();
+    std::vector<WidthResult> width_results;
+    TextTable width_table({"matrix", "w32 GFLOP/s", "w64 GFLOP/s",
+                           "32/64", "w32 .spmvc", "w64 .spmvc", "size"});
+    for (const auto& c : cases) {
+        const CsrMatrix& a32 = c.matrix;
+        const CsrMatrix64 a64 = convert_csr_width<Idx64>(CsrView(a32));
+        const std::int64_t iters =
+            smoke ? 3
+                  : std::max<std::int64_t>(
+                        5, (std::int64_t{1} << 28) /
+                               std::max<std::int64_t>(a32.nnz(), 1));
+        const auto x = random_vector(static_cast<std::size_t>(a32.cols()),
+                                     seed);
+        std::vector<double> y(static_cast<std::size_t>(a32.rows()), 0.0);
+
+        EngineOptions options;
+        options.threads = width_threads;
+        options.variant = KernelVariant::CsrSimd;
+
+        WidthResult wr;
+        wr.name = c.name;
+        wr.rows = a32.rows();
+        wr.nnz = a32.nnz();
+        wr.gflops_w32 = time_width_leg<KernelEngine>(
+            CsrView(a32), options, iters, x, std::span<double>(y));
+        wr.gflops_w64 = time_width_leg<KernelEngine64>(
+            CsrView64(a64), options, iters, x, std::span<double>(y));
+        wr.speedup_32_over_64 =
+            wr.gflops_w64 > 0 ? wr.gflops_w32 / wr.gflops_w64 : 0.0;
+
+        const auto entry_bytes = [&](const auto& m,
+                                     const char* tag) -> std::uint64_t {
+            const std::string path =
+                (width_work / (c.name + std::string(".") + tag + ".spmvc"))
+                    .string();
+            const Status written = write_binary_cache(
+                path, m, fingerprint_matrix(m), compute_stats(m),
+                "bench://" + std::string(c.name), SourceStamp{});
+            if (!written.ok()) return 0;
+            return static_cast<std::uint64_t>(fs::file_size(path));
+        };
+        wr.spmvc_bytes_w32 = entry_bytes(CsrView(a32), "w32");
+        wr.spmvc_bytes_w64 = entry_bytes(CsrView64(a64), "w64");
+        wr.size_ratio =
+            wr.spmvc_bytes_w64 > 0
+                ? static_cast<double>(wr.spmvc_bytes_w32) /
+                      static_cast<double>(wr.spmvc_bytes_w64)
+                : 0.0;
+
+        width_table.add_row({wr.name, fmt(wr.gflops_w32, 2),
+                             fmt(wr.gflops_w64, 2),
+                             fmt(wr.speedup_32_over_64, 2),
+                             fmt_bytes(wr.spmvc_bytes_w32),
+                             fmt_bytes(wr.spmvc_bytes_w64),
+                             fmt(wr.size_ratio, 2)});
+        width_results.push_back(std::move(wr));
+    }
+    std::cout << "\nindex width: csr-simd at t=" << width_threads
+              << ", 32-bit vs 64-bit colidx/rowptr\n";
+    width_table.render(std::cout);
+
+    const std::string width_out =
+        cli.get("width-out", "BENCH_index_width.json");
+    std::ofstream wout(width_out);
+    if (wout) {
+        wout << "{\"bench\": \"index_width\", \"smoke\": "
+             << (smoke ? "true" : "false")
+             << ", \"variant\": \"csr-simd\", \"threads\": "
+             << width_threads << ", \"simd\": \""
+             << simd::to_string(simd::best().isa) << "\",\n \"matrices\": [\n";
+        for (std::size_t i = 0; i < width_results.size(); ++i) {
+            const WidthResult& wr = width_results[i];
+            wout << "  {\"name\": \"" << wr.name << "\", \"rows\": "
+                 << wr.rows << ", \"nnz\": " << wr.nnz
+                 << ", \"gflops_w32\": " << wr.gflops_w32
+                 << ", \"gflops_w64\": " << wr.gflops_w64
+                 << ", \"speedup_32_over_64\": " << wr.speedup_32_over_64
+                 << ", \"spmvc_bytes_w32\": " << wr.spmvc_bytes_w32
+                 << ", \"spmvc_bytes_w64\": " << wr.spmvc_bytes_w64
+                 << ", \"size_ratio\": " << wr.size_ratio << "}"
+                 << (i + 1 < width_results.size() ? "," : "") << "\n";
+        }
+        wout << " ]}\n";
+        std::cout << "width comparison written to " << width_out << "\n";
+    } else {
+        std::cerr << "cannot write " << width_out << "\n";
+    }
+    std::error_code ec;
+    fs::remove_all(width_work, ec);
     return all_verified ? 0 : 1;
 }

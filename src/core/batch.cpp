@@ -58,11 +58,12 @@ BatchItemResult attempt_one(const std::string& path,
         source.strict_parse = options.strict_parse;
         source.cache_dir = options.cache_dir;
         source.parse_jobs = options.parse_jobs;
+        source.index_width = options.index_width;
         Result<LoadedMatrix> handle = load_matrix_handle(source);
         if (!handle.ok())
             return fail(std::move(item), std::move(handle).to_error());
         const LoadedMatrix loaded = std::move(handle).value();
-        const CsrView m = loaded.view;
+        const AnyCsrView m = loaded.view;
         item.load_origin = to_string(loaded.origin);
         item.cache_written = loaded.cache_written;
         item.rows = m.rows();
@@ -70,7 +71,8 @@ BatchItemResult attempt_one(const std::string& path,
         item.nnz = m.nnz();
 
         item.stage = BatchStage::Validate;
-        if (Status s = check_csr_view(m); !s.ok())
+        if (Status s = m.visit([](const auto& v) { return check_csr_view(v); });
+            !s.ok())
             return fail(std::move(item),
                         std::move(s).wrap("validating '" + path + "'")
                             .to_error());

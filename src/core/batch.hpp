@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "model/options.hpp"
+#include "sparse/index_width.hpp"
 #include "util/status.hpp"
 
 namespace spmvcache {
@@ -66,6 +67,10 @@ struct BatchOptions {
     /// sample_rate): 1 = exact, R < 1 = approximate predictions at ~R of
     /// the stack-pass cost. CLI: --approx[=R].
     double sample_rate = 1.0;
+    /// Physical index width for every load (core/matrix_source.hpp):
+    /// Auto narrows when representable. CLI: --index-width; default =
+    /// the build-configured choice.
+    IndexWidthChoice index_width = default_index_width_choice();
 };
 
 /// Outcome of one matrix.

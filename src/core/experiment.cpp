@@ -26,8 +26,15 @@ double MeasuredConfig::speedup_over(const MeasuredConfig& baseline) const {
     return baseline.timing.seconds / timing.seconds;
 }
 
-std::vector<MeasuredConfig> run_sector_sweep(
-    const CsrView& m, const std::vector<SectorWays>& configs,
+namespace {
+
+/// Width-typed body of run_sector_sweep: the trace generator is templated
+/// on the physical index, but the simulated addresses come from SpmvLayout
+/// with the paper's (4, 8)-byte accounting at either width, so the sweep
+/// result is identical for a narrow and a wide load of the same matrix.
+template <class Idx>
+std::vector<MeasuredConfig> run_sector_sweep_impl(
+    const BasicCsrView<Idx>& m, const std::vector<SectorWays>& configs,
     const ExperimentOptions& options) {
     SPMV_EXPECTS(!configs.empty());
     SPMV_EXPECTS(options.threads >= 1 &&
@@ -86,8 +93,18 @@ std::vector<MeasuredConfig> run_sector_sweep(
     return results;
 }
 
+}  // namespace
+
+std::vector<MeasuredConfig> run_sector_sweep(
+    const AnyCsrView& m, const std::vector<SectorWays>& configs,
+    const ExperimentOptions& options) {
+    return m.visit([&](const auto& v) {
+        return run_sector_sweep_impl(v, configs, options);
+    });
+}
+
 ModelComparison model_vs_measured(
-    const CsrView& m, const std::vector<std::uint32_t>& l2_way_options,
+    const AnyCsrView& m, const std::vector<std::uint32_t>& l2_way_options,
     const ExperimentOptions& options) {
     ModelComparison comparison;
     comparison.stats = compute_stats(m);

@@ -15,6 +15,7 @@
 #include "model/method_b.hpp"
 #include "perf/timing.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "trace/memref.hpp"
@@ -59,7 +60,7 @@ struct MeasuredConfig {
 /// Runs the warm-up + measured iteration through one simulator per entry
 /// of `configs` (a single trace generation feeds all of them).
 [[nodiscard]] std::vector<MeasuredConfig> run_sector_sweep(
-    const CsrView& m, const std::vector<SectorWays>& configs,
+    const AnyCsrView& m, const std::vector<SectorWays>& configs,
     const ExperimentOptions& options);
 
 /// Model prediction vs simulator measurement for Tables 2 and 3.
@@ -77,7 +78,7 @@ struct ModelComparison {
 /// the unpartitioned case and every way count in `l2_way_options`
 /// (L1 sector cache disabled throughout, as in Tables 2 and 3).
 [[nodiscard]] ModelComparison model_vs_measured(
-    const CsrView& m, const std::vector<std::uint32_t>& l2_way_options,
+    const AnyCsrView& m, const std::vector<std::uint32_t>& l2_way_options,
     const ExperimentOptions& options);
 
 }  // namespace spmvcache

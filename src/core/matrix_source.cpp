@@ -20,27 +20,42 @@ namespace {
 namespace fs = std::filesystem;
 
 /// Parses the .mtx text of a file source, serial or chunked-parallel
-/// depending on parse_jobs.
-[[nodiscard]] Result<CsrMatrix> parse_file_source(const MatrixSource& source) {
+/// depending on parse_jobs, at the width source.index_width resolves to.
+[[nodiscard]] Result<AnyCsrMatrix> parse_file_source(
+    const MatrixSource& source) {
     if (source.parse_jobs == 1) {
         MmReadOptions options;
         options.strict = source.strict_parse;
-        return try_read_matrix_market_file(source.path, options);
+        options.index_width = source.index_width;
+        return try_read_matrix_market_any_file(source.path, options);
     }
     MmParallelOptions options;
     options.base.strict = source.strict_parse;
+    options.base.index_width = source.index_width;
     options.jobs = source.parse_jobs <= 0
                        ? 0
                        : static_cast<std::size_t>(source.parse_jobs);
-    return try_read_matrix_market_parallel_file(source.path, options);
+    return try_read_matrix_market_parallel_any_file(source.path, options);
+}
+
+/// Generators always assemble narrow (their shapes are representable by
+/// construction); a forced wide request widens the arrays afterwards.
+[[nodiscard]] Result<AnyCsrMatrix> generated_matrix_any(
+    const MatrixSource& source) {
+    Result<CsrMatrix> narrow = generated_matrix(source.gen_spec, source.seed);
+    if (!narrow.ok()) return std::move(narrow).to_error();
+    if (source.index_width == IndexWidthChoice::W64)
+        return AnyCsrMatrix(
+            convert_csr_width<Idx64>(CsrView(narrow.value())));
+    return AnyCsrMatrix(std::move(narrow).value());
 }
 
 /// Wraps a parsed/generated matrix into a handle, computing the derived
 /// structure summaries once.
-LoadedMatrix make_owned_handle(CsrMatrix matrix, LoadOrigin origin) {
+LoadedMatrix make_owned_handle(AnyCsrMatrix matrix, LoadOrigin origin) {
     LoadedMatrix loaded;
-    loaded.owned = std::make_shared<const CsrMatrix>(std::move(matrix));
-    loaded.view = CsrView(*loaded.owned);
+    loaded.owned = std::make_shared<const AnyCsrMatrix>(std::move(matrix));
+    loaded.view = loaded.owned->view();
     loaded.fingerprint = fingerprint_matrix(loaded.view);
     loaded.stats = compute_stats(loaded.view);
     loaded.origin = origin;
@@ -58,6 +73,8 @@ std::string MatrixSource::canonical_key() const {
     }
     key += "|strict=";
     key += strict_parse ? '1' : '0';
+    key += "|w=";
+    key += to_string(index_width);
     return key;
 }
 
@@ -103,12 +120,12 @@ const char* to_string(LoadOrigin origin) noexcept {
                  "unknown generator family: " + family);
 }
 
-[[nodiscard]] Result<CsrMatrix> load_matrix_source(const MatrixSource& source) {
+[[nodiscard]] Result<AnyCsrMatrix> load_matrix_source(
+    const MatrixSource& source) {
     if (source.empty())
         return Error(ErrorCode::ValidationError,
                      "request names no matrix (need a path or a gen spec)");
-    if (!source.gen_spec.empty())
-        return generated_matrix(source.gen_spec, source.seed);
+    if (!source.gen_spec.empty()) return generated_matrix_any(source);
     return parse_file_source(source);
 }
 
@@ -140,8 +157,7 @@ std::string spmvc_cache_path(const std::string& cache_dir,
         return Error(ErrorCode::ValidationError,
                      "request names no matrix (need a path or a gen spec)");
     if (!source.gen_spec.empty()) {
-        Result<CsrMatrix> generated =
-            generated_matrix(source.gen_spec, source.seed);
+        Result<AnyCsrMatrix> generated = generated_matrix_any(source);
         if (!generated.ok()) return std::move(generated).to_error();
         return make_owned_handle(std::move(generated).value(),
                                  LoadOrigin::Generated);
@@ -160,7 +176,8 @@ std::string spmvc_cache_path(const std::string& cache_dir,
         if (live.ok()) {
             stamp = live.value();
             have_stamp = true;
-            Result<MappedCsr> mapped = load_binary_cache(cache_path, &stamp);
+            Result<MappedCsr> mapped = load_binary_cache(
+                cache_path, &stamp, source.index_width);
             if (mapped.ok()) {
                 LoadedMatrix loaded;
                 loaded.mapped = std::make_shared<const MappedCsr>(
@@ -176,7 +193,7 @@ std::string spmvc_cache_path(const std::string& cache_dir,
         // parser reports the canonical "cannot open" error.
     }
 
-    Result<CsrMatrix> parsed = parse_file_source(source);
+    Result<AnyCsrMatrix> parsed = parse_file_source(source);
     if (!parsed.ok()) return std::move(parsed).to_error();
     LoadedMatrix loaded =
         make_owned_handle(std::move(parsed).value(), LoadOrigin::Parsed);

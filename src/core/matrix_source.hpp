@@ -18,10 +18,12 @@
 #include <string>
 #include <unordered_map>
 
+#include "sparse/any_csr.hpp"
 #include "sparse/binary_cache.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/csr_view.hpp"
 #include "sparse/fingerprint.hpp"
+#include "sparse/index_width.hpp"
 #include "sparse/matrix_stats.hpp"
 #include "util/annotated_mutex.hpp"
 #include "util/status.hpp"
@@ -42,14 +44,23 @@ struct MatrixSource {
     /// load: 1 = serial parser (historical behaviour), 0 = all cores,
     /// N > 1 = that many.
     std::int64_t parse_jobs = 1;
+    /// Physical index width of the loaded arrays: Auto narrows to 32-bit
+    /// whenever rows/cols/nnz fit, a forced width is honoured or fails
+    /// with UnsupportedError. Part of the identity — the same file at
+    /// 32-bit and at 64-bit indices is two different loaded matrices.
+    /// The default is the build-configured choice (cmake
+    /// SPMV_DEFAULT_INDEX_WIDTH, normally auto).
+    IndexWidthChoice index_width = default_index_width_choice();
 
     [[nodiscard]] bool empty() const noexcept {
         return path.empty() && gen_spec.empty();
     }
 
-    /// Stable identity string ("file:/a/b.mtx|strict=1", "gen:banded:64@42")
-    /// used for quarantine keys and log lines. Cache and parser knobs do
-    /// not change what the source denotes, so they are not part of the key.
+    /// Stable identity string ("file:/a/b.mtx|strict=1|w=auto",
+    /// "gen:banded:64@42|strict=0|w=32") used for quarantine keys and log
+    /// lines. Cache and parser knobs do not change what the source
+    /// denotes, so they are not part of the key; the index width is,
+    /// because it changes the loaded arrays.
     [[nodiscard]] std::string canonical_key() const;
 };
 
@@ -68,8 +79,8 @@ enum class LoadOrigin : std::uint8_t {
 /// serve plan cache and the batch report consume. Copyable — copies share
 /// the owner.
 struct LoadedMatrix {
-    CsrView view;
-    std::shared_ptr<const CsrMatrix> owned;  ///< set unless mmapped
+    AnyCsrView view;
+    std::shared_ptr<const AnyCsrMatrix> owned;  ///< set unless mmapped
     std::shared_ptr<const MappedCsr> mapped; ///< set on a cache hit
     MatrixFingerprint fingerprint;
     MatrixStats stats;
@@ -90,9 +101,12 @@ struct LoadedMatrix {
 [[nodiscard]] Result<CsrMatrix> generated_matrix(const std::string& spec,
                                                  std::uint64_t seed);
 
-/// Loads the source (file parse or generator run), typed errors on failure.
-/// Always parses file sources from text; ignores cache_dir.
-[[nodiscard]] Result<CsrMatrix> load_matrix_source(const MatrixSource& source);
+/// Loads the source (file parse or generator run), typed errors on
+/// failure. Always parses file sources from text; ignores cache_dir.
+/// Honours source.index_width (forced 32 on an unrepresentable shape is
+/// UnsupportedError).
+[[nodiscard]] Result<AnyCsrMatrix> load_matrix_source(
+    const MatrixSource& source);
 
 /// Cache entry path for a file source: <cache_dir>/<stem>-<hash>[s].spmvc.
 /// The hash covers the absolute source path; strict parses get their own

@@ -18,15 +18,18 @@ namespace {
 /// colidx[i + d] plus the values/colidx stream positions i + d are
 /// requested. Reads of colidx stay clamped inside [0, nnz); prefetches of
 /// one-past-range addresses are harmless (prefetch never faults).
-void csr_range_prefetch(const std::int64_t* rowptr,
-                        const std::int32_t* colidx, const double* values,
-                        const double* x, double* y, std::int64_t row_begin,
-                        std::int64_t row_end, std::int64_t nnz,
-                        std::int64_t distance) {
+template <class Idx>
+void csr_range_prefetch(const typename Idx::offset_type* rowptr,
+                        const typename Idx::index_type* colidx,
+                        const double* values, const double* x, double* y,
+                        std::int64_t row_begin, std::int64_t row_end,
+                        std::int64_t nnz, std::int64_t distance) {
     const std::int64_t last = nnz > 0 ? nnz - 1 : 0;
     for (std::int64_t r = row_begin; r < row_end; ++r) {
         double acc = y[r];  // same accumulation order as spmv_csr
-        for (std::int64_t i = rowptr[r]; i < rowptr[r + 1]; ++i) {
+        const auto begin = static_cast<std::int64_t>(rowptr[r]);
+        const auto end = static_cast<std::int64_t>(rowptr[r + 1]);
+        for (std::int64_t i = begin; i < end; ++i) {
             const std::int64_t ahead = i + distance < last ? i + distance
                                                            : last;
             __builtin_prefetch(x + colidx[ahead], 0, 0);
@@ -47,7 +50,8 @@ std::int64_t resolve_threads(std::int64_t requested) {
 
 /// Coefficient of variation of the row lengths (cheap shape probe for the
 /// Auto heuristic; matches MatrixStats::cv_nnz_per_row).
-double row_length_cv(const CsrView& a) {
+template <class Idx>
+double row_length_cv(const BasicCsrView<Idx>& a) {
     const auto rowptr = a.rowptr();
     const std::int64_t n = a.rows();
     if (n == 0 || a.nnz() == 0) return 0.0;
@@ -56,8 +60,9 @@ double row_length_cv(const CsrView& a) {
     double ss = 0.0;
     for (std::int64_t r = 0; r < n; ++r) {
         const double len = static_cast<double>(
-            rowptr[static_cast<std::size_t>(r) + 1] -
-            rowptr[static_cast<std::size_t>(r)]);
+            static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(r) + 1]) -
+            static_cast<std::int64_t>(rowptr[static_cast<std::size_t>(r)]));
         ss += (len - mean) * (len - mean);
     }
     return std::sqrt(ss / static_cast<double>(n)) / mean;
@@ -94,14 +99,18 @@ const char* to_string(KernelVariant variant) noexcept {
                      "merge, auto)");
 }
 
-KernelEngine::KernelEngine(const CsrView& a, const EngineOptions& options)
-    : KernelEngine(a,
-                   RowPartition(a, resolve_threads(options.threads),
-                                options.policy),
-                   options) {}
+template <class Idx>
+BasicKernelEngine<Idx>::BasicKernelEngine(const BasicCsrView<Idx>& a,
+                                          const EngineOptions& options)
+    : BasicKernelEngine(a,
+                        RowPartition(a, resolve_threads(options.threads),
+                                     options.policy),
+                        options) {}
 
-KernelEngine::KernelEngine(const CsrView& a, const RowPartition& partition,
-                           const EngineOptions& options)
+template <class Idx>
+BasicKernelEngine<Idx>::BasicKernelEngine(const BasicCsrView<Idx>& a,
+                                          const RowPartition& partition,
+                                          const EngineOptions& options)
     : rows_(a.rows()), cols_(a.cols()), nnz_(a.nnz()),
       partition_(partition) {
     info_.threads = partition_.threads();
@@ -130,10 +139,12 @@ KernelEngine::KernelEngine(const CsrView& a, const RowPartition& partition,
         calibrate_prefetch(a, options);
 }
 
-KernelEngine::~KernelEngine() = default;
+template <class Idx>
+BasicKernelEngine<Idx>::~BasicKernelEngine() = default;
 
-void KernelEngine::resolve_variant(const CsrView& a,
-                                   const EngineOptions& options) {
+template <class Idx>
+void BasicKernelEngine<Idx>::resolve_variant(const BasicCsrView<Idx>& a,
+                                             const EngineOptions& options) {
     simd_ = simd::best();
     KernelVariant variant = options.variant;
     if (variant == KernelVariant::Auto) {
@@ -159,8 +170,9 @@ void KernelEngine::resolve_variant(const CsrView& a,
                     : simd::Isa::Scalar;
 }
 
-void KernelEngine::setup_csr(const CsrView& a,
-                             const EngineOptions& options) {
+template <class Idx>
+void BasicKernelEngine<Idx>::setup_csr(const BasicCsrView<Idx>& a,
+                                       const EngineOptions& options) {
     if (!options.first_touch) {
         rowptr_ = a.rowptr();
         colidx_ = a.colidx();
@@ -169,10 +181,10 @@ void KernelEngine::setup_csr(const CsrView& a,
     }
     // First-touch copies: worker t writes (and therefore faults in) the
     // rowptr/colidx/values slices of its own row range.
-    own_rowptr_ = FirstTouchBuffer<std::int64_t>(
+    own_rowptr_ = FirstTouchBuffer<offset_type>(
         static_cast<std::size_t>(rows_) + 1);
     own_colidx_ =
-        FirstTouchBuffer<std::int32_t>(static_cast<std::size_t>(nnz_));
+        FirstTouchBuffer<index_type>(static_cast<std::size_t>(nnz_));
     own_values_ = FirstTouchBuffer<double>(static_cast<std::size_t>(nnz_));
     const auto src_rowptr = a.rowptr();
     const auto src_colidx = a.colidx();
@@ -180,10 +192,10 @@ void KernelEngine::setup_csr(const CsrView& a,
     dispatch([&](std::size_t t) {
         const RowRange& range =
             partition_.range(static_cast<std::int64_t>(t));
-        const std::int64_t lo =
-            src_rowptr[static_cast<std::size_t>(range.begin)];
-        const std::int64_t hi =
-            src_rowptr[static_cast<std::size_t>(range.end)];
+        const auto lo = static_cast<std::int64_t>(
+            src_rowptr[static_cast<std::size_t>(range.begin)]);
+        const auto hi = static_cast<std::int64_t>(
+            src_rowptr[static_cast<std::size_t>(range.end)]);
         for (std::int64_t r = range.begin; r < range.end; ++r)
             own_rowptr_.data()[r] = src_rowptr[static_cast<std::size_t>(r)];
         if (range.end == rows_)
@@ -199,8 +211,9 @@ void KernelEngine::setup_csr(const CsrView& a,
     values_ = own_values_.span();
 }
 
-void KernelEngine::setup_sell(const CsrView& a,
-                              const EngineOptions& options) {
+template <class Idx>
+void BasicKernelEngine<Idx>::setup_sell(const BasicCsrView<Idx>& a,
+                                        const EngineOptions& options) {
     const std::int64_t chunk =
         options.sell_chunk > 0 ? options.sell_chunk : 8;
     const std::int64_t sigma =
@@ -236,7 +249,7 @@ void KernelEngine::setup_sell(const CsrView& a,
     // First-touch copies of the chunk-major arrays, sliced by chunk range.
     sell_own_values_ = FirstTouchBuffer<double>(sell_->values().size());
     sell_own_colidx_ =
-        FirstTouchBuffer<std::int32_t>(sell_->colidx().size());
+        FirstTouchBuffer<index_type>(sell_->colidx().size());
     const auto src_values = sell_->values();
     const auto src_colidx = sell_->colidx();
     dispatch([&](std::size_t t) {
@@ -255,7 +268,8 @@ void KernelEngine::setup_sell(const CsrView& a,
     sell_colidx_ = sell_own_colidx_.span();
 }
 
-void KernelEngine::setup_merge(const CsrView& a) {
+template <class Idx>
+void BasicKernelEngine<Idx>::setup_merge(const BasicCsrView<Idx>& a) {
     const std::int64_t pieces = info_.threads;
     const std::int64_t path_length = rows_ + nnz_;
     const std::int64_t chunk = (path_length + pieces - 1) / pieces;
@@ -274,8 +288,9 @@ void KernelEngine::setup_merge(const CsrView& a) {
     }
 }
 
-void KernelEngine::calibrate_prefetch(const CsrView& a,
-                                      const EngineOptions& options) {
+template <class Idx>
+void BasicKernelEngine<Idx>::calibrate_prefetch(const BasicCsrView<Idx>& a,
+                                                const EngineOptions& options) {
     if (options.prefetch_distance > 0) {
         info_.prefetch_distance = options.prefetch_distance;
         return;
@@ -291,7 +306,9 @@ void KernelEngine::calibrate_prefetch(const CsrView& a,
     if (nnz_ > nnz_budget) {
         sample_rows = 0;
         while (sample_rows < rows_ &&
-               rowptr[static_cast<std::size_t>(sample_rows)] < nnz_budget)
+               static_cast<std::int64_t>(
+                   rowptr[static_cast<std::size_t>(sample_rows)]) <
+                   nnz_budget)
             ++sample_rows;
     }
     if (sample_rows == 0 || nnz_ == 0) {
@@ -307,9 +324,9 @@ void KernelEngine::calibrate_prefetch(const CsrView& a,
         double seconds = std::numeric_limits<double>::infinity();
         for (int rep = 0; rep < 2; ++rep) {
             Timer timer;
-            csr_range_prefetch(rowptr_.data(), colidx_.data(),
-                               values_.data(), x.data(), y.data(), 0,
-                               sample_rows, nnz_, d);
+            csr_range_prefetch<Idx>(rowptr_.data(), colidx_.data(),
+                                    values_.data(), x.data(), y.data(), 0,
+                                    sample_rows, nnz_, d);
             seconds = std::min(seconds, timer.seconds());
         }
         if (seconds < best_seconds) {
@@ -320,7 +337,9 @@ void KernelEngine::calibrate_prefetch(const CsrView& a,
     info_.prefetch_distance = best;
 }
 
-void KernelEngine::dispatch(const std::function<void(std::size_t)>& body) {
+template <class Idx>
+void BasicKernelEngine<Idx>::dispatch(
+    const std::function<void(std::size_t)>& body) {
     if (team_) {
         team_->run(body);
     } else {
@@ -328,13 +347,16 @@ void KernelEngine::dispatch(const std::function<void(std::size_t)>& body) {
     }
 }
 
-void KernelEngine::run(std::span<const double> x, std::span<double> y) {
+template <class Idx>
+void BasicKernelEngine<Idx>::run(std::span<const double> x,
+                                 std::span<double> y) {
     run_iterations(x, y, 1);
 }
 
-void KernelEngine::run_iterations(std::span<const double> x,
-                                  std::span<double> y,
-                                  std::int64_t iterations) {
+template <class Idx>
+void BasicKernelEngine<Idx>::run_iterations(std::span<const double> x,
+                                            std::span<double> y,
+                                            std::int64_t iterations) {
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(cols_));
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(rows_));
     SPMV_EXPECTS(iterations >= 0);
@@ -354,18 +376,23 @@ void KernelEngine::run_iterations(std::span<const double> x,
     }
 }
 
-void KernelEngine::run_csr(std::span<const double> x, std::span<double> y,
-                           std::int64_t iterations) {
-    const std::int64_t* rowptr = rowptr_.data();
-    const std::int32_t* colidx = colidx_.data();
+template <class Idx>
+void BasicKernelEngine<Idx>::run_csr(std::span<const double> x,
+                                     std::span<double> y,
+                                     std::int64_t iterations) {
+    const offset_type* rowptr = rowptr_.data();
+    const index_type* colidx = colidx_.data();
     const double* values = values_.data();
     const double* xp = x.data();
     double* yp = y.data();
     const std::int64_t nnz = nnz_;
     const std::int64_t distance = info_.prefetch_distance;
     const KernelVariant variant = info_.variant;
-    const simd::CsrRangeFn simd_fn =
-        variant == KernelVariant::CsrSimd ? simd_.csr : simd::scalar().csr;
+    using CsrRangeFn = typename simd::WidthKernels<Idx>::CsrRangeFn;
+    const CsrRangeFn scalar_fn = simd::scalar().get<Idx>().csr;
+    const CsrRangeFn simd_fn = variant == KernelVariant::CsrSimd
+                                   ? simd_.get<Idx>().csr
+                                   : scalar_fn;
     // Row ranges are disjoint and x is read-only, so all iterations run
     // inside one team dispatch with no inter-iteration barrier.
     dispatch([&](std::size_t t) {
@@ -374,33 +401,36 @@ void KernelEngine::run_csr(std::span<const double> x, std::span<double> y,
         for (std::int64_t it = 0; it < iterations; ++it) {
             switch (variant) {
                 case KernelVariant::CsrPrefetch:
-                    csr_range_prefetch(rowptr, colidx, values, xp, yp,
-                                       range.begin, range.end, nnz,
-                                       distance);
+                    csr_range_prefetch<Idx>(rowptr, colidx, values, xp, yp,
+                                            range.begin, range.end, nnz,
+                                            distance);
                     break;
                 case KernelVariant::CsrSimd:
                     simd_fn(rowptr, colidx, values, xp, yp, range.begin,
                             range.end);
                     break;
                 default:
-                    simd::scalar().csr(rowptr, colidx, values, xp, yp,
-                                       range.begin, range.end);
+                    scalar_fn(rowptr, colidx, values, xp, yp, range.begin,
+                              range.end);
                     break;
             }
         }
     });
 }
 
-void KernelEngine::run_sell(std::span<const double> x, std::span<double> y,
-                            std::int64_t iterations) {
-    const simd::SellRangeFn kernel = info_.variant == KernelVariant::SellSimd
-                                         ? simd_.sell
-                                         : simd::scalar().sell;
+template <class Idx>
+void BasicKernelEngine<Idx>::run_sell(std::span<const double> x,
+                                      std::span<double> y,
+                                      std::int64_t iterations) {
+    using SellRangeFn = typename simd::WidthKernels<Idx>::SellRangeFn;
+    const SellRangeFn kernel = info_.variant == KernelVariant::SellSimd
+                                   ? simd_.get<Idx>().sell
+                                   : simd::scalar().get<Idx>().sell;
     const double* values = sell_values_.data();
-    const std::int32_t* colidx = sell_colidx_.data();
+    const index_type* colidx = sell_colidx_.data();
     const std::int64_t* offsets = sell_->chunk_offsets().data();
     const std::int64_t* widths = sell_->chunk_widths().data();
-    const std::int32_t* perm = sell_->perm().data();
+    const index_type* perm = sell_->perm().data();
     const std::int64_t c = sell_->chunk_height();
     const double* xp = x.data();
     double* yp = y.data();
@@ -414,10 +444,12 @@ void KernelEngine::run_sell(std::span<const double> x, std::span<double> y,
     });
 }
 
-void KernelEngine::run_merge(std::span<const double> x, std::span<double> y,
-                             std::int64_t iterations) {
-    const std::int64_t* rowptr = rowptr_.data();
-    const std::int32_t* colidx = colidx_.data();
+template <class Idx>
+void BasicKernelEngine<Idx>::run_merge(std::span<const double> x,
+                                       std::span<double> y,
+                                       std::int64_t iterations) {
+    const offset_type* rowptr = rowptr_.data();
+    const index_type* colidx = colidx_.data();
     const double* values = values_.data();
     const double* xp = x.data();
     double* yp = y.data();
@@ -431,7 +463,8 @@ void KernelEngine::run_merge(std::span<const double> x, std::span<double> y,
             carry_value_[t] = 0.0;
             while (cur.row < end.row) {
                 for (; cur.nonzero <
-                       rowptr[static_cast<std::size_t>(cur.row) + 1];
+                       static_cast<std::int64_t>(
+                           rowptr[static_cast<std::size_t>(cur.row) + 1]);
                      ++cur.nonzero)
                     acc += values[cur.nonzero] * xp[colidx[cur.nonzero]];
                 yp[cur.row] += acc;
@@ -454,7 +487,9 @@ void KernelEngine::run_merge(std::span<const double> x, std::span<double> y,
     }
 }
 
-FirstTouchVector KernelEngine::make_vector(std::size_t n, double value) {
+template <class Idx>
+FirstTouchVector BasicKernelEngine<Idx>::make_vector(std::size_t n,
+                                                     double value) {
     FirstTouchVector v(n);
     const std::size_t workers =
         static_cast<std::size_t>(info_.threads);
@@ -465,6 +500,52 @@ FirstTouchVector KernelEngine::make_vector(std::size_t n, double value) {
         for (std::size_t i = begin; i < end; ++i) v.data()[i] = value;
     });
     return v;
+}
+
+template class BasicKernelEngine<Idx32>;
+template class BasicKernelEngine<Idx64>;
+
+AnyKernelEngine::AnyKernelEngine(const AnyCsrView& a,
+                                 const EngineOptions& options) {
+    if (a.index_width() == IndexWidth::W32)
+        e32_ = std::make_unique<KernelEngine>(*a.as32(), options);
+    else
+        e64_ = std::make_unique<KernelEngine64>(*a.as64(), options);
+}
+
+AnyKernelEngine::AnyKernelEngine(const AnyCsrView& a,
+                                 const RowPartition& partition,
+                                 const EngineOptions& options) {
+    if (a.index_width() == IndexWidth::W32)
+        e32_ = std::make_unique<KernelEngine>(*a.as32(), partition, options);
+    else
+        e64_ =
+            std::make_unique<KernelEngine64>(*a.as64(), partition, options);
+}
+
+void AnyKernelEngine::run(std::span<const double> x, std::span<double> y) {
+    if (e32_)
+        e32_->run(x, y);
+    else
+        e64_->run(x, y);
+}
+
+void AnyKernelEngine::run_iterations(std::span<const double> x,
+                                     std::span<double> y,
+                                     std::int64_t iterations) {
+    if (e32_)
+        e32_->run_iterations(x, y, iterations);
+    else
+        e64_->run_iterations(x, y, iterations);
+}
+
+const EngineInfo& AnyKernelEngine::info() const noexcept {
+    return e32_ ? e32_->info() : e64_->info();
+}
+
+FirstTouchVector AnyKernelEngine::make_vector(std::size_t n, double value) {
+    return e32_ ? e32_->make_vector(n, value)
+                : e64_->make_vector(n, value);
 }
 
 }  // namespace spmvcache

@@ -42,6 +42,7 @@
 
 #include "kernels/simd.hpp"
 #include "kernels/spmv_merge.hpp"
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/sellcs.hpp"
@@ -151,20 +152,28 @@ private:
 /// First-touch double storage for x/y vectors (see make_vector()).
 using FirstTouchVector = FirstTouchBuffer<double>;
 
-/// Persistent-team SpMV executor: construct once per matrix, run many
-/// iterations. run() computes y <- y + A x exactly like spmv_csr.
-class KernelEngine {
+/// Persistent-team SpMV executor at one physical index width: construct
+/// once per matrix, run many iterations. run() computes y <- y + A x
+/// exactly like spmv_csr. `KernelEngine` (= the Idx32 instantiation) is
+/// the default pipeline; `KernelEngine64` serves the wide fallback.
+template <class Idx>
+class BasicKernelEngine {
 public:
+    using offset_type = typename Idx::offset_type;
+    using index_type = typename Idx::index_type;
+
     /// Builds the row partition from options.policy/threads.
-    KernelEngine(const CsrView& a, const EngineOptions& options);
+    BasicKernelEngine(const BasicCsrView<Idx>& a,
+                      const EngineOptions& options);
     /// Honors an externally supplied partition (its thread count wins
     /// over options.threads).
-    KernelEngine(const CsrView& a, const RowPartition& partition,
-                 const EngineOptions& options);
-    ~KernelEngine();
+    BasicKernelEngine(const BasicCsrView<Idx>& a,
+                      const RowPartition& partition,
+                      const EngineOptions& options);
+    ~BasicKernelEngine();
 
-    KernelEngine(const KernelEngine&) = delete;
-    KernelEngine& operator=(const KernelEngine&) = delete;
+    BasicKernelEngine(const BasicKernelEngine&) = delete;
+    BasicKernelEngine& operator=(const BasicKernelEngine&) = delete;
 
     /// y <- y + A x (one iteration). Pre: x.size() == cols, y.size() == rows.
     void run(std::span<const double> x, std::span<double> y);
@@ -183,11 +192,13 @@ public:
     [[nodiscard]] FirstTouchVector make_vector(std::size_t n, double value);
 
 private:
-    void resolve_variant(const CsrView& a, const EngineOptions& options);
-    void setup_csr(const CsrView& a, const EngineOptions& options);
-    void setup_sell(const CsrView& a, const EngineOptions& options);
-    void setup_merge(const CsrView& a);
-    void calibrate_prefetch(const CsrView& a,
+    void resolve_variant(const BasicCsrView<Idx>& a,
+                         const EngineOptions& options);
+    void setup_csr(const BasicCsrView<Idx>& a, const EngineOptions& options);
+    void setup_sell(const BasicCsrView<Idx>& a,
+                    const EngineOptions& options);
+    void setup_merge(const BasicCsrView<Idx>& a);
+    void calibrate_prefetch(const BasicCsrView<Idx>& a,
                             const EngineOptions& options);
     void dispatch(const std::function<void(std::size_t)>& body);
 
@@ -207,20 +218,20 @@ private:
 
     // CSR data: either borrowed from the source matrix or first-touch
     // copies owned by the engine.
-    std::span<const std::int64_t> rowptr_;
-    std::span<const std::int32_t> colidx_;
+    std::span<const offset_type> rowptr_;
+    std::span<const index_type> colidx_;
     std::span<const double> values_;
     FirstTouchBuffer<double> own_values_;
-    FirstTouchBuffer<std::int64_t> own_rowptr_;
-    FirstTouchBuffer<std::int32_t> own_colidx_;
+    FirstTouchBuffer<offset_type> own_rowptr_;
+    FirstTouchBuffer<index_type> own_colidx_;
 
     // SELL data (built only for the Sell* variants).
-    std::optional<SellCSigmaMatrix> sell_;
+    std::optional<BasicSellCSigmaMatrix<Idx>> sell_;
     std::vector<RowRange> chunk_ranges_;  ///< chunks owned per worker
     FirstTouchBuffer<double> sell_own_values_;
-    FirstTouchBuffer<std::int32_t> sell_own_colidx_;
+    FirstTouchBuffer<index_type> sell_own_colidx_;
     std::span<const double> sell_values_;
-    std::span<const std::int32_t> sell_colidx_;
+    std::span<const index_type> sell_colidx_;
 
     // Merge data: per-piece path coordinates and carry slots.
     std::vector<MergeCoordinate> piece_begin_;
@@ -228,7 +239,37 @@ private:
     std::vector<std::int64_t> carry_row_;
     std::vector<double> carry_value_;
 
-    simd::Dispatch simd_;  ///< kernels for the *Simd variants
+    simd::Dispatch simd_;  ///< both-widths kernel set; get<Idx>() is used
+};
+
+using KernelEngine = BasicKernelEngine<Idx32>;
+using KernelEngine64 = BasicKernelEngine<Idx64>;
+
+extern template class BasicKernelEngine<Idx32>;
+extern template class BasicKernelEngine<Idx64>;
+
+/// Width-erased engine for callers that hold an AnyCsrView (the CLI, the
+/// daemon, benchmarks): constructs the engine matching the view's
+/// physical width and forwards the run interface.
+class AnyKernelEngine {
+public:
+    AnyKernelEngine(const AnyCsrView& a, const EngineOptions& options);
+    AnyKernelEngine(const AnyCsrView& a, const RowPartition& partition,
+                    const EngineOptions& options);
+
+    void run(std::span<const double> x, std::span<double> y);
+    void run_iterations(std::span<const double> x, std::span<double> y,
+                        std::int64_t iterations);
+    [[nodiscard]] const EngineInfo& info() const noexcept;
+    [[nodiscard]] FirstTouchVector make_vector(std::size_t n, double value);
+    [[nodiscard]] IndexWidth index_width() const noexcept {
+        return e32_ ? IndexWidth::W32 : IndexWidth::W64;
+    }
+
+private:
+    // Exactly one is non-null (which one mirrors a.index_width()).
+    std::unique_ptr<KernelEngine> e32_;
+    std::unique_ptr<KernelEngine64> e64_;
 };
 
 }  // namespace spmvcache

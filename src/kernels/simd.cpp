@@ -14,25 +14,32 @@ const char* to_string(Isa isa) noexcept {
 
 namespace detail {
 
-void csr_range_scalar(const std::int64_t* rowptr, const std::int32_t* colidx,
+template <class Idx>
+void csr_range_scalar(const typename Idx::offset_type* rowptr,
+                      const typename Idx::index_type* colidx,
                       const double* values, const double* x, double* y,
                       std::int64_t row_begin, std::int64_t row_end) {
     for (std::int64_t r = row_begin; r < row_end; ++r) {
         // Accumulate starting from y[r], exactly like spmv_csr, so the
         // scalar variant is bit-identical to the sequential kernel.
         double acc = y[r];
-        for (std::int64_t i = rowptr[r]; i < rowptr[r + 1]; ++i)
+        const auto begin = static_cast<std::int64_t>(rowptr[r]);
+        const auto end = static_cast<std::int64_t>(rowptr[r + 1]);
+        for (std::int64_t i = begin; i < end; ++i)
             acc += values[i] * x[colidx[i]];
         y[r] = acc;
     }
 }
 
-void sell_range_scalar(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_scalar(const double* values,
+                       const typename Idx::index_type* colidx,
                        const std::int64_t* chunk_offset,
                        const std::int64_t* chunk_width,
-                       const std::int32_t* perm, std::int64_t rows,
-                       std::int64_t chunk_height, const double* x, double* y,
-                       std::int64_t chunk_begin, std::int64_t chunk_end) {
+                       const typename Idx::index_type* perm,
+                       std::int64_t rows, std::int64_t chunk_height,
+                       const double* x, double* y, std::int64_t chunk_begin,
+                       std::int64_t chunk_end) {
     const std::int64_t c = chunk_height;
     for (std::int64_t k = chunk_begin; k < chunk_end; ++k) {
         const std::int64_t base = chunk_offset[k];
@@ -50,6 +57,27 @@ void sell_range_scalar(const double* values, const std::int32_t* colidx,
     }
 }
 
+template void csr_range_scalar<Idx32>(const Idx32::offset_type*,
+                                      const Idx32::index_type*, const double*,
+                                      const double*, double*, std::int64_t,
+                                      std::int64_t);
+template void csr_range_scalar<Idx64>(const Idx64::offset_type*,
+                                      const Idx64::index_type*, const double*,
+                                      const double*, double*, std::int64_t,
+                                      std::int64_t);
+template void sell_range_scalar<Idx32>(const double*, const Idx32::index_type*,
+                                       const std::int64_t*,
+                                       const std::int64_t*,
+                                       const Idx32::index_type*, std::int64_t,
+                                       std::int64_t, const double*, double*,
+                                       std::int64_t, std::int64_t);
+template void sell_range_scalar<Idx64>(const double*, const Idx64::index_type*,
+                                       const std::int64_t*,
+                                       const std::int64_t*,
+                                       const Idx64::index_type*, std::int64_t,
+                                       std::int64_t, const double*, double*,
+                                       std::int64_t, std::int64_t);
+
 }  // namespace detail
 
 namespace {
@@ -58,22 +86,37 @@ namespace {
 // builds (see CMakeLists.txt), so __builtin_cpu_supports is available
 // wherever these branches compile.
 Dispatch resolve_best() noexcept {
-    Dispatch d{Isa::Scalar, &detail::csr_range_scalar,
-               &detail::sell_range_scalar};
+    Dispatch d;
+    d.isa = Isa::Scalar;
+    d.w32 = {&detail::csr_range_scalar<Idx32>,
+             &detail::sell_range_scalar<Idx32>};
+    d.w64 = {&detail::csr_range_scalar<Idx64>,
+             &detail::sell_range_scalar<Idx64>};
 #if defined(SPMVCACHE_SIMD_NEON)
     // NEON is baseline on aarch64: no runtime check needed.
-    d = Dispatch{Isa::Neon, &detail::csr_range_neon,
-                 &detail::sell_range_neon};
+    d.isa = Isa::Neon;
+    d.w32 = {&detail::csr_range_neon<Idx32>,
+             &detail::sell_range_neon<Idx32>};
+    d.w64 = {&detail::csr_range_neon<Idx64>,
+             &detail::sell_range_neon<Idx64>};
 #endif
 #if defined(SPMVCACHE_SIMD_AVX2)
-    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-        d = Dispatch{Isa::Avx2, &detail::csr_range_avx2,
-                     &detail::sell_range_avx2};
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+        d.isa = Isa::Avx2;
+        d.w32 = {&detail::csr_range_avx2<Idx32>,
+                 &detail::sell_range_avx2<Idx32>};
+        d.w64 = {&detail::csr_range_avx2<Idx64>,
+                 &detail::sell_range_avx2<Idx64>};
+    }
 #endif
 #if defined(SPMVCACHE_SIMD_AVX512)
-    if (__builtin_cpu_supports("avx512f"))
-        d = Dispatch{Isa::Avx512, &detail::csr_range_avx512,
-                     &detail::sell_range_avx512};
+    if (__builtin_cpu_supports("avx512f")) {
+        d.isa = Isa::Avx512;
+        d.w32 = {&detail::csr_range_avx512<Idx32>,
+                 &detail::sell_range_avx512<Idx32>};
+        d.w64 = {&detail::csr_range_avx512<Idx64>,
+                 &detail::sell_range_avx512<Idx64>};
+    }
 #endif
     return d;
 }
@@ -86,8 +129,11 @@ const Dispatch& best() noexcept {
 }
 
 const Dispatch& scalar() noexcept {
-    static const Dispatch dispatch{Isa::Scalar, &detail::csr_range_scalar,
-                                   &detail::sell_range_scalar};
+    static const Dispatch dispatch{
+        Isa::Scalar,
+        {&detail::csr_range_scalar<Idx32>, &detail::sell_range_scalar<Idx32>},
+        {&detail::csr_range_scalar<Idx64>,
+         &detail::sell_range_scalar<Idx64>}};
     return dispatch;
 }
 

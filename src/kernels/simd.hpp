@@ -9,6 +9,13 @@
 // decision (__builtin_cpu_supports on x86), so a binary built on an
 // AVX-512 box still runs — via the scalar fallback — on an older core.
 //
+// Every kernel is templated on the physical index width (Idx32/Idx64,
+// sparse/index_width.hpp) and explicitly instantiated for both inside its
+// ISA TU: the W32 variants use the i32 gather forms
+// (_mm256_i32gather_pd/_mm512_i32gather_pd) and stream half the index
+// bytes, the W64 fallback uses the i64 gathers. A Dispatch carries the
+// resolved kernel set for both widths; callers pick one with get<Idx>().
+//
 // All kernels share two shapes:
 //  - CSR row range:   y[r] += sum_i values[i] * x[colidx[i]] over rows
 //    [row_begin, row_end) — the per-thread body of Listing 1.
@@ -21,6 +28,9 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
+
+#include "sparse/index_width.hpp"
 
 namespace spmvcache::simd {
 
@@ -29,86 +39,125 @@ enum class Isa : std::uint8_t { Scalar, Neon, Avx2, Avx512 };
 
 [[nodiscard]] const char* to_string(Isa isa) noexcept;
 
-/// CSR row-range kernel: for r in [row_begin, row_end),
-/// y[r] += sum over values[rowptr[r]..rowptr[r+1]) * x[colidx[..]].
-using CsrRangeFn = void (*)(const std::int64_t* rowptr,
-                            const std::int32_t* colidx, const double* values,
-                            const double* x, double* y,
-                            std::int64_t row_begin, std::int64_t row_end);
+/// The resolved kernel pair for one physical index width. `csr` and
+/// `sell` are never null once the set came out of best()/scalar().
+template <class Idx>
+struct WidthKernels {
+    /// CSR row-range kernel: for r in [row_begin, row_end),
+    /// y[r] += sum over values[rowptr[r]..rowptr[r+1]) * x[colidx[..]].
+    using CsrRangeFn = void (*)(const typename Idx::offset_type* rowptr,
+                                const typename Idx::index_type* colidx,
+                                const double* values, const double* x,
+                                double* y, std::int64_t row_begin,
+                                std::int64_t row_end);
 
-/// SELL-C-sigma chunk-range kernel: for chunk k in [chunk_begin,
-/// chunk_end), accumulate the chunk column-major and scatter each sorted
-/// row position p's sum into y[perm[p]]. `rows` bounds the ragged last
-/// chunk; padding slots carry value 0 and column 0, so no branches are
-/// needed in the inner loop.
-using SellRangeFn = void (*)(const double* values, const std::int32_t* colidx,
-                             const std::int64_t* chunk_offset,
-                             const std::int64_t* chunk_width,
-                             const std::int32_t* perm, std::int64_t rows,
-                             std::int64_t chunk_height, const double* x,
-                             double* y, std::int64_t chunk_begin,
-                             std::int64_t chunk_end);
+    /// SELL-C-sigma chunk-range kernel: for chunk k in [chunk_begin,
+    /// chunk_end), accumulate the chunk column-major and scatter each
+    /// sorted row position p's sum into y[perm[p]]. `rows` bounds the
+    /// ragged last chunk; padding slots carry value 0 and column 0, so no
+    /// branches are needed in the inner loop. Chunk geometry stays int64
+    /// at both widths (it indexes padded slots, not matrix entries).
+    using SellRangeFn = void (*)(const double* values,
+                                 const typename Idx::index_type* colidx,
+                                 const std::int64_t* chunk_offset,
+                                 const std::int64_t* chunk_width,
+                                 const typename Idx::index_type* perm,
+                                 std::int64_t rows, std::int64_t chunk_height,
+                                 const double* x, double* y,
+                                 std::int64_t chunk_begin,
+                                 std::int64_t chunk_end);
 
-/// One resolved kernel set. `csr` and `sell` are never null.
-struct Dispatch {
-    Isa isa = Isa::Scalar;
     CsrRangeFn csr = nullptr;
     SellRangeFn sell = nullptr;
 };
 
+/// One resolved kernel set, carrying both widths of the same ISA.
+struct Dispatch {
+    Isa isa = Isa::Scalar;
+    WidthKernels<Idx32> w32;
+    WidthKernels<Idx64> w64;
+
+    template <class Idx>
+    [[nodiscard]] const WidthKernels<Idx>& get() const noexcept {
+        if constexpr (std::is_same_v<Idx, Idx32>)
+            return w32;
+        else
+            return w64;
+    }
+};
+
 /// Best kernels compiled into this binary AND supported by the running
-/// CPU. Falls back to the scalar pair when no vector TU applies.
+/// CPU. Falls back to the scalar set when no vector TU applies.
 [[nodiscard]] const Dispatch& best() noexcept;
 
-/// The scalar reference pair (always available; bit-identical inner-loop
+/// The scalar reference set (always available; bit-identical inner-loop
 /// order to kernels/spmv.cpp's spmv_csr).
 [[nodiscard]] const Dispatch& scalar() noexcept;
 
 namespace detail {
 
-// Scalar fallbacks (defined in simd.cpp).
-void csr_range_scalar(const std::int64_t* rowptr, const std::int32_t* colidx,
+// Scalar fallbacks (defined and instantiated for both widths in simd.cpp).
+template <class Idx>
+void csr_range_scalar(const typename Idx::offset_type* rowptr,
+                      const typename Idx::index_type* colidx,
                       const double* values, const double* x, double* y,
                       std::int64_t row_begin, std::int64_t row_end);
-void sell_range_scalar(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_scalar(const double* values,
+                       const typename Idx::index_type* colidx,
                        const std::int64_t* chunk_offset,
                        const std::int64_t* chunk_width,
-                       const std::int32_t* perm, std::int64_t rows,
-                       std::int64_t chunk_height, const double* x, double* y,
-                       std::int64_t chunk_begin, std::int64_t chunk_end);
+                       const typename Idx::index_type* perm,
+                       std::int64_t rows, std::int64_t chunk_height,
+                       const double* x, double* y, std::int64_t chunk_begin,
+                       std::int64_t chunk_end);
 
-// Per-ISA entry points; each pair is defined only when its TU is in the
-// build (guarded by the SPMVCACHE_SIMD_* compile definitions).
+// Per-ISA entry points; each template is defined (and explicitly
+// instantiated for Idx32/Idx64) only when its TU is in the build, guarded
+// by the SPMVCACHE_SIMD_* compile definitions.
 #if defined(SPMVCACHE_SIMD_AVX2)
-void csr_range_avx2(const std::int64_t* rowptr, const std::int32_t* colidx,
+template <class Idx>
+void csr_range_avx2(const typename Idx::offset_type* rowptr,
+                    const typename Idx::index_type* colidx,
                     const double* values, const double* x, double* y,
                     std::int64_t row_begin, std::int64_t row_end);
-void sell_range_avx2(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_avx2(const double* values,
+                     const typename Idx::index_type* colidx,
                      const std::int64_t* chunk_offset,
                      const std::int64_t* chunk_width,
-                     const std::int32_t* perm, std::int64_t rows,
+                     const typename Idx::index_type* perm, std::int64_t rows,
                      std::int64_t chunk_height, const double* x, double* y,
                      std::int64_t chunk_begin, std::int64_t chunk_end);
 #endif
 #if defined(SPMVCACHE_SIMD_AVX512)
-void csr_range_avx512(const std::int64_t* rowptr, const std::int32_t* colidx,
+template <class Idx>
+void csr_range_avx512(const typename Idx::offset_type* rowptr,
+                      const typename Idx::index_type* colidx,
                       const double* values, const double* x, double* y,
                       std::int64_t row_begin, std::int64_t row_end);
-void sell_range_avx512(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_avx512(const double* values,
+                       const typename Idx::index_type* colidx,
                        const std::int64_t* chunk_offset,
                        const std::int64_t* chunk_width,
-                       const std::int32_t* perm, std::int64_t rows,
-                       std::int64_t chunk_height, const double* x, double* y,
-                       std::int64_t chunk_begin, std::int64_t chunk_end);
+                       const typename Idx::index_type* perm,
+                       std::int64_t rows, std::int64_t chunk_height,
+                       const double* x, double* y, std::int64_t chunk_begin,
+                       std::int64_t chunk_end);
 #endif
 #if defined(SPMVCACHE_SIMD_NEON)
-void csr_range_neon(const std::int64_t* rowptr, const std::int32_t* colidx,
+template <class Idx>
+void csr_range_neon(const typename Idx::offset_type* rowptr,
+                    const typename Idx::index_type* colidx,
                     const double* values, const double* x, double* y,
                     std::int64_t row_begin, std::int64_t row_end);
-void sell_range_neon(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_neon(const double* values,
+                     const typename Idx::index_type* colidx,
                      const std::int64_t* chunk_offset,
                      const std::int64_t* chunk_width,
-                     const std::int32_t* perm, std::int64_t rows,
+                     const typename Idx::index_type* perm, std::int64_t rows,
                      std::int64_t chunk_height, const double* x, double* y,
                      std::int64_t chunk_begin, std::int64_t chunk_end);
 #endif

@@ -1,9 +1,10 @@
-// AVX2 + FMA kernels (4 doubles per vector, 32-bit index gathers).
-// Compiled with -mavx2 -mfma; only dispatched to after a runtime
-// __builtin_cpu_supports check, so this TU must not be entered on older
-// hardware. Unaligned vector loads go through std::memcpy, which the
-// compiler folds into vmovdqu/vmovupd — this avoids reinterpret_cast and
-// the alignment-increasing casts -Wcast-align rejects.
+// AVX2 + FMA kernels (4 doubles per vector; 32-bit or 64-bit index
+// gathers chosen per width at compile time). Compiled with -mavx2 -mfma;
+// only dispatched to after a runtime __builtin_cpu_supports check, so this
+// TU must not be entered on older hardware. Unaligned vector loads go
+// through std::memcpy, which the compiler folds into vmovdqu/vmovupd —
+// this avoids reinterpret_cast and the alignment-increasing casts
+// -Wcast-align rejects.
 #include "kernels/simd.hpp"
 
 #if defined(SPMVCACHE_SIMD_AVX2)
@@ -25,8 +26,14 @@ double hsum4(__m256d v) noexcept {
     return _mm_cvtsd_f64(_mm_add_sd(lo, swapped));
 }
 
-__m128i load_idx4(const std::int32_t* p) noexcept {
+__m128i load_idx4_32(const std::int32_t* p) noexcept {
     __m128i idx;
+    std::memcpy(&idx, p, sizeof(idx));
+    return idx;
+}
+
+__m256i load_idx4_64(const std::int64_t* p) noexcept {
+    __m256i idx;
     std::memcpy(&idx, p, sizeof(idx));
     return idx;
 }
@@ -37,19 +44,32 @@ __m256d load_pd4(const double* p) noexcept {
     return v;
 }
 
+/// Gathers x[colidx[0..3]] at either index width: vgatherdpd for the
+/// 4-byte indices (half the index stream of the wide form), vgatherqpd
+/// for the 8-byte fallback.
+template <class Idx>
+__m256d gather4(const double* x,
+                const typename Idx::index_type* colidx) noexcept {
+    if constexpr (sizeof(typename Idx::index_type) == 4)
+        return _mm256_i32gather_pd(x, load_idx4_32(colidx), 8);
+    else
+        return _mm256_i64gather_pd(x, load_idx4_64(colidx), 8);
+}
+
 }  // namespace
 
-void csr_range_avx2(const std::int64_t* rowptr, const std::int32_t* colidx,
+template <class Idx>
+void csr_range_avx2(const typename Idx::offset_type* rowptr,
+                    const typename Idx::index_type* colidx,
                     const double* values, const double* x, double* y,
                     std::int64_t row_begin, std::int64_t row_end) {
     for (std::int64_t r = row_begin; r < row_end; ++r) {
-        const std::int64_t begin = rowptr[r];
-        const std::int64_t end = rowptr[r + 1];
+        const auto begin = static_cast<std::int64_t>(rowptr[r]);
+        const auto end = static_cast<std::int64_t>(rowptr[r + 1]);
         __m256d acc = _mm256_setzero_pd();
         std::int64_t i = begin;
         for (; i + 4 <= end; i += 4) {
-            const __m256d xv =
-                _mm256_i32gather_pd(x, load_idx4(colidx + i), 8);
+            const __m256d xv = gather4<Idx>(x, colidx + i);
             acc = _mm256_fmadd_pd(load_pd4(values + i), xv, acc);
         }
         double sum = hsum4(acc);
@@ -58,10 +78,12 @@ void csr_range_avx2(const std::int64_t* rowptr, const std::int32_t* colidx,
     }
 }
 
-void sell_range_avx2(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_avx2(const double* values,
+                     const typename Idx::index_type* colidx,
                      const std::int64_t* chunk_offset,
                      const std::int64_t* chunk_width,
-                     const std::int32_t* perm, std::int64_t rows,
+                     const typename Idx::index_type* perm, std::int64_t rows,
                      std::int64_t chunk_height, const double* x, double* y,
                      std::int64_t chunk_begin, std::int64_t chunk_end) {
     const std::int64_t c = chunk_height;
@@ -77,8 +99,7 @@ void sell_range_avx2(const double* values, const std::int32_t* colidx,
             __m256d acc = _mm256_setzero_pd();
             for (std::int64_t j = 0; j < width; ++j) {
                 const std::int64_t slot = base + j * c + v;
-                const __m256d xv =
-                    _mm256_i32gather_pd(x, load_idx4(colidx + slot), 8);
+                const __m256d xv = gather4<Idx>(x, colidx + slot);
                 acc = _mm256_fmadd_pd(load_pd4(values + slot), xv, acc);
             }
             alignas(32) double lane[4];
@@ -96,6 +117,25 @@ void sell_range_avx2(const double* values, const std::int32_t* colidx,
         }
     }
 }
+
+template void csr_range_avx2<Idx32>(const Idx32::offset_type*,
+                                    const Idx32::index_type*, const double*,
+                                    const double*, double*, std::int64_t,
+                                    std::int64_t);
+template void csr_range_avx2<Idx64>(const Idx64::offset_type*,
+                                    const Idx64::index_type*, const double*,
+                                    const double*, double*, std::int64_t,
+                                    std::int64_t);
+template void sell_range_avx2<Idx32>(const double*, const Idx32::index_type*,
+                                     const std::int64_t*, const std::int64_t*,
+                                     const Idx32::index_type*, std::int64_t,
+                                     std::int64_t, const double*, double*,
+                                     std::int64_t, std::int64_t);
+template void sell_range_avx2<Idx64>(const double*, const Idx64::index_type*,
+                                     const std::int64_t*, const std::int64_t*,
+                                     const Idx64::index_type*, std::int64_t,
+                                     std::int64_t, const double*, double*,
+                                     std::int64_t, std::int64_t);
 
 }  // namespace spmvcache::simd::detail
 

@@ -1,6 +1,7 @@
 // AVX-512F kernels (8 doubles per vector — the same 512-bit width as the
 // A64FX's SVE implementation, so lane-group geometry matches the paper's
-// target). Compiled with -mavx512f; dispatched to only after a runtime
+// target; 32-bit or 64-bit index gathers chosen per width at compile
+// time). Compiled with -mavx512f; dispatched to only after a runtime
 // __builtin_cpu_supports("avx512f") check.
 #include "kernels/simd.hpp"
 
@@ -14,8 +15,14 @@ namespace spmvcache::simd::detail {
 
 namespace {
 
-__m256i load_idx8(const std::int32_t* p) noexcept {
+__m256i load_idx8_32(const std::int32_t* p) noexcept {
     __m256i idx;
+    std::memcpy(&idx, p, sizeof(idx));
+    return idx;
+}
+
+__m512i load_idx8_64(const std::int64_t* p) noexcept {
+    __m512i idx;
     std::memcpy(&idx, p, sizeof(idx));
     return idx;
 }
@@ -26,19 +33,31 @@ __m512d load_pd8(const double* p) noexcept {
     return v;
 }
 
+/// Gathers x[colidx[0..7]] at either index width: the W32 form reads a
+/// 256-bit index vector (half the index stream), the W64 form 512 bits.
+template <class Idx>
+__m512d gather8(const double* x,
+                const typename Idx::index_type* colidx) noexcept {
+    if constexpr (sizeof(typename Idx::index_type) == 4)
+        return _mm512_i32gather_pd(load_idx8_32(colidx), x, 8);
+    else
+        return _mm512_i64gather_pd(load_idx8_64(colidx), x, 8);
+}
+
 }  // namespace
 
-void csr_range_avx512(const std::int64_t* rowptr, const std::int32_t* colidx,
+template <class Idx>
+void csr_range_avx512(const typename Idx::offset_type* rowptr,
+                      const typename Idx::index_type* colidx,
                       const double* values, const double* x, double* y,
                       std::int64_t row_begin, std::int64_t row_end) {
     for (std::int64_t r = row_begin; r < row_end; ++r) {
-        const std::int64_t begin = rowptr[r];
-        const std::int64_t end = rowptr[r + 1];
+        const auto begin = static_cast<std::int64_t>(rowptr[r]);
+        const auto end = static_cast<std::int64_t>(rowptr[r + 1]);
         __m512d acc = _mm512_setzero_pd();
         std::int64_t i = begin;
         for (; i + 8 <= end; i += 8) {
-            const __m512d xv =
-                _mm512_i32gather_pd(load_idx8(colidx + i), x, 8);
+            const __m512d xv = gather8<Idx>(x, colidx + i);
             acc = _mm512_fmadd_pd(load_pd8(values + i), xv, acc);
         }
         double sum = _mm512_reduce_add_pd(acc);
@@ -47,12 +66,15 @@ void csr_range_avx512(const std::int64_t* rowptr, const std::int32_t* colidx,
     }
 }
 
-void sell_range_avx512(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_avx512(const double* values,
+                       const typename Idx::index_type* colidx,
                        const std::int64_t* chunk_offset,
                        const std::int64_t* chunk_width,
-                       const std::int32_t* perm, std::int64_t rows,
-                       std::int64_t chunk_height, const double* x, double* y,
-                       std::int64_t chunk_begin, std::int64_t chunk_end) {
+                       const typename Idx::index_type* perm,
+                       std::int64_t rows, std::int64_t chunk_height,
+                       const double* x, double* y, std::int64_t chunk_begin,
+                       std::int64_t chunk_end) {
     const std::int64_t c = chunk_height;
     for (std::int64_t k = chunk_begin; k < chunk_end; ++k) {
         const std::int64_t base = chunk_offset[k];
@@ -64,8 +86,7 @@ void sell_range_avx512(const double* values, const std::int32_t* colidx,
             __m512d acc = _mm512_setzero_pd();
             for (std::int64_t j = 0; j < width; ++j) {
                 const std::int64_t slot = base + j * c + v;
-                const __m512d xv =
-                    _mm512_i32gather_pd(load_idx8(colidx + slot), x, 8);
+                const __m512d xv = gather8<Idx>(x, colidx + slot);
                 acc = _mm512_fmadd_pd(load_pd8(values + slot), xv, acc);
             }
             alignas(64) double lane[8];
@@ -83,6 +104,27 @@ void sell_range_avx512(const double* values, const std::int32_t* colidx,
         }
     }
 }
+
+template void csr_range_avx512<Idx32>(const Idx32::offset_type*,
+                                      const Idx32::index_type*, const double*,
+                                      const double*, double*, std::int64_t,
+                                      std::int64_t);
+template void csr_range_avx512<Idx64>(const Idx64::offset_type*,
+                                      const Idx64::index_type*, const double*,
+                                      const double*, double*, std::int64_t,
+                                      std::int64_t);
+template void sell_range_avx512<Idx32>(const double*, const Idx32::index_type*,
+                                       const std::int64_t*,
+                                       const std::int64_t*,
+                                       const Idx32::index_type*, std::int64_t,
+                                       std::int64_t, const double*, double*,
+                                       std::int64_t, std::int64_t);
+template void sell_range_avx512<Idx64>(const double*, const Idx64::index_type*,
+                                       const std::int64_t*,
+                                       const std::int64_t*,
+                                       const Idx64::index_type*, std::int64_t,
+                                       std::int64_t, const double*, double*,
+                                       std::int64_t, std::int64_t);
 
 }  // namespace spmvcache::simd::detail
 

@@ -1,8 +1,8 @@
 // NEON kernels for aarch64 (2 doubles per vector). NEON has no gather, so
-// x values are loaded lane-wise; the win over scalar comes from the fused
-// multiply-add on the values stream and from keeping two accumulator
-// chains in flight. NEON is baseline on aarch64, so this TU needs no extra
-// flags and no runtime check.
+// x values are loaded lane-wise whatever the index width; the win over
+// scalar comes from the fused multiply-add on the values stream and from
+// keeping two accumulator chains in flight. NEON is baseline on aarch64,
+// so this TU needs no extra flags and no runtime check.
 #include "kernels/simd.hpp"
 
 #if defined(SPMVCACHE_SIMD_NEON)
@@ -11,12 +11,14 @@
 
 namespace spmvcache::simd::detail {
 
-void csr_range_neon(const std::int64_t* rowptr, const std::int32_t* colidx,
+template <class Idx>
+void csr_range_neon(const typename Idx::offset_type* rowptr,
+                    const typename Idx::index_type* colidx,
                     const double* values, const double* x, double* y,
                     std::int64_t row_begin, std::int64_t row_end) {
     for (std::int64_t r = row_begin; r < row_end; ++r) {
-        const std::int64_t begin = rowptr[r];
-        const std::int64_t end = rowptr[r + 1];
+        const auto begin = static_cast<std::int64_t>(rowptr[r]);
+        const auto end = static_cast<std::int64_t>(rowptr[r + 1]);
         float64x2_t acc = vdupq_n_f64(0.0);
         std::int64_t i = begin;
         for (; i + 2 <= end; i += 2) {
@@ -30,10 +32,12 @@ void csr_range_neon(const std::int64_t* rowptr, const std::int32_t* colidx,
     }
 }
 
-void sell_range_neon(const double* values, const std::int32_t* colidx,
+template <class Idx>
+void sell_range_neon(const double* values,
+                     const typename Idx::index_type* colidx,
                      const std::int64_t* chunk_offset,
                      const std::int64_t* chunk_width,
-                     const std::int32_t* perm, std::int64_t rows,
+                     const typename Idx::index_type* perm, std::int64_t rows,
                      std::int64_t chunk_height, const double* x, double* y,
                      std::int64_t chunk_begin, std::int64_t chunk_end) {
     const std::int64_t c = chunk_height;
@@ -64,6 +68,25 @@ void sell_range_neon(const double* values, const std::int32_t* colidx,
         }
     }
 }
+
+template void csr_range_neon<Idx32>(const Idx32::offset_type*,
+                                    const Idx32::index_type*, const double*,
+                                    const double*, double*, std::int64_t,
+                                    std::int64_t);
+template void csr_range_neon<Idx64>(const Idx64::offset_type*,
+                                    const Idx64::index_type*, const double*,
+                                    const double*, double*, std::int64_t,
+                                    std::int64_t);
+template void sell_range_neon<Idx32>(const double*, const Idx32::index_type*,
+                                     const std::int64_t*, const std::int64_t*,
+                                     const Idx32::index_type*, std::int64_t,
+                                     std::int64_t, const double*, double*,
+                                     std::int64_t, std::int64_t);
+template void sell_range_neon<Idx64>(const double*, const Idx64::index_type*,
+                                     const std::int64_t*, const std::int64_t*,
+                                     const Idx64::index_type*, std::int64_t,
+                                     std::int64_t, const double*, double*,
+                                     std::int64_t, std::int64_t);
 
 }  // namespace spmvcache::simd::detail
 

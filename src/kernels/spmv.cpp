@@ -5,7 +5,8 @@
 
 namespace spmvcache {
 
-void spmv_csr(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr(const BasicCsrView<Idx>& a, std::span<const double> x,
               std::span<double> y) {
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
@@ -14,8 +15,11 @@ void spmv_csr(const CsrView& a, std::span<const double> x,
     const auto values = a.values();
     for (std::int64_t r = 0; r < a.rows(); ++r) {
         double acc = y[static_cast<std::size_t>(r)];
-        for (std::int64_t i = rowptr[static_cast<std::size_t>(r)];
-             i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        const auto begin = static_cast<std::int64_t>(
+            rowptr[static_cast<std::size_t>(r)]);
+        const auto end = static_cast<std::int64_t>(
+            rowptr[static_cast<std::size_t>(r) + 1]);
+        for (std::int64_t i = begin; i < end; ++i) {
             acc += values[static_cast<std::size_t>(i)] *
                    x[static_cast<std::size_t>(
                        colidx[static_cast<std::size_t>(i)])];
@@ -24,7 +28,8 @@ void spmv_csr(const CsrView& a, std::span<const double> x,
     }
 }
 
-void spmv_csr_parallel(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr_parallel(const BasicCsrView<Idx>& a, std::span<const double> x,
                        std::span<double> y, const RowPartition& partition) {
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
@@ -38,15 +43,35 @@ void spmv_csr_parallel(const CsrView& a, std::span<const double> x,
     EngineOptions options;
     options.variant = KernelVariant::CsrScalar;
     options.first_touch = false;  // transient: borrow the caller's arrays
-    KernelEngine engine(a, partition, options);
+    BasicKernelEngine<Idx> engine(a, partition, options);
     engine.run(x, y);
 }
 
-void spmv_csr_overwrite(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr_overwrite(const BasicCsrView<Idx>& a, std::span<const double> x,
                         std::span<double> y) {
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
     for (auto& v : y) v = 0.0;
     spmv_csr(a, x, y);
 }
+
+template void spmv_csr<Idx32>(const BasicCsrView<Idx32>&,
+                              std::span<const double>, std::span<double>);
+template void spmv_csr<Idx64>(const BasicCsrView<Idx64>&,
+                              std::span<const double>, std::span<double>);
+template void spmv_csr_parallel<Idx32>(const BasicCsrView<Idx32>&,
+                                       std::span<const double>,
+                                       std::span<double>,
+                                       const RowPartition&);
+template void spmv_csr_parallel<Idx64>(const BasicCsrView<Idx64>&,
+                                       std::span<const double>,
+                                       std::span<double>,
+                                       const RowPartition&);
+template void spmv_csr_overwrite<Idx32>(const BasicCsrView<Idx32>&,
+                                        std::span<const double>,
+                                        std::span<double>);
+template void spmv_csr_overwrite<Idx64>(const BasicCsrView<Idx64>&,
+                                        std::span<const double>,
+                                        std::span<double>);
 
 }  // namespace spmvcache

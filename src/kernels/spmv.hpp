@@ -6,14 +6,17 @@
 
 #include <span>
 
+#include "sparse/csr.hpp"
 #include "sparse/csr_view.hpp"
 #include "sparse/partition.hpp"
 
 namespace spmvcache {
 
-/// y <- y + A x, sequential (exactly the loop nest of Listing 1).
+/// y <- y + A x, sequential (exactly the loop nest of Listing 1), at
+/// either physical index width.
 /// Pre: x.size() == A.cols(), y.size() == A.rows().
-void spmv_csr(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr(const BasicCsrView<Idx>& a, std::span<const double> x,
               std::span<double> y);
 
 /// y <- y + A x with row-parallelism over `partition`'s ranges, executed
@@ -23,11 +26,55 @@ void spmv_csr(const CsrView& a, std::span<const double> x,
 /// products construct a KernelEngine directly — it keeps the team, the
 /// first-touch data placement and the tuned kernel variant alive across
 /// iterations instead of paying setup per call.
-void spmv_csr_parallel(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr_parallel(const BasicCsrView<Idx>& a, std::span<const double> x,
                        std::span<double> y, const RowPartition& partition);
 
 /// y <- A x (overwrite), sequential; convenience for solvers.
-void spmv_csr_overwrite(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr_overwrite(const BasicCsrView<Idx>& a, std::span<const double> x,
                         std::span<double> y);
+
+extern template void spmv_csr<Idx32>(const BasicCsrView<Idx32>&,
+                                     std::span<const double>,
+                                     std::span<double>);
+extern template void spmv_csr<Idx64>(const BasicCsrView<Idx64>&,
+                                     std::span<const double>,
+                                     std::span<double>);
+extern template void spmv_csr_parallel<Idx32>(const BasicCsrView<Idx32>&,
+                                              std::span<const double>,
+                                              std::span<double>,
+                                              const RowPartition&);
+extern template void spmv_csr_parallel<Idx64>(const BasicCsrView<Idx64>&,
+                                              std::span<const double>,
+                                              std::span<double>,
+                                              const RowPartition&);
+extern template void spmv_csr_overwrite<Idx32>(const BasicCsrView<Idx32>&,
+                                               std::span<const double>,
+                                               std::span<double>);
+extern template void spmv_csr_overwrite<Idx64>(const BasicCsrView<Idx64>&,
+                                               std::span<const double>,
+                                               std::span<double>);
+
+// Owning-matrix conveniences: template argument deduction cannot see
+// through BasicCsrMatrix -> BasicCsrView, so forward explicitly.
+template <class Idx>
+void spmv_csr(const BasicCsrMatrix<Idx>& a, std::span<const double> x,
+              std::span<double> y) {
+    spmv_csr(BasicCsrView<Idx>(a), x, y);
+}
+
+template <class Idx>
+void spmv_csr_parallel(const BasicCsrMatrix<Idx>& a,
+                       std::span<const double> x, std::span<double> y,
+                       const RowPartition& partition) {
+    spmv_csr_parallel(BasicCsrView<Idx>(a), x, y, partition);
+}
+
+template <class Idx>
+void spmv_csr_overwrite(const BasicCsrMatrix<Idx>& a,
+                        std::span<const double> x, std::span<double> y) {
+    spmv_csr_overwrite(BasicCsrView<Idx>(a), x, y);
+}
 
 }  // namespace spmvcache

@@ -7,7 +7,9 @@
 
 namespace spmvcache {
 
-MergeCoordinate merge_path_search(const CsrView& a, std::int64_t diagonal) {
+template <class Idx>
+MergeCoordinate merge_path_search(const BasicCsrView<Idx>& a,
+                                  std::int64_t diagonal) {
     SPMV_EXPECTS(diagonal >= 0 && diagonal <= a.rows() + a.nnz());
     const auto rowptr = a.rowptr();
     // Find the split point (r, i) with r + i == diagonal such that
@@ -18,7 +20,9 @@ MergeCoordinate merge_path_search(const CsrView& a, std::int64_t diagonal) {
         const std::int64_t mid = (lo + hi) / 2;
         // Row-end marker rowptr[mid+1] competes with nonzero index
         // (diagonal - mid - 1) on the merge path.
-        if (rowptr[static_cast<std::size_t>(mid) + 1] <= diagonal - mid - 1)
+        if (static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(mid) + 1]) <=
+            diagonal - mid - 1)
             lo = mid + 1;
         else
             hi = mid;
@@ -26,7 +30,8 @@ MergeCoordinate merge_path_search(const CsrView& a, std::int64_t diagonal) {
     return MergeCoordinate{lo, diagonal - lo};
 }
 
-void spmv_csr_merge(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr_merge(const BasicCsrView<Idx>& a, std::span<const double> x,
                     std::span<double> y, std::int64_t pieces) {
     SPMV_EXPECTS(pieces >= 1);
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
@@ -81,5 +86,16 @@ void spmv_csr_merge(const CsrView& a, std::span<const double> x,
                 carry_value[static_cast<std::size_t>(p)];
     }
 }
+
+template MergeCoordinate merge_path_search<Idx32>(const BasicCsrView<Idx32>&,
+                                                  std::int64_t);
+template MergeCoordinate merge_path_search<Idx64>(const BasicCsrView<Idx64>&,
+                                                  std::int64_t);
+template void spmv_csr_merge<Idx32>(const BasicCsrView<Idx32>&,
+                                    std::span<const double>,
+                                    std::span<double>, std::int64_t);
+template void spmv_csr_merge<Idx64>(const BasicCsrView<Idx64>&,
+                                    std::span<const double>,
+                                    std::span<double>, std::int64_t);
 
 }  // namespace spmvcache

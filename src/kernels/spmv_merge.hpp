@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 
+#include "sparse/csr.hpp"
 #include "sparse/csr_view.hpp"
 
 namespace spmvcache {
@@ -23,14 +24,41 @@ struct MergeCoordinate {
 /// Finds the merge-path coordinate of `diagonal` via binary search over
 /// the rowptr "list" vs. the natural numbers (the nonzero indices).
 /// Pre: 0 <= diagonal <= rows + nnz.
-[[nodiscard]] MergeCoordinate merge_path_search(const CsrView& a,
+template <class Idx>
+[[nodiscard]] MergeCoordinate merge_path_search(const BasicCsrView<Idx>& a,
                                                 std::int64_t diagonal);
 
 /// y <- y + A x using the merge-based decomposition into `pieces` equal
 /// chunks (sequentially executed chunk loop; each chunk is independent
 /// except for the carry, which is fixed up afterwards).
 /// Pre: pieces >= 1, x.size() == cols, y.size() == rows.
-void spmv_csr_merge(const CsrView& a, std::span<const double> x,
+template <class Idx>
+void spmv_csr_merge(const BasicCsrView<Idx>& a, std::span<const double> x,
                     std::span<double> y, std::int64_t pieces);
+
+extern template MergeCoordinate merge_path_search<Idx32>(
+    const BasicCsrView<Idx32>&, std::int64_t);
+extern template MergeCoordinate merge_path_search<Idx64>(
+    const BasicCsrView<Idx64>&, std::int64_t);
+extern template void spmv_csr_merge<Idx32>(const BasicCsrView<Idx32>&,
+                                           std::span<const double>,
+                                           std::span<double>, std::int64_t);
+extern template void spmv_csr_merge<Idx64>(const BasicCsrView<Idx64>&,
+                                           std::span<const double>,
+                                           std::span<double>, std::int64_t);
+
+// Owning-matrix conveniences (deduction cannot see through the implicit
+// matrix -> view conversion).
+template <class Idx>
+[[nodiscard]] MergeCoordinate merge_path_search(const BasicCsrMatrix<Idx>& a,
+                                                std::int64_t diagonal) {
+    return merge_path_search(BasicCsrView<Idx>(a), diagonal);
+}
+
+template <class Idx>
+void spmv_csr_merge(const BasicCsrMatrix<Idx>& a, std::span<const double> x,
+                    std::span<double> y, std::int64_t pieces) {
+    spmv_csr_merge(BasicCsrView<Idx>(a), x, y, pieces);
+}
 
 }  // namespace spmvcache

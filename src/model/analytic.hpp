@@ -1,9 +1,12 @@
 // Analytic (streaming) miss terms of §3.1: the matrix data is used once
 // per SpMV, so with a working set beyond cache capacity, a, colidx, rowptr
 // and y incur exactly one miss per cache line:
-//   a:      ceil(8K/L)        colidx: ceil(4K/L)
-//   rowptr: ceil(8(M+1)/L)    y:      ceil(8M/L)
-// for an M-by-N matrix with K nonzeros and line size L.
+//   a:      ceil(8K/L)        colidx: ceil(ci*K/L)
+//   rowptr: ceil(rp*(M+1)/L)  y:      ceil(8M/L)
+// for an M-by-N matrix with K nonzeros and line size L, where ci/rp are
+// the index arrays' element sizes. The paper's accounting is ci=4, rp=8
+// (the defaults); the W32 storage pipeline streams ci=4, rp=4 and the W64
+// fallback ci=8, rp=8.
 #pragma once
 
 #include <cstdint>
@@ -25,19 +28,28 @@ struct StreamingMisses {
     }
 };
 
-/// Computes the §3.1 streaming terms. Pre: line_bytes >= 8.
-[[nodiscard]] StreamingMisses streaming_misses(std::int64_t rows,
-                                               std::int64_t nnz,
-                                               std::uint64_t line_bytes);
+/// Computes the §3.1 streaming terms. `colidx_bytes`/`rowptr_bytes` are
+/// the index arrays' element sizes (defaults = the paper's accounting).
+/// Pre: line_bytes >= 8.
+[[nodiscard]] StreamingMisses streaming_misses(
+    std::int64_t rows, std::int64_t nnz, std::uint64_t line_bytes,
+    std::uint32_t colidx_bytes = 4, std::uint32_t rowptr_bytes = 8);
 
 /// Method (B) scaling factor with partitioning (x shares its partition
-/// with rowptr and y): s1 = (16*M/K + 8) / 8  (§3.2.2).
+/// with rowptr and y): s1 = ((8+rp)*M/K + 8) / 8, which is the paper's
+/// s1 = (16*M/K + 8) / 8 at the default rp=8 (§3.2.2). The per-row term
+/// counts 8 bytes of y plus rp bytes of rowptr; the per-nonzero term is
+/// the 8 bytes of x the partition interleaves.
 [[nodiscard]] double scaling_factor_partitioned(std::int64_t rows,
-                                                std::int64_t nnz);
+                                                std::int64_t nnz,
+                                                std::uint32_t rowptr_bytes = 8);
 
 /// Method (B) scaling factor without partitioning (a and colidx references
-/// interleave as well): s2 = (16*M/K + 20) / 8  (§3.2.2).
-[[nodiscard]] double scaling_factor_unpartitioned(std::int64_t rows,
-                                                  std::int64_t nnz);
+/// interleave as well): s2 = ((8+rp)*M/K + 16 + ci) / 8, the paper's
+/// s2 = (16*M/K + 20) / 8 at ci=4, rp=8 (§3.2.2). The per-nonzero term
+/// adds the 8 bytes of a and ci bytes of colidx to the 8 bytes of x.
+[[nodiscard]] double scaling_factor_unpartitioned(
+    std::int64_t rows, std::int64_t nnz, std::uint32_t colidx_bytes = 4,
+    std::uint32_t rowptr_bytes = 8);
 
 }  // namespace spmvcache

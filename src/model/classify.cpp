@@ -29,7 +29,8 @@ MatrixClass classify(const MatrixStats& stats, std::uint64_t cache_bytes,
     SPMV_EXPECT(checked_mul<std::uint64_t>(
         static_cast<std::uint64_t>(stats.rows), 8, y_bytes));
     SPMV_EXPECT(checked_mul<std::uint64_t>(
-        static_cast<std::uint64_t>(stats.rows) + 1, 8, rowptr_bytes));
+        static_cast<std::uint64_t>(stats.rows) + 1,
+        rowptr_width_bytes(stats.index_width), rowptr_bytes));
 
     if (stats.working_set_bytes <= cache_bytes) return MatrixClass::Class1;
     std::uint64_t vectors_bytes = 0;
@@ -40,7 +41,7 @@ MatrixClass classify(const MatrixStats& stats, std::uint64_t cache_bytes,
     return MatrixClass::Class3b;
 }
 
-MatrixClass classify(const CsrView& m, std::uint64_t cache_bytes,
+MatrixClass classify(const AnyCsrView& m, std::uint64_t cache_bytes,
                      std::uint64_t sector0_bytes) {
     return classify(compute_stats(m), cache_bytes, sector0_bytes);
 }

@@ -27,8 +27,8 @@ enum class MatrixClass { Class1, Class2, Class3a, Class3b };
                                    std::uint64_t cache_bytes,
                                    std::uint64_t sector0_bytes);
 
-/// Convenience overload computing the stats internally.
-[[nodiscard]] MatrixClass classify(const CsrView& m,
+/// Convenience overload computing the stats internally (either width).
+[[nodiscard]] MatrixClass classify(const AnyCsrView& m,
                                    std::uint64_t cache_bytes,
                                    std::uint64_t sector0_bytes);
 

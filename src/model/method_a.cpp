@@ -246,8 +246,9 @@ void replay_packed_pass(const std::vector<std::uint64_t>& buffer,
 }
 
 /// Inputs shared by every shard of one run.
+template <class Idx>
 struct ShardContext {
-    const CsrView& m;
+    const BasicCsrView<Idx>& m;
     const SpmvLayout& layout;
     const ModelOptions& options;
     TraceConfig trace_cfg;
@@ -267,8 +268,9 @@ struct ShardContext {
 /// Both paths feed the partitioned engines (Eq. 2), the unpartitioned
 /// engine, and the segment's per-core L1 engines, and produce bit-identical
 /// counter totals.
-template <class Engine>
-void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
+template <class Idx, class Engine>
+void run_shard(const ShardContext<Idx>& ctx, std::int64_t s,
+               ShardCounters& st) {
     const Timer shard_timer;
     const ModelOptions& options = ctx.options;
     const auto& machine = options.machine;
@@ -351,8 +353,14 @@ void run_shard(const ShardContext& ctx, std::int64_t s, ShardCounters& st) {
 
 }  // namespace
 
-ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
-                         EngineKind engine_kind) {
+/// The templated body behind the AnyCsrView entry point. The trace layout
+/// spaces colidx/rowptr at the *accounted* element sizes, so a W32 matrix
+/// touches half the index lines a W64 one does — unless the caller pins
+/// the accounting (the width-differential tests do exactly that).
+template <class Idx>
+ModelResult run_method_a_impl(const BasicCsrView<Idx>& m,
+                              const ModelOptions& options,
+                              EngineKind engine_kind) {
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);
     SPMV_EXPECTS(options.jobs >= 0);
@@ -367,7 +375,10 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
         detail::resolve_sample_filter(options.sample_rate);
 
     const auto& machine = options.machine;
-    const SpmvLayout layout(m, machine.l2.line_bytes);
+    const SpmvLayout layout(m.rows(), m.cols(), m.nnz(),
+                            machine.l2.line_bytes,
+                            options.colidx_bytes_for(Idx::width),
+                            options.rowptr_bytes_for(Idx::width));
     const std::int64_t segments =
         trace_segment_count(options.threads, machine.cores_per_numa);
     const std::uint64_t l2_sets = machine.l2.sets();
@@ -387,7 +398,7 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
     const std::int64_t effective_jobs =
         std::max<std::int64_t>(1, std::min(jobs, segments));
 
-    ShardContext ctx{m, layout, options,
+    ShardContext<Idx> ctx{m, layout, options,
                      TraceConfig{options.threads, options.partition,
                                  options.quantum},
                      static_cast<std::size_t>(
@@ -413,14 +424,14 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
         auto& st = shard_state[static_cast<std::size_t>(s)];
         if (engine_kind == EngineKind::Kim) {
             if (filter.exact())
-                run_shard<KimEngine>(ctx, s, st);
+                run_shard<Idx, KimEngine>(ctx, s, st);
             else
-                run_shard<SampledEngine<KimEngine>>(ctx, s, st);
+                run_shard<Idx, SampledEngine<KimEngine>>(ctx, s, st);
         } else {
             if (filter.exact())
-                run_shard<OlkenEngine>(ctx, s, st);
+                run_shard<Idx, OlkenEngine>(ctx, s, st);
             else
-                run_shard<SampledEngine<OlkenEngine>>(ctx, s, st);
+                run_shard<Idx, SampledEngine<OlkenEngine>>(ctx, s, st);
         }
     });
 
@@ -485,6 +496,13 @@ ModelResult run_method_a(const CsrView& m, const ModelOptions& options,
     result.jobs = effective_jobs;
     result.seconds = timer.seconds();
     return result;
+}
+
+ModelResult run_method_a(const AnyCsrView& m, const ModelOptions& options,
+                         EngineKind engine_kind) {
+    return m.visit([&](const auto& v) {
+        return run_method_a_impl(v, options, engine_kind);
+    });
 }
 
 }  // namespace spmvcache

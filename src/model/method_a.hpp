@@ -15,6 +15,7 @@
 #pragma once
 
 #include "model/options.hpp"
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 
 namespace spmvcache {
@@ -26,8 +27,11 @@ enum class EngineKind {
 };
 
 /// Runs method (A). The result contains one entry per requested L2 way
-/// option plus the unpartitioned case.
-[[nodiscard]] ModelResult run_method_a(const CsrView& m,
+/// option plus the unpartitioned case. Accepts either physical index
+/// width (AnyCsrView converts implicitly from both concrete views); the
+/// traffic accounting follows the storage width unless ModelOptions pins
+/// it (accounting_*_bytes).
+[[nodiscard]] ModelResult run_method_a(const AnyCsrView& m,
                                        const ModelOptions& options,
                                        EngineKind engine = EngineKind::Olken);
 

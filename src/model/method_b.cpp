@@ -25,7 +25,8 @@ struct SegmentShare {
     std::int64_t nnz = 0;
 };
 
-std::vector<SegmentShare> segment_shares(const CsrView& m,
+template <class Idx>
+std::vector<SegmentShare> segment_shares(const BasicCsrView<Idx>& m,
                                          const RowPartition& partition,
                                          std::int64_t segments,
                                          std::int64_t cores_per_numa) {
@@ -35,8 +36,11 @@ std::vector<SegmentShare> segment_shares(const CsrView& m,
         const auto seg = static_cast<std::size_t>(t / cores_per_numa);
         const auto& range = partition.range(t);
         shares[seg].rows += range.size();
-        shares[seg].nnz += rowptr[static_cast<std::size_t>(range.end)] -
-                           rowptr[static_cast<std::size_t>(range.begin)];
+        shares[seg].nnz +=
+            static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(range.end)]) -
+            static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(range.begin)]);
     }
     return shares;
 }
@@ -49,7 +53,15 @@ std::uint64_t scaled_capacity(std::uint64_t lines, double factor) {
 
 }  // namespace
 
-ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
+/// The templated body behind the AnyCsrView entry point. `ci`/`rp` are
+/// the accounted colidx/rowptr element sizes (physical storage width by
+/// default, ModelOptions override otherwise); they parameterise the trace
+/// layout, the §3.1 streaming terms, the s1/s2 scaling factors and every
+/// working-set byte count below — the paper's constants (12K, 16M, +8)
+/// are the ci=4, rp=8 specialisation.
+template <class Idx>
+ModelResult run_method_b_impl(const BasicCsrView<Idx>& m,
+                              const ModelOptions& options) {
     SPMV_EXPECTS(options.threads >= 1);
     SPMV_EXPECTS(options.threads <= options.machine.cores);
     SPMV_EXPECTS(options.jobs >= 0);
@@ -63,8 +75,13 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
     const SampleFilter filter =
         detail::resolve_sample_filter(options.sample_rate);
 
+    const std::uint64_t ci = options.colidx_bytes_for(Idx::width);
+    const std::uint64_t rp = options.rowptr_bytes_for(Idx::width);
     const auto& machine = options.machine;
-    const SpmvLayout layout(m, machine.l2.line_bytes);
+    const SpmvLayout layout(m.rows(), m.cols(), m.nnz(),
+                            machine.l2.line_bytes,
+                            static_cast<std::uint32_t>(ci),
+                            static_cast<std::uint32_t>(rp));
     const std::int64_t segments =
         trace_segment_count(options.threads, machine.cores_per_numa);
     const std::uint64_t line_bytes = machine.l2.line_bytes;
@@ -82,8 +99,11 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
     std::vector<double> s2(static_cast<std::size_t>(segments));
     for (std::size_t g = 0; g < shares.size(); ++g) {
         const std::int64_t k = std::max<std::int64_t>(1, shares[g].nnz);
-        s1[g] = scaling_factor_partitioned(shares[g].rows, k);
-        s2[g] = scaling_factor_unpartitioned(shares[g].rows, k);
+        s1[g] = scaling_factor_partitioned(
+            shares[g].rows, k, static_cast<std::uint32_t>(rp));
+        s2[g] = scaling_factor_unpartitioned(
+            shares[g].rows, k, static_cast<std::uint32_t>(ci),
+            static_cast<std::uint32_t>(rp));
     }
 
     // Per-segment scaled capacities. For the partitioned entries the x
@@ -274,11 +294,14 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
         ConfigPrediction off;
         off.l2_sector_ways = 0;
         for (std::size_t g = 0; g < shares.size(); ++g) {
-            const auto stream =
-                streaming_misses(shares[g].rows, shares[g].nnz, line_bytes);
+            const auto stream = streaming_misses(
+                shares[g].rows, shares[g].nnz, line_bytes,
+                static_cast<std::uint32_t>(ci),
+                static_cast<std::uint32_t>(rp));
             const std::uint64_t ws_seg =
-                12 * static_cast<std::uint64_t>(shares[g].nnz) +
-                16 * static_cast<std::uint64_t>(shares[g].rows) + x_bytes;
+                (8 + ci) * static_cast<std::uint64_t>(shares[g].nnz) +
+                (8 + rp) * static_cast<std::uint64_t>(shares[g].rows) +
+                x_bytes;
             const double x_misses =
                 static_cast<double>(cntU[g]->total_misses(capU[g])) * scale;
             off.l2_x_misses += x_misses;
@@ -299,12 +322,16 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
         const std::uint64_t n0_bytes =
             (l2_ways - w) * l2_sets * line_bytes;
         for (std::size_t g = 0; g < shares.size(); ++g) {
-            const auto stream =
-                streaming_misses(shares[g].rows, shares[g].nnz, line_bytes);
+            const auto stream = streaming_misses(
+                shares[g].rows, shares[g].nnz, line_bytes,
+                static_cast<std::uint32_t>(ci),
+                static_cast<std::uint32_t>(rp));
             const std::uint64_t matrix_bytes =
-                12 * static_cast<std::uint64_t>(shares[g].nnz);
+                (8 + ci) * static_cast<std::uint64_t>(shares[g].nnz);
+            // y + rowptr per row, plus the rowptr array's final element.
             const std::uint64_t reusable_bytes =
-                x_bytes + 16 * static_cast<std::uint64_t>(shares[g].rows) + 8;
+                x_bytes + (8 + rp) * static_cast<std::uint64_t>(shares[g].rows) +
+                rp;
             const double x_misses =
                 static_cast<double>(cntP[g]->total_misses(capsP[g][i])) *
                 scale;
@@ -323,11 +350,14 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
     // streaming terms — at 64 KiB every multi-MiB working set streams.
     if (options.predict_l1) {
         for (std::size_t g = 0; g < shares.size(); ++g) {
-            const auto stream =
-                streaming_misses(shares[g].rows, shares[g].nnz, line_bytes);
+            const auto stream = streaming_misses(
+                shares[g].rows, shares[g].nnz, line_bytes,
+                static_cast<std::uint32_t>(ci),
+                static_cast<std::uint32_t>(rp));
             const std::uint64_t ws_seg =
-                12 * static_cast<std::uint64_t>(shares[g].nnz) +
-                16 * static_cast<std::uint64_t>(shares[g].rows) + x_bytes;
+                (8 + ci) * static_cast<std::uint64_t>(shares[g].nnz) +
+                (8 + rp) * static_cast<std::uint64_t>(shares[g].rows) +
+                x_bytes;
             const double x_misses =
                 static_cast<double>(cntL1[g]->total_misses(capL1[g])) * scale;
             result.l1_x_misses += x_misses;
@@ -348,6 +378,11 @@ ModelResult run_method_b(const CsrView& m, const ModelOptions& options) {
     result.jobs = std::max<std::int64_t>(1, std::min(jobs, segments));
     result.seconds = timer.seconds();
     return result;
+}
+
+ModelResult run_method_b(const AnyCsrView& m, const ModelOptions& options) {
+    return m.visit(
+        [&](const auto& v) { return run_method_b_impl(v, options); });
 }
 
 }  // namespace spmvcache

@@ -11,12 +11,16 @@
 #pragma once
 
 #include "model/options.hpp"
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 
 namespace spmvcache {
 
-/// Runs method (B); same result shape as method (A).
-[[nodiscard]] ModelResult run_method_b(const CsrView& m,
+/// Runs method (B); same result shape as method (A). Accepts either
+/// physical index width; the analytic byte accounting (streaming terms,
+/// s1/s2, working-set sizes) follows the storage width unless ModelOptions
+/// pins it (accounting_*_bytes).
+[[nodiscard]] ModelResult run_method_b(const AnyCsrView& m,
                                        const ModelOptions& options);
 
 }  // namespace spmvcache

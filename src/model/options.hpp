@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cachesim/a64fx.hpp"
+#include "sparse/index_width.hpp"
 #include "sparse/partition.hpp"
 #include "trace/memref.hpp"
 #include "util/status.hpp"
@@ -65,6 +66,26 @@ struct ModelOptions {
     /// entry points ignore it. On expiry the run is abandoned on a
     /// detached thread and TimeoutError returned — see core/deadline.hpp.
     double timeout_seconds = 0.0;
+    /// Index-array element sizes the model *accounts* traffic at, in
+    /// bytes. 0 (default) follows the physical storage width of the matrix
+    /// being modelled (4/4 for W32, 8/8 for W64); a non-zero value pins
+    /// the accounting regardless of storage — the paper's numbers use
+    /// colidx=4, rowptr=8, and the width-differential tests pin one
+    /// accounting for both widths so predictions must agree bit for bit.
+    /// Valid non-zero values: 4 or 8.
+    std::uint32_t accounting_colidx_bytes = 0;
+    std::uint32_t accounting_rowptr_bytes = 0;
+
+    /// The colidx element size to account for a matrix stored at `width`.
+    [[nodiscard]] std::uint32_t colidx_bytes_for(IndexWidth width) const noexcept {
+        return accounting_colidx_bytes != 0 ? accounting_colidx_bytes
+                                            : colidx_width_bytes(width);
+    }
+    /// The rowptr element size to account for a matrix stored at `width`.
+    [[nodiscard]] std::uint32_t rowptr_bytes_for(IndexWidth width) const noexcept {
+        return accounting_rowptr_bytes != 0 ? accounting_rowptr_bytes
+                                            : rowptr_width_bytes(width);
+    }
 };
 
 /// Predicted misses for one sector-cache configuration.

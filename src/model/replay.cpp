@@ -33,9 +33,10 @@ std::uint64_t resolve_trace_buffer_bytes(std::uint64_t requested) noexcept {
     return std::min(kAutoMax, std::max(kAutoMin, physical / 8));
 }
 
+template <class Idx>
 std::optional<std::vector<std::uint64_t>> pack_segment_within_budget(
-    const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
-    std::int64_t cores_per_numa, std::int64_t segment,
+    const BasicCsrView<Idx>& m, const SpmvLayout& layout,
+    const TraceConfig& cfg, std::int64_t cores_per_numa, std::int64_t segment,
     std::uint64_t demand_refs, std::uint64_t budget_bytes,
     const SampleFilter& filter) {
     // Expected packed words: all demand refs when exact, ~R of them (with
@@ -53,6 +54,17 @@ std::optional<std::vector<std::uint64_t>> pack_segment_within_budget(
     if (!packed.ok()) return std::nullopt;
     return std::move(packed).value();
 }
+
+template std::optional<std::vector<std::uint64_t>>
+pack_segment_within_budget<Idx32>(const BasicCsrView<Idx32>&,
+                                  const SpmvLayout&, const TraceConfig&,
+                                  std::int64_t, std::int64_t, std::uint64_t,
+                                  std::uint64_t, const SampleFilter&);
+template std::optional<std::vector<std::uint64_t>>
+pack_segment_within_budget<Idx64>(const BasicCsrView<Idx64>&,
+                                  const SpmvLayout&, const TraceConfig&,
+                                  std::int64_t, std::int64_t, std::uint64_t,
+                                  std::uint64_t, const SampleFilter&);
 
 SampleFilter resolve_sample_filter(double sample_rate) {
     if (sample_rate >= 1.0) return SampleFilter{};

@@ -41,12 +41,39 @@ namespace spmvcache::detail {
 /// accordingly and larger segments stay packable). Empty optional = use
 /// the streaming fallback (over budget, packing fault, allocation
 /// failure, or a reference outside the packed encoding).
+template <class Idx>
 [[nodiscard]] std::optional<std::vector<std::uint64_t>>
-pack_segment_within_budget(const CsrView& m, const SpmvLayout& layout,
-                           const TraceConfig& cfg,
+pack_segment_within_budget(const BasicCsrView<Idx>& m,
+                           const SpmvLayout& layout, const TraceConfig& cfg,
                            std::int64_t cores_per_numa, std::int64_t segment,
                            std::uint64_t demand_refs,
                            std::uint64_t budget_bytes,
                            const SampleFilter& filter = SampleFilter{});
+
+extern template std::optional<std::vector<std::uint64_t>>
+pack_segment_within_budget<Idx32>(const BasicCsrView<Idx32>&,
+                                  const SpmvLayout&, const TraceConfig&,
+                                  std::int64_t, std::int64_t, std::uint64_t,
+                                  std::uint64_t, const SampleFilter&);
+extern template std::optional<std::vector<std::uint64_t>>
+pack_segment_within_budget<Idx64>(const BasicCsrView<Idx64>&,
+                                  const SpmvLayout&, const TraceConfig&,
+                                  std::int64_t, std::int64_t, std::uint64_t,
+                                  std::uint64_t, const SampleFilter&);
+
+// Owning-matrix convenience (deduction cannot see through the implicit
+// matrix -> view conversion).
+template <class Idx>
+[[nodiscard]] std::optional<std::vector<std::uint64_t>>
+pack_segment_within_budget(const BasicCsrMatrix<Idx>& m,
+                           const SpmvLayout& layout, const TraceConfig& cfg,
+                           std::int64_t cores_per_numa, std::int64_t segment,
+                           std::uint64_t demand_refs,
+                           std::uint64_t budget_bytes,
+                           const SampleFilter& filter = SampleFilter{}) {
+    return pack_segment_within_budget(BasicCsrView<Idx>(m), layout, cfg,
+                                      cores_per_numa, segment, demand_refs,
+                                      budget_bytes, filter);
+}
 
 }  // namespace spmvcache::detail

@@ -24,12 +24,26 @@ namespace spmvcache::detail {
 /// state arrays statically with it.
 inline constexpr std::size_t kMaxInterleaveWidth = 64;
 
-/// Times `run(width, lines, dists, n)` for each candidate width on a
-/// splitmix64-scrambled stream (twice each, best-of to shed warm-up and
-/// scheduler noise) and returns the fastest width. `run` must process
-/// the stream on a *fresh* engine so candidates compete fairly.
-template <class RunBatch>
-std::size_t calibrate_interleave_width(RunBatch&& run) {
+/// Outcome of best-of calibration: the fastest interleaved width, and
+/// whether interleaving beat the simple lookahead pipeline at all. On
+/// machines (or footprints) where the multi-stream scheduler's bookkeeping
+/// costs more than the misses it hides, `use_interleaved` is false and
+/// access_batch ships the simple path — calibration can pick a mode, but
+/// it must never pick a regression.
+struct InterleaveCalibration {
+    std::size_t width = 4;
+    bool use_interleaved = true;
+};
+
+/// Times `run(width, lines, dists, n)` for each candidate width AND
+/// `run_simple(lines, dists, n)` on a splitmix64-scrambled stream (twice
+/// each, best-of to shed warm-up and scheduler noise); returns the
+/// fastest width plus whether any interleaved candidate beat the simple
+/// pipeline. Both runners must process the stream on a *fresh* engine so
+/// candidates compete fairly.
+template <class RunBatch, class RunSimple>
+InterleaveCalibration calibrate_interleave(RunBatch&& run,
+                                           RunSimple&& run_simple) {
     constexpr std::size_t kRefs = std::size_t{1} << 14;
     constexpr std::size_t kDistinct = std::size_t{1} << 12;
     std::vector<std::uint64_t> lines(kRefs);
@@ -44,7 +58,8 @@ std::size_t calibrate_interleave_width(RunBatch&& run) {
     std::vector<std::uint64_t> dists(kRefs);
 
     constexpr std::size_t kCandidates[] = {4, 8, 16, 24, 32, 48, 64};
-    std::size_t best_width = kCandidates[0];
+    InterleaveCalibration cal;
+    cal.width = kCandidates[0];
     double best_seconds = std::numeric_limits<double>::infinity();
     for (const std::size_t width : kCandidates) {
         double seconds = std::numeric_limits<double>::infinity();
@@ -55,10 +70,17 @@ std::size_t calibrate_interleave_width(RunBatch&& run) {
         }
         if (seconds < best_seconds) {
             best_seconds = seconds;
-            best_width = width;
+            cal.width = width;
         }
     }
-    return best_width;
+    double simple_seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 2; ++rep) {
+        Timer timer;
+        run_simple(lines.data(), dists.data(), kRefs);
+        simple_seconds = std::min(simple_seconds, timer.seconds());
+    }
+    cal.use_interleaved = best_seconds < simple_seconds;
+    return cal;
 }
 
 }  // namespace spmvcache::detail

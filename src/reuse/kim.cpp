@@ -101,14 +101,17 @@ std::uint64_t KimEngine::access_one(std::uint64_t line) {
 
 void KimEngine::access_batch(const std::uint64_t* lines,
                              std::uint64_t* dists, std::size_t n) {
-    const std::size_t width = interleave_width();
+    const detail::InterleaveCalibration& cal = calibration();
     // Armed `reuse.interleave` degrades to the lookahead pipeline;
-    // results are identical either way (chaos tests assert it).
-    if (n < 2 * width || fault::should_fail("reuse.interleave")) {
+    // results are identical either way (chaos tests assert it). The same
+    // fallback ships permanently when calibration found the simple
+    // pipeline faster on this machine.
+    if (!cal.use_interleaved || n < 2 * cal.width ||
+        fault::should_fail("reuse.interleave")) {
         access_batch_simple(lines, dists, n);
         return;
     }
-    access_batch_interleaved(lines, dists, n, width);
+    access_batch_interleaved(lines, dists, n, cal.width);
 }
 
 void KimEngine::access_batch_simple(const std::uint64_t* lines,
@@ -209,14 +212,26 @@ void KimEngine::access_batch_interleaved(const std::uint64_t* lines,
     }
 }
 
-std::size_t KimEngine::interleave_width() {
-    static const std::size_t width = detail::calibrate_interleave_width(
-        [](std::size_t w, const std::uint64_t* lines, std::uint64_t* dists,
-           std::size_t n) {
-            KimEngine engine(512);
-            engine.access_batch_interleaved(lines, dists, n, w);
-        });
-    return width;
+const detail::InterleaveCalibration& KimEngine::calibration() {
+    static const detail::InterleaveCalibration cal =
+        detail::calibrate_interleave(
+            [](std::size_t w, const std::uint64_t* lines,
+               std::uint64_t* dists, std::size_t n) {
+                KimEngine engine(512);
+                engine.access_batch_interleaved(lines, dists, n, w);
+            },
+            [](const std::uint64_t* lines, std::uint64_t* dists,
+               std::size_t n) {
+                KimEngine engine(512);
+                engine.access_batch_simple(lines, dists, n);
+            });
+    return cal;
+}
+
+std::size_t KimEngine::interleave_width() { return calibration().width; }
+
+const char* KimEngine::batch_mode() {
+    return calibration().use_interleaved ? "interleaved" : "simple";
 }
 
 bool KimEngine::evict(std::uint64_t line) {

@@ -19,6 +19,10 @@
 
 namespace spmvcache {
 
+namespace detail {
+struct InterleaveCalibration;
+}
+
 /// Approximate engine with locality-independent per-access cost.
 class KimEngine final : public ReuseEngine {
 public:
@@ -63,6 +67,12 @@ public:
     /// candidates, like KernelEngine's prefetch distance).
     [[nodiscard]] static std::size_t interleave_width();
 
+    /// Batch mode chosen by best-of calibration: "interleaved" when some
+    /// probe-stream width beat the simple lookahead pipeline on this
+    /// machine, "simple" otherwise — calibration picks a mode, never a
+    /// regression.
+    [[nodiscard]] static const char* batch_mode();
+
     [[nodiscard]] std::uint64_t group_capacity() const noexcept {
         return group_capacity_;
     }
@@ -94,6 +104,8 @@ private:
     void access_batch_interleaved(const std::uint64_t* lines,
                                   std::uint64_t* dists, std::size_t n,
                                   std::size_t width);
+    /// Once-per-process best-of calibration over both batch pipelines.
+    [[nodiscard]] static const detail::InterleaveCalibration& calibration();
 
     std::uint64_t group_capacity_;
     std::vector<Node> nodes_;

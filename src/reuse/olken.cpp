@@ -59,16 +59,18 @@ std::uint64_t OlkenEngine::access_one(std::uint64_t line) {
 
 void OlkenEngine::access_batch(const std::uint64_t* lines,
                                std::uint64_t* dists, std::size_t n) {
-    const std::size_t width = interleave_width();
+    const detail::InterleaveCalibration& cal = calibration();
     // Armed `reuse.interleave` degrades to the simple lookahead loop;
     // results are identical either way (chaos tests assert it), so the
     // fault models a scheduler bug tripping a safety fallback, not data
-    // loss.
-    if (n < 2 * width || fault::should_fail("reuse.interleave")) {
+    // loss. The same fallback ships permanently when calibration found
+    // the simple loop faster on this machine.
+    if (!cal.use_interleaved || n < 2 * cal.width ||
+        fault::should_fail("reuse.interleave")) {
         access_batch_simple(lines, dists, n);
         return;
     }
-    access_batch_interleaved(lines, dists, n, width);
+    access_batch_interleaved(lines, dists, n, cal.width);
 }
 
 void OlkenEngine::access_batch_simple(const std::uint64_t* lines,
@@ -119,14 +121,26 @@ void OlkenEngine::access_batch_interleaved(const std::uint64_t* lines,
     }
 }
 
-std::size_t OlkenEngine::interleave_width() {
-    static const std::size_t width = detail::calibrate_interleave_width(
-        [](std::size_t w, const std::uint64_t* lines, std::uint64_t* dists,
-           std::size_t n) {
-            OlkenEngine engine(n / 4);
-            engine.access_batch_interleaved(lines, dists, n, w);
-        });
-    return width;
+const detail::InterleaveCalibration& OlkenEngine::calibration() {
+    static const detail::InterleaveCalibration cal =
+        detail::calibrate_interleave(
+            [](std::size_t w, const std::uint64_t* lines,
+               std::uint64_t* dists, std::size_t n) {
+                OlkenEngine engine(n / 4);
+                engine.access_batch_interleaved(lines, dists, n, w);
+            },
+            [](const std::uint64_t* lines, std::uint64_t* dists,
+               std::size_t n) {
+                OlkenEngine engine(n / 4);
+                engine.access_batch_simple(lines, dists, n);
+            });
+    return cal;
+}
+
+std::size_t OlkenEngine::interleave_width() { return calibration().width; }
+
+const char* OlkenEngine::batch_mode() {
+    return calibration().use_interleaved ? "interleaved" : "simple";
 }
 
 bool OlkenEngine::evict(std::uint64_t line) {

@@ -14,6 +14,10 @@
 
 namespace spmvcache {
 
+namespace detail {
+struct InterleaveCalibration;
+}
+
 /// Exact engine; the workhorse behind methods (A) and (B).
 class OlkenEngine final : public ReuseEngine {
 public:
@@ -56,12 +60,20 @@ public:
     /// candidates, like KernelEngine's prefetch distance).
     [[nodiscard]] static std::size_t interleave_width();
 
+    /// Batch mode chosen by best-of calibration: "interleaved" when some
+    /// probe-stream width beat the simple lookahead pipeline on this
+    /// machine, "simple" otherwise — calibration picks a mode, never a
+    /// regression.
+    [[nodiscard]] static const char* batch_mode();
+
 private:
     void access_batch_simple(const std::uint64_t* lines, std::uint64_t* dists,
                              std::size_t n);
     void access_batch_interleaved(const std::uint64_t* lines,
                                   std::uint64_t* dists, std::size_t n,
                                   std::size_t width);
+    /// Once-per-process best-of calibration over both batch pipelines.
+    [[nodiscard]] static const detail::InterleaveCalibration& calibration();
     void fenwick_add(std::size_t index, int delta) noexcept;
     [[nodiscard]] std::uint64_t fenwick_prefix(std::size_t index) const noexcept;
     void compact();

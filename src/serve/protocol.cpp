@@ -358,6 +358,18 @@ const char* to_string(RequestOp op) noexcept {
                          "field 'strict' must be a bool");
         request.source.strict_parse = strict->boolean;
     }
+    if (const Json* width = root.find("width"); width != nullptr) {
+        if (width->kind != Json::Kind::String)
+            return Error(ErrorCode::ValidationError,
+                         "field 'width' must be \"auto\", \"32\" or \"64\"");
+        Result<IndexWidthChoice> choice =
+            parse_index_width_choice(width->text);
+        if (!choice.ok())
+            return std::move(choice)
+                .wrap("parsing field 'width'")
+                .to_error();
+        request.source.index_width = choice.value();
+    }
 
     std::int64_t seed = 42;
     SPMV_RETURN_IF_ERROR(read_int_member(root, "seed", seed));
@@ -537,6 +549,10 @@ std::string render_stats_payload(const MatrixStats& stats,
     out += ",\"matrix_bytes\":" + std::to_string(stats.matrix_bytes);
     out += ",\"working_set_bytes\":" +
            std::to_string(stats.working_set_bytes);
+    out += ",\"index_width\":";
+    out += stats.index_width == IndexWidth::W64 ? "64" : "32";
+    out += ",\"width32_ok\":";
+    out += stats.width32_ok ? "true" : "false";
     out += '}';
     return out;
 }

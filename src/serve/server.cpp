@@ -78,9 +78,13 @@ ModelOptions model_options_for(const ServeRequest& request) {
 /// two different rates produce different estimates.
 PlanKey plan_key_for(const MatrixFingerprint& fp,
                      const ServeRequest& request,
-                     const ModelOptions& options) {
+                     const ModelOptions& options, IndexWidth width) {
     std::uint64_t digest =
         mix64(static_cast<std::uint64_t>(request.op) + 1);
+    // The physical index width changes the modelled traffic (4- vs 8-byte
+    // colidx/rowptr), so a narrow and a wide load of the same matrix must
+    // never share a plan.
+    digest = mix64(digest ^ (width == IndexWidth::W64 ? 64u : 32u));
     digest = mix64(digest ^ static_cast<std::uint64_t>(request.threads));
     if (request.op == RequestOp::Predict)
         digest = mix64(digest ^ (request.method == "b" ? 2u : 1u));
@@ -146,7 +150,8 @@ Server::Server(ServeOptions options)
         return *std::move(banned);
 
     const ModelOptions model = model_options_for(request);
-    const PlanKey key = plan_key_for(fp, request, model);
+    const PlanKey key =
+        plan_key_for(fp, request, model, loaded.stats.index_width);
     if (std::optional<std::string> hit = cache->get(key); hit.has_value()) {
         ExecOutcome outcome;
         outcome.payload = *std::move(hit);

@@ -127,7 +127,8 @@ struct SectionPlan {
     std::uint64_t total_bytes = 0;
 };
 
-SectionPlan plan_sections(const CsrView& m) {
+template <class Idx>
+SectionPlan plan_sections(const BasicCsrView<Idx>& m) {
     SectionPlan plan;
     plan.rowptr_bytes = m.rowptr_bytes();
     plan.colidx_bytes = m.colidx_bytes();
@@ -139,10 +140,22 @@ SectionPlan plan_sections(const CsrView& m) {
     return plan;
 }
 
+/// Per-width element sizes as stored in (and validated against) the
+/// header's width fields.
+std::uint32_t rowptr_elem_bytes(IndexWidth w) noexcept {
+    return w == IndexWidth::W32 ? sizeof(Idx32::offset_type)
+                                : sizeof(Idx64::offset_type);
+}
+std::uint32_t colidx_elem_bytes(IndexWidth w) noexcept {
+    return w == IndexWidth::W32 ? sizeof(Idx32::index_type)
+                                : sizeof(Idx64::index_type);
+}
+
 /// Serializes the full header (everything on page 0, trailing checksum
 /// included). The layout is part of the format: bump kSpmvcFormatVersion
 /// on any change.
-std::vector<char> serialize_header(const CsrView& m,
+template <class Idx>
+std::vector<char> serialize_header(const BasicCsrView<Idx>& m,
                                    const MatrixFingerprint& fingerprint,
                                    const MatrixStats& stats,
                                    const std::string& source_path,
@@ -163,10 +176,13 @@ std::vector<char> serialize_header(const CsrView& m,
     w.i64(m.rows());
     w.i64(m.cols());
     w.i64(m.nnz());
-    w.u32(sizeof(CsrView::offset_type));
-    w.u32(sizeof(CsrView::index_type));
-    w.u32(sizeof(CsrView::value_type));
-    w.u32(0);  // reserved
+    w.u32(sizeof(typename Idx::offset_type));
+    w.u32(sizeof(typename Idx::index_type));
+    w.u32(sizeof(double));
+    // Element-width tag (32 or 64): redundant with the per-array width
+    // fields above, and validated against them on load, so a corrupted
+    // width field cannot silently change the array layout.
+    w.u32(static_cast<std::uint32_t>(Idx::width));
     w.u64(stamp.size);
     w.i64(stamp.mtime_ns);
     w.u64(plan.rowptr_offset);
@@ -259,12 +275,27 @@ const void* byte_ptr(const unsigned char* base, std::uint64_t offset) {
     const std::uint32_t rowptr_width = r.u32();
     const std::uint32_t colidx_width = r.u32();
     const std::uint32_t value_width = r.u32();
-    (void)r.u32();  // reserved
-    if (rowptr_width != sizeof(CsrView::offset_type) ||
-        colidx_width != sizeof(CsrView::index_type) ||
-        value_width != sizeof(CsrView::value_type))
+    const std::uint32_t width_tag = r.u32();
+    if (value_width != sizeof(double))
         return Status(ErrorCode::UnsupportedError,
                       "unsupported .spmvc array widths");
+    if (rowptr_width == 4 && colidx_width == 4) {
+        info.index_width = IndexWidth::W32;
+    } else if (rowptr_width == 8 && colidx_width == 8) {
+        info.index_width = IndexWidth::W64;
+    } else if (rowptr_width == 8 && colidx_width == 4) {
+        // The retired mixed layout (int64 rowptr + int32 colidx) of
+        // format version 1; the version check already rejects those
+        // files, but a doctored header must not slip through either.
+        return Status(ErrorCode::UnsupportedError,
+                      "legacy mixed-width .spmvc layout (re-ingest the "
+                      "source to rebuild the cache)");
+    } else {
+        return Status(ErrorCode::UnsupportedError,
+                      "unsupported .spmvc array widths");
+    }
+    if (width_tag != static_cast<std::uint32_t>(info.index_width))
+        return invalid("element-width tag disagrees with array widths");
     info.source.size = r.u64();
     info.source.mtime_ns = r.i64();
     plan.rowptr_offset = r.u64();
@@ -316,15 +347,14 @@ const void* byte_ptr(const unsigned char* base, std::uint64_t offset) {
     // fingerprint must agree before any array bytes are trusted.
     if (info.rows < 0 || info.cols < 0 || info.nnz < 0)
         return invalid("negative dimensions in .spmvc header");
-    if (plan.rowptr_bytes !=
-        (static_cast<std::uint64_t>(info.rows) + 1) *
-            sizeof(CsrView::offset_type))
+    if (plan.rowptr_bytes != (static_cast<std::uint64_t>(info.rows) + 1) *
+                                 rowptr_elem_bytes(info.index_width))
         return invalid("rowptr section length disagrees with rows");
     if (plan.colidx_bytes != static_cast<std::uint64_t>(info.nnz) *
-                                 sizeof(CsrView::index_type))
+                                 colidx_elem_bytes(info.index_width))
         return invalid("colidx section length disagrees with nnz");
-    if (plan.values_bytes != static_cast<std::uint64_t>(info.nnz) *
-                                 sizeof(CsrView::value_type))
+    if (plan.values_bytes !=
+        static_cast<std::uint64_t>(info.nnz) * sizeof(double))
         return invalid("values section length disagrees with nnz");
     for (const std::uint64_t offset :
          {plan.rowptr_offset, plan.colidx_offset, plan.values_offset})
@@ -374,7 +404,7 @@ SectionChecksums read_section_checksums(const unsigned char* data) {
 MappedCsr::MappedCsr(MappedCsr&& other) noexcept
     : base_(std::exchange(other.base_, nullptr)),
       length_(std::exchange(other.length_, 0)),
-      view_(std::exchange(other.view_, CsrView{})),
+      view_(std::exchange(other.view_, AnyCsrView{})),
       info_(std::move(other.info_)) {}
 
 MappedCsr& MappedCsr::operator=(MappedCsr&& other) noexcept {
@@ -382,7 +412,7 @@ MappedCsr& MappedCsr::operator=(MappedCsr&& other) noexcept {
         if (base_ != nullptr) ::munmap(base_, length_);
         base_ = std::exchange(other.base_, nullptr);
         length_ = std::exchange(other.length_, 0);
-        view_ = std::exchange(other.view_, CsrView{});
+        view_ = std::exchange(other.view_, AnyCsrView{});
         info_ = std::move(other.info_);
     }
     return *this;
@@ -392,15 +422,13 @@ MappedCsr::~MappedCsr() {
     if (base_ != nullptr) ::munmap(base_, length_);
 }
 
-[[nodiscard]] Status write_binary_cache(const std::string& cache_path,
-                                        const CsrView& m,
-                                        const MatrixFingerprint& fingerprint,
-                                        const MatrixStats& stats,
-                                        const std::string& source_path,
-                                        const SourceStamp& stamp) {
-    if (Status s = fault::maybe_fail("cache.write"); !s.ok())
-        return std::move(s).wrap("writing cache '" + cache_path + "'");
+namespace {
 
+template <class Idx>
+[[nodiscard]] Status write_binary_cache_impl(
+    const std::string& cache_path, const BasicCsrView<Idx>& m,
+    const MatrixFingerprint& fingerprint, const MatrixStats& stats,
+    const std::string& source_path, const SourceStamp& stamp) {
     const SectionPlan plan = plan_sections(m);
     const std::uint64_t rowptr_checksum =
         section_checksum(m.rowptr().data(), plan.rowptr_bytes);
@@ -464,8 +492,25 @@ MappedCsr::~MappedCsr() {
     return OkStatus();
 }
 
+}  // namespace
+
+[[nodiscard]] Status write_binary_cache(const std::string& cache_path,
+                                        const AnyCsrView& m,
+                                        const MatrixFingerprint& fingerprint,
+                                        const MatrixStats& stats,
+                                        const std::string& source_path,
+                                        const SourceStamp& stamp) {
+    if (Status s = fault::maybe_fail("cache.write"); !s.ok())
+        return std::move(s).wrap("writing cache '" + cache_path + "'");
+    return m.visit([&](const auto& view) {
+        return write_binary_cache_impl(cache_path, view, fingerprint, stats,
+                                       source_path, stamp);
+    });
+}
+
 [[nodiscard]] Result<MappedCsr> load_binary_cache(
-    const std::string& cache_path, const SourceStamp* expected) {
+    const std::string& cache_path, const SourceStamp* expected,
+    IndexWidthChoice want) {
     if (Status s = fault::maybe_fail("cache.map"); !s.ok())
         return std::move(s).wrap("mapping cache '" + cache_path + "'");
 
@@ -499,6 +544,19 @@ MappedCsr::~MappedCsr() {
     if (Status s = decode_header(data, file_bytes, mapped.info_, plan);
         !s.ok())
         return std::move(s).wrap("loading cache '" + cache_path + "'");
+
+    // A forced width treats the other-width entry like a miss: the caller
+    // re-parses at the wanted width and rewrites the cache.
+    if ((want == IndexWidthChoice::W32 &&
+         mapped.info_.index_width != IndexWidth::W32) ||
+        (want == IndexWidthChoice::W64 &&
+         mapped.info_.index_width != IndexWidth::W64))
+        return Error(ErrorCode::UnsupportedError,
+                     "cache stores " +
+                         std::string(to_string(mapped.info_.index_width)) +
+                         "-bit indices but --index-width forces " +
+                         std::string(to_string(want)))
+            .wrap("loading cache '" + cache_path + "'");
 
     for (const auto& [offset, bytes, what] :
          {std::tuple{plan.rowptr_offset, plan.rowptr_bytes, "rowptr"},
@@ -539,21 +597,29 @@ MappedCsr::~MappedCsr() {
             .wrap("loading cache '" + cache_path + "'");
 
     // Page-aligned offsets guarantee the alignment of every element type.
-    mapped.view_ = CsrView(
-        mapped.info_.rows, mapped.info_.cols,
-        std::span<const CsrView::offset_type>(
-            static_cast<const CsrView::offset_type*>(
-                byte_ptr(data, plan.rowptr_offset)),
-            static_cast<std::size_t>(mapped.info_.rows) + 1),
-        std::span<const CsrView::index_type>(
-            static_cast<const CsrView::index_type*>(
-                byte_ptr(data, plan.colidx_offset)),
-            static_cast<std::size_t>(mapped.info_.nnz)),
-        std::span<const CsrView::value_type>(
-            static_cast<const CsrView::value_type*>(
-                byte_ptr(data, plan.values_offset)),
-            static_cast<std::size_t>(mapped.info_.nnz)));
-    if (Status s = check_csr_view(mapped.view_); !s.ok())
+    const auto make_view = [&]<class Idx>(Idx) {
+        return BasicCsrView<Idx>(
+            mapped.info_.rows, mapped.info_.cols,
+            std::span<const typename Idx::offset_type>(
+                static_cast<const typename Idx::offset_type*>(
+                    byte_ptr(data, plan.rowptr_offset)),
+                static_cast<std::size_t>(mapped.info_.rows) + 1),
+            std::span<const typename Idx::index_type>(
+                static_cast<const typename Idx::index_type*>(
+                    byte_ptr(data, plan.colidx_offset)),
+                static_cast<std::size_t>(mapped.info_.nnz)),
+            std::span<const double>(
+                static_cast<const double*>(
+                    byte_ptr(data, plan.values_offset)),
+                static_cast<std::size_t>(mapped.info_.nnz)));
+    };
+    if (mapped.info_.index_width == IndexWidth::W32)
+        mapped.view_ = AnyCsrView(make_view(Idx32{}));
+    else
+        mapped.view_ = AnyCsrView(make_view(Idx64{}));
+    if (Status s = mapped.view_.visit(
+            [](const auto& v) { return check_csr_view(v); });
+        !s.ok())
         return std::move(s).wrap("loading cache '" + cache_path + "'");
     return mapped;
 }

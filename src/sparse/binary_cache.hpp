@@ -1,8 +1,9 @@
 // Versioned, checksummed binary CSR cache (`.spmvc`): parse a Matrix
 // Market file once, mmap the result forever after.
 //
-// A `.spmvc` file holds the three CSR arrays in their in-memory layout
-// (int64 rowptr, int32 colidx, double values — §3.1 of the paper), each
+// A `.spmvc` file holds the three CSR arrays in their in-memory layout at
+// either index width (W32: uint32 rowptr + int32 colidx; W64: int64 rowptr
+// + int64 colidx; values are always double — §3.1 of the paper), each
 // starting on a 4096-byte page boundary so a read-only mmap yields
 // correctly aligned arrays with zero copying or byte-swapping on
 // little-endian hosts. The header carries a format version, the source
@@ -31,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 #include "sparse/fingerprint.hpp"
 #include "sparse/matrix_stats.hpp"
@@ -41,8 +43,10 @@ namespace spmvcache {
 /// First 8 bytes of every .spmvc file.
 inline constexpr char kSpmvcMagic[8] = {'S', 'P', 'M', 'V', 'C', 'S', 'R',
                                         '\0'};
-/// Bumped on any layout change; readers reject other versions.
-inline constexpr std::uint32_t kSpmvcFormatVersion = 1;
+/// Bumped on any layout change; readers reject other versions. Version 2
+/// introduced the dual-width index layout (the W32 rowptr narrowed from
+/// int64 to uint32) and made the reserved header word a width tag.
+inline constexpr std::uint32_t kSpmvcFormatVersion = 2;
 /// Sections (and the header block) are padded to this boundary. A page
 /// multiple, and comfortably a multiple of the 256-byte A64FX line.
 inline constexpr std::uint64_t kSpmvcSectionAlign = 4096;
@@ -62,6 +66,7 @@ struct SpmvcInfo {
     std::int64_t rows = 0;
     std::int64_t cols = 0;
     std::int64_t nnz = 0;
+    IndexWidth index_width = IndexWidth::W32;  ///< stored array width
     SourceStamp source;           ///< stamp of the source at write time
     MatrixFingerprint fingerprint;
     MatrixStats stats;
@@ -81,23 +86,27 @@ public:
     MappedCsr& operator=(const MappedCsr&) = delete;
     ~MappedCsr();
 
-    [[nodiscard]] CsrView view() const noexcept { return view_; }
+    /// Width-erased view over the mapped arrays; the stored width is
+    /// info().index_width (or view().index_width()).
+    [[nodiscard]] AnyCsrView view() const noexcept { return view_; }
     [[nodiscard]] const SpmvcInfo& info() const noexcept { return info_; }
 
 private:
     friend Result<MappedCsr> load_binary_cache(const std::string&,
-                                               const SourceStamp*);
+                                               const SourceStamp*,
+                                               IndexWidthChoice);
     void* base_ = nullptr;
     std::size_t length_ = 0;
-    CsrView view_;
+    AnyCsrView view_;
     SpmvcInfo info_;
 };
 
 /// Serializes `m` (plus its fingerprint and stats) to `cache_path`
-/// atomically. `source_path`/`stamp` describe the file the matrix was
-/// parsed from; loads check the stamp against the live file.
+/// atomically, at whatever index width `m` carries. `source_path`/`stamp`
+/// describe the file the matrix was parsed from; loads check the stamp
+/// against the live file.
 [[nodiscard]] Status write_binary_cache(const std::string& cache_path,
-                                        const CsrView& m,
+                                        const AnyCsrView& m,
                                         const MatrixFingerprint& fingerprint,
                                         const MatrixStats& stats,
                                         const std::string& source_path,
@@ -106,9 +115,13 @@ private:
 /// Maps `cache_path` read-only and validates it end to end: magic,
 /// version, header checksum, header-internal consistency, section bounds
 /// and alignment, section checksums, and the CSR structural invariants.
-/// When `expected` is non-null, a stamp mismatch is CacheStale.
+/// When `expected` is non-null, a stamp mismatch is CacheStale. `want`
+/// narrows acceptance: Auto maps whichever width the file stores; a forced
+/// width rejects the other with UnsupportedError, which callers treat like
+/// any other cache miss (re-parse at the wanted width and rewrite).
 [[nodiscard]] Result<MappedCsr> load_binary_cache(
-    const std::string& cache_path, const SourceStamp* expected = nullptr);
+    const std::string& cache_path, const SourceStamp* expected = nullptr,
+    IndexWidthChoice want = IndexWidthChoice::Auto);
 
 /// Reads and validates only the header (magic/version/checksum) — the
 /// cheap path for `spmvcache cache inspect` and fingerprint reuse; array

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "sparse/any_csr.hpp"
 #include "sparse/csr.hpp"
 #include "util/error.hpp"
 
@@ -12,14 +13,12 @@ CooMatrix::CooMatrix(std::int64_t rows, std::int64_t cols)
     : rows_(rows), cols_(cols) {
     SPMV_EXPECTS(rows >= 0);
     SPMV_EXPECTS(cols >= 0);
-    SPMV_EXPECTS(cols <= std::numeric_limits<std::int32_t>::max());
 }
 
 void CooMatrix::add(std::int64_t row, std::int64_t col, double value) {
     SPMV_EXPECTS(row >= 0 && row < rows_);
     SPMV_EXPECTS(col >= 0 && col < cols_);
-    entries_.push_back(
-        CooEntry{row, static_cast<std::int32_t>(col), value});
+    entries_.push_back(CooEntry{row, col, value});
 }
 
 std::size_t CooMatrix::sort_and_combine() {
@@ -42,6 +41,50 @@ std::size_t CooMatrix::sort_and_combine() {
     return before - out;
 }
 
+template <class Idx>
+[[nodiscard]] Result<BasicCsrMatrix<Idx>> CooMatrix::to_csr_width(
+    std::size_t* duplicates) && {
+    const std::size_t merged = sort_and_combine();
+    if (duplicates != nullptr) *duplicates = merged;
+    if constexpr (Idx::width == IndexWidth::W32) {
+        if (!width32_representable(rows_, cols_,
+                                   static_cast<std::int64_t>(entries_.size())))
+            return Error(ErrorCode::UnsupportedError,
+                         "matrix does not fit the 32-bit index layout "
+                         "(rows " + std::to_string(rows_) + ", cols " +
+                             std::to_string(cols_) + ", nnz " +
+                             std::to_string(entries_.size()) + ")");
+    }
+    try {
+        BasicCsrBuilder<Idx> builder(rows_, cols_, entries_.size());
+        for (const auto& e : entries_) builder.push(e.row, e.col, e.value);
+        entries_.clear();
+        entries_.shrink_to_fit();
+        return std::move(builder).finish();
+    } catch (const std::bad_alloc&) {
+        return Error(ErrorCode::ResourceError,
+                     "out of memory assembling CSR (" +
+                         std::to_string(entries_.size()) + " entries)");
+    }
+}
+
+[[nodiscard]] Result<AnyCsrMatrix> CooMatrix::to_csr_any(
+    IndexWidthChoice choice, std::size_t* duplicates) && {
+    const std::size_t merged = sort_and_combine();
+    if (duplicates != nullptr) *duplicates = merged;
+    Result<IndexWidth> width = resolve_index_width(
+        choice, rows_, cols_, static_cast<std::int64_t>(entries_.size()));
+    if (!width.ok()) return std::move(width).to_error();
+    if (width.value() == IndexWidth::W32) {
+        Result<CsrMatrix> narrow = std::move(*this).to_csr_width<Idx32>();
+        if (!narrow.ok()) return std::move(narrow).to_error();
+        return AnyCsrMatrix(std::move(narrow).value());
+    }
+    Result<CsrMatrix64> wide = std::move(*this).to_csr_width<Idx64>();
+    if (!wide.ok()) return std::move(wide).to_error();
+    return AnyCsrMatrix(std::move(wide).value());
+}
+
 CsrMatrix CooMatrix::to_csr() && {
     sort_and_combine();
 
@@ -53,19 +96,12 @@ CsrMatrix CooMatrix::to_csr() && {
 }
 
 [[nodiscard]] Result<CsrMatrix> CooMatrix::try_to_csr(std::size_t* duplicates) && {
-    const std::size_t merged = sort_and_combine();
-    if (duplicates != nullptr) *duplicates = merged;
-    try {
-        CsrBuilder builder(rows_, cols_, entries_.size());
-        for (const auto& e : entries_) builder.push(e.row, e.col, e.value);
-        entries_.clear();
-        entries_.shrink_to_fit();
-        return std::move(builder).finish();
-    } catch (const std::bad_alloc&) {
-        return Error(ErrorCode::ResourceError,
-                     "out of memory assembling CSR (" +
-                         std::to_string(entries_.size()) + " entries)");
-    }
+    return std::move(*this).to_csr_width<Idx32>(duplicates);
 }
+
+template Result<BasicCsrMatrix<Idx32>> CooMatrix::to_csr_width<Idx32>(
+    std::size_t*) &&;
+template Result<BasicCsrMatrix<Idx64>> CooMatrix::to_csr_width<Idx64>(
+    std::size_t*) &&;
 
 }  // namespace spmvcache

@@ -1,20 +1,28 @@
 // Coordinate-format sparse matrix: the assembly format every generator and
-// the Matrix Market reader produce before conversion to CSR.
+// the Matrix Market reader produce before conversion to CSR. Entries keep
+// 64-bit coordinates regardless of the target CSR index width — the width
+// is chosen at conversion time (to_csr_width / to_csr_any), so narrow
+// matrices are materialized narrow directly with no 64->32 copy pass over
+// the finished CSR arrays.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sparse/index_width.hpp"
 #include "util/status.hpp"
 
 namespace spmvcache {
 
-class CsrMatrix;  // forward declaration (csr.hpp)
+template <class Idx>
+class BasicCsrMatrix;  // forward declaration (csr.hpp)
+using CsrMatrix = BasicCsrMatrix<Idx32>;
+class AnyCsrMatrix;  // forward declaration (any_csr.hpp)
 
 /// One nonzero entry in coordinate form.
 struct CooEntry {
     std::int64_t row = 0;
-    std::int32_t col = 0;
+    std::int64_t col = 0;
     double value = 0.0;
 };
 
@@ -23,7 +31,7 @@ class CooMatrix {
 public:
     CooMatrix() = default;
 
-    /// Pre: rows >= 0, cols >= 0 and cols representable as int32.
+    /// Pre: rows >= 0, cols >= 0.
     CooMatrix(std::int64_t rows, std::int64_t cols);
 
     /// Appends an entry. Pre: 0 <= row < rows(), 0 <= col < cols().
@@ -36,14 +44,28 @@ public:
     /// Returns the number of entries removed by merging (0 = no duplicates).
     std::size_t sort_and_combine();
 
-    /// Converts to CSR; sorts and combines duplicates first.
+    /// Converts to narrow CSR; sorts and combines duplicates first.
+    /// Pre: the shape fits the W32 layout.
     [[nodiscard]] CsrMatrix to_csr() &&;
 
-    /// Typed conversion for input pipelines: never throws for data the
-    /// add() contract admitted; reports merged duplicates through
+    /// Typed narrow conversion for input pipelines: never throws for data
+    /// the add() contract admitted; reports merged duplicates through
     /// `duplicates` (may be null) so strict parsers can reject them.
+    /// UnsupportedError when the shape exceeds the W32 bounds.
     [[nodiscard]] Result<CsrMatrix> try_to_csr(
         std::size_t* duplicates = nullptr) &&;
+
+    /// Width-explicit conversion: materializes the CSR arrays directly at
+    /// `Idx`'s element widths. UnsupportedError when Idx is Idx32 and the
+    /// shape exceeds the W32 bounds.
+    template <class Idx>
+    [[nodiscard]] Result<BasicCsrMatrix<Idx>> to_csr_width(
+        std::size_t* duplicates = nullptr) &&;
+
+    /// Resolves `choice` against the final (post-merge) shape and converts
+    /// at the resolved width (auto narrows whenever representable).
+    [[nodiscard]] Result<AnyCsrMatrix> to_csr_any(
+        IndexWidthChoice choice, std::size_t* duplicates = nullptr) &&;
 
     [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
     [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
@@ -57,5 +79,10 @@ private:
     std::int64_t cols_ = 0;
     std::vector<CooEntry> entries_;
 };
+
+extern template Result<BasicCsrMatrix<Idx32>> CooMatrix::to_csr_width<Idx32>(
+    std::size_t*) &&;
+extern template Result<BasicCsrMatrix<Idx64>> CooMatrix::to_csr_width<Idx64>(
+    std::size_t*) &&;
 
 }  // namespace spmvcache

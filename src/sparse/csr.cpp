@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "sparse/csr_view.hpp"
@@ -10,22 +11,19 @@
 
 namespace spmvcache {
 
-std::int64_t CsrMatrix::row_nnz(std::int64_t r) const {
-    SPMV_EXPECTS(r >= 0 && r < rows_);
-    return rowptr_[static_cast<std::size_t>(r) + 1] -
-           rowptr_[static_cast<std::size_t>(r)];
-}
-
-void CsrMatrix::validate() const {
+template <class Idx>
+void BasicCsrMatrix<Idx>::validate() const {
     if (const Status s = check(); !s.ok())
         throw ContractViolation("CsrMatrix::validate: " + s.render());
 }
 
-[[nodiscard]] Status CsrMatrix::check() const {
-    return check_csr_view(CsrView(*this));
+template <class Idx>
+[[nodiscard]] Status BasicCsrMatrix<Idx>::check() const {
+    return check_csr_view(BasicCsrView<Idx>(*this));
 }
 
-[[nodiscard]] Status check_csr_view(const CsrView& m) {
+template <class Idx>
+[[nodiscard]] Status check_csr_view(const BasicCsrView<Idx>& m) {
     const auto invalid = [](std::string what) {
         return Status(ErrorCode::ValidationError, std::move(what));
     };
@@ -38,19 +36,24 @@ void CsrMatrix::validate() const {
     if (rowptr.front() != 0) return invalid("rowptr[0] != 0");
     if (colidx.size() != m.values().size())
         return invalid("colidx/values length mismatch");
-    if (rowptr.back() != static_cast<std::int64_t>(colidx.size()))
+    if (static_cast<std::uint64_t>(rowptr.back()) != colidx.size())
         return invalid("rowptr[rows] != nnz");
     for (std::int64_t r = 0; r < m.rows(); ++r) {
-        const auto begin = rowptr[static_cast<std::size_t>(r)];
-        const auto end = rowptr[static_cast<std::size_t>(r) + 1];
+        const auto begin = static_cast<std::int64_t>(
+            rowptr[static_cast<std::size_t>(r)]);
+        const auto end = static_cast<std::int64_t>(
+            rowptr[static_cast<std::size_t>(r) + 1]);
         if (begin > end)
             return invalid("rowptr not monotone at row " + std::to_string(r));
         for (std::int64_t i = begin; i < end; ++i) {
-            const auto c = colidx[static_cast<std::size_t>(i)];
+            const auto c = static_cast<std::int64_t>(
+                colidx[static_cast<std::size_t>(i)]);
             if (c < 0 || c >= m.cols())
                 return invalid("column index " + std::to_string(c) +
                                " out of range in row " + std::to_string(r));
-            if (i > begin && colidx[static_cast<std::size_t>(i - 1)] >= c)
+            if (i > begin &&
+                static_cast<std::int64_t>(
+                    colidx[static_cast<std::size_t>(i - 1)]) >= c)
                 return invalid("columns not strictly increasing in row " +
                                std::to_string(r));
         }
@@ -58,41 +61,49 @@ void CsrMatrix::validate() const {
     return OkStatus();
 }
 
-CsrMatrix CsrMatrix::permuted_symmetric(
-    std::span<const std::int32_t> perm) const {
+template <class Idx>
+BasicCsrMatrix<Idx> BasicCsrMatrix<Idx>::permuted_symmetric(
+    std::span<const index_type> perm) const {
     SPMV_EXPECTS(rows_ == cols_);
     SPMV_EXPECTS(perm.size() == static_cast<std::size_t>(rows_));
 
     // inverse[old] = new
-    std::vector<std::int32_t> inverse(perm.size());
+    std::vector<index_type> inverse(perm.size());
     for (std::size_t n = 0; n < perm.size(); ++n) {
         const auto old = perm[n];
-        SPMV_EXPECTS(old >= 0 && old < rows_);
-        inverse[static_cast<std::size_t>(old)] = static_cast<std::int32_t>(n);
+        SPMV_EXPECTS(old >= 0 && static_cast<std::int64_t>(old) < rows_);
+        inverse[static_cast<std::size_t>(old)] = static_cast<index_type>(n);
     }
 
-    CsrBuilder builder(rows_, cols_, static_cast<std::size_t>(nnz()));
-    std::vector<std::pair<std::int32_t, double>> row_entries;
+    BasicCsrBuilder<Idx> builder(rows_, cols_,
+                                 static_cast<std::size_t>(nnz()));
+    std::vector<std::pair<index_type, double>> row_entries;
     for (std::int64_t new_r = 0; new_r < rows_; ++new_r) {
         const auto old_r = static_cast<std::size_t>(perm[
             static_cast<std::size_t>(new_r)]);
         row_entries.clear();
-        for (std::int64_t i = rowptr_[old_r]; i < rowptr_[old_r + 1]; ++i) {
+        for (auto i = static_cast<std::int64_t>(rowptr_[old_r]);
+             i < static_cast<std::int64_t>(rowptr_[old_r + 1]); ++i) {
             const auto old_c = colidx_[static_cast<std::size_t>(i)];
             row_entries.emplace_back(inverse[static_cast<std::size_t>(old_c)],
                                      values_[static_cast<std::size_t>(i)]);
         }
         std::sort(row_entries.begin(), row_entries.end());
-        for (const auto& [c, v] : row_entries) builder.push(new_r, c, v);
+        for (const auto& [c, v] : row_entries)
+            builder.push(new_r, static_cast<std::int64_t>(c), v);
     }
     return std::move(builder).finish();
 }
 
-CsrBuilder::CsrBuilder(std::int64_t rows, std::int64_t cols,
-                       std::size_t nnz_hint) {
+template <class Idx>
+BasicCsrBuilder<Idx>::BasicCsrBuilder(std::int64_t rows, std::int64_t cols,
+                                      std::size_t nnz_hint) {
     SPMV_EXPECTS(rows >= 0);
     SPMV_EXPECTS(cols >= 0);
-    SPMV_EXPECTS(cols <= std::numeric_limits<std::int32_t>::max());
+    SPMV_EXPECTS(cols <= static_cast<std::int64_t>(
+                             std::numeric_limits<index_type>::max()));
+    SPMV_EXPECTS(rows < static_cast<std::int64_t>(
+                            std::numeric_limits<offset_type>::max()));
     m_.rows_ = rows;
     m_.cols_ = cols;
     m_.rowptr_.reserve(static_cast<std::size_t>(rows) + 1);
@@ -101,29 +112,33 @@ CsrBuilder::CsrBuilder(std::int64_t rows, std::int64_t cols,
     m_.values_.reserve(nnz_hint);
 }
 
-void CsrBuilder::push(std::int64_t row, std::int32_t col, double value) {
+template <class Idx>
+void BasicCsrBuilder<Idx>::push(std::int64_t row, std::int64_t col,
+                                double value) {
     SPMV_EXPECTS(row >= current_row_ && row < m_.rows_);
     SPMV_EXPECTS(col >= 0 && col < m_.cols_);
     while (current_row_ < row) {
-        m_.rowptr_.push_back(static_cast<std::int64_t>(m_.colidx_.size()));
+        m_.rowptr_.push_back(checked_nnz());
         ++current_row_;
         last_col_ = -1;
     }
     SPMV_EXPECTS(col > last_col_);
     last_col_ = col;
-    m_.colidx_.push_back(col);
+    m_.colidx_.push_back(static_cast<index_type>(col));
     m_.values_.push_back(value);
 }
 
-CsrMatrix CsrBuilder::finish() && {
+template <class Idx>
+BasicCsrMatrix<Idx> BasicCsrBuilder<Idx>::finish() && {
     while (current_row_ < m_.rows_) {
-        m_.rowptr_.push_back(static_cast<std::int64_t>(m_.colidx_.size()));
+        m_.rowptr_.push_back(checked_nnz());
         ++current_row_;
     }
     return std::move(m_);
 }
 
-std::vector<double> to_dense(const CsrMatrix& m) {
+template <class Idx>
+std::vector<double> to_dense(const BasicCsrMatrix<Idx>& m) {
     std::vector<double> dense(
         static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols()),
         0.0);
@@ -131,8 +146,11 @@ std::vector<double> to_dense(const CsrMatrix& m) {
     const auto colidx = m.colidx();
     const auto values = m.values();
     for (std::int64_t r = 0; r < m.rows(); ++r) {
-        for (auto i = rowptr[static_cast<std::size_t>(r)];
-             i < rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        for (auto i = static_cast<std::int64_t>(
+                 rowptr[static_cast<std::size_t>(r)]);
+             i < static_cast<std::int64_t>(
+                     rowptr[static_cast<std::size_t>(r) + 1]);
+             ++i) {
             dense[static_cast<std::size_t>(r) *
                       static_cast<std::size_t>(m.cols()) +
                   static_cast<std::size_t>(
@@ -142,5 +160,14 @@ std::vector<double> to_dense(const CsrMatrix& m) {
     }
     return dense;
 }
+
+template class BasicCsrMatrix<Idx32>;
+template class BasicCsrMatrix<Idx64>;
+template class BasicCsrBuilder<Idx32>;
+template class BasicCsrBuilder<Idx64>;
+template std::vector<double> to_dense<Idx32>(const CsrMatrix&);
+template std::vector<double> to_dense<Idx64>(const CsrMatrix64&);
+template Status check_csr_view<Idx32>(const CsrView&);
+template Status check_csr_view<Idx64>(const CsrView64&);
 
 }  // namespace spmvcache

@@ -2,15 +2,17 @@
 //
 // The paper's pipeline (trace generation, reuse-distance replay, kernels,
 // statistics, fingerprinting) only ever *reads* the three CSR arrays. A
-// CsrView carries spans over rowptr/colidx/values plus the dimensions, so
-// those consumers no longer care who owns the bytes: an aligned_vector
-// inside a CsrMatrix, or a read-only mmap of a `.spmvc` binary cache file
-// (sparse/binary_cache.hpp). The view mirrors CsrMatrix's read API exactly
-// and converts implicitly from `const CsrMatrix&`, so call sites holding a
-// real matrix keep working unchanged.
+// BasicCsrView carries spans over rowptr/colidx/values plus the
+// dimensions, so those consumers no longer care who owns the bytes: an
+// aligned_vector inside a BasicCsrMatrix, or a read-only mmap of a
+// `.spmvc` binary cache file (sparse/binary_cache.hpp). The view mirrors
+// the matrix's read API exactly and converts implicitly from
+// `const BasicCsrMatrix<Idx>&`, so call sites holding a real matrix keep
+// working unchanged. `CsrView` aliases the narrow default width;
+// `CsrView64` the wide fallback (sparse/index_width.hpp).
 //
-// Lifetime: a CsrView never keeps anything alive. Pair it with whatever
-// owns the storage (CsrMatrix, MappedCsr, LoadedMatrix) for any use that
+// Lifetime: a view never keeps anything alive. Pair it with whatever owns
+// the storage (BasicCsrMatrix, MappedCsr, LoadedMatrix) for any use that
 // outlives the owner's scope.
 #pragma once
 
@@ -23,17 +25,23 @@
 namespace spmvcache {
 
 /// Read-only, non-owning CSR matrix view (see file comment).
-class CsrView {
+template <class Idx>
+class BasicCsrView {
 public:
-    using value_type = CsrMatrix::value_type;
-    using index_type = CsrMatrix::index_type;
-    using offset_type = CsrMatrix::offset_type;
+    using value_type = double;
+    using index_type = typename Idx::index_type;
+    using offset_type = typename Idx::offset_type;
+    using idx_tag = Idx;
 
-    CsrView() = default;
+    BasicCsrView() = default;
+
+    [[nodiscard]] static constexpr IndexWidth index_width() noexcept {
+        return Idx::width;
+    }
 
     /// Views an owning matrix. Implicit on purpose: every consumer of the
-    /// locality pipeline takes a CsrView, and a CsrMatrix is one.
-    /* implicit */ CsrView(const CsrMatrix& m) noexcept
+    /// locality pipeline takes a view, and a BasicCsrMatrix is one.
+    /* implicit */ BasicCsrView(const BasicCsrMatrix<Idx>& m) noexcept
         : rows_(m.rows()),
           cols_(m.cols()),
           rowptr_(m.rowptr()),
@@ -42,10 +50,10 @@ public:
 
     /// Views raw arrays (the mmap path). Pre: rowptr.size() == rows + 1,
     /// colidx.size() == values.size() == rowptr.back().
-    CsrView(std::int64_t rows, std::int64_t cols,
-            std::span<const offset_type> rowptr,
-            std::span<const index_type> colidx,
-            std::span<const value_type> values) noexcept
+    BasicCsrView(std::int64_t rows, std::int64_t cols,
+                 std::span<const offset_type> rowptr,
+                 std::span<const index_type> colidx,
+                 std::span<const value_type> values) noexcept
         : rows_(rows),
           cols_(cols),
           rowptr_(rowptr),
@@ -55,7 +63,8 @@ public:
     [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
     [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
     [[nodiscard]] std::int64_t nnz() const noexcept {
-        return rowptr_.empty() ? 0 : rowptr_.back();
+        return rowptr_.empty() ? 0
+                               : static_cast<std::int64_t>(rowptr_.back());
     }
 
     [[nodiscard]] std::span<const offset_type> rowptr() const noexcept {
@@ -71,8 +80,9 @@ public:
     /// Number of nonzeros in row r. Pre: 0 <= r < rows().
     [[nodiscard]] std::int64_t row_nnz(std::int64_t r) const {
         SPMV_EXPECTS(r >= 0 && r < rows_);
-        return rowptr_[static_cast<std::size_t>(r) + 1] -
-               rowptr_[static_cast<std::size_t>(r)];
+        return static_cast<std::int64_t>(
+            rowptr_[static_cast<std::size_t>(r) + 1] -
+            rowptr_[static_cast<std::size_t>(r)]);
     }
 
     /// Byte sizes of the individual arrays (§3.1 working-set terms).
@@ -104,9 +114,16 @@ private:
     std::span<const value_type> values_;
 };
 
-/// Structural invariant check shared by CsrMatrix::check() and the binary
-/// cache loader: monotone rowptr, indices in range, strictly increasing
-/// columns per row. Never throws; reports the first violation.
-[[nodiscard]] Status check_csr_view(const CsrView& m);
+using CsrView = BasicCsrView<Idx32>;
+using CsrView64 = BasicCsrView<Idx64>;
+
+/// Structural invariant check shared by BasicCsrMatrix::check() and the
+/// binary cache loader: monotone rowptr, indices in range, strictly
+/// increasing columns per row. Never throws; reports the first violation.
+template <class Idx>
+[[nodiscard]] Status check_csr_view(const BasicCsrView<Idx>& m);
+
+extern template Status check_csr_view<Idx32>(const CsrView&);
+extern template Status check_csr_view<Idx64>(const CsrView64&);
 
 }  // namespace spmvcache

@@ -37,28 +37,35 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
     return x ^ (x >> 31);
 }
 
-MatrixFingerprint fingerprint_matrix(const CsrView& m) {
+MatrixFingerprint fingerprint_matrix(const AnyCsrView& m) {
     MatrixFingerprint fp;
     fp.rows = m.rows();
     fp.cols = m.cols();
     fp.nnz = m.nnz();
 
-    const auto rowptr = m.rowptr();
-    const auto colidx = m.colidx();
-    for (std::int64_t r = 0; r < fp.rows; ++r) {
-        const std::int64_t row_nnz = rowptr[static_cast<std::size_t>(r) + 1] -
-                                     rowptr[static_cast<std::size_t>(r)];
-        ++fp.row_hist[log2_bucket<kFingerprintRowBuckets>(
-            static_cast<std::uint64_t>(row_nnz))];
-        for (std::int64_t k = rowptr[static_cast<std::size_t>(r)];
-             k < rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
-            const std::int64_t distance = std::llabs(
-                static_cast<std::int64_t>(colidx[static_cast<std::size_t>(k)]) -
-                r);
-            ++fp.band_hist[log2_bucket<kFingerprintBandBuckets>(
-                static_cast<std::uint64_t>(distance))];
+    m.visit([&](const auto& v) {
+        const auto rowptr = v.rowptr();
+        const auto colidx = v.colidx();
+        for (std::int64_t r = 0; r < fp.rows; ++r) {
+            const std::int64_t row_nnz = static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(r) + 1] -
+                rowptr[static_cast<std::size_t>(r)]);
+            ++fp.row_hist[log2_bucket<kFingerprintRowBuckets>(
+                static_cast<std::uint64_t>(row_nnz))];
+            const auto begin = static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(r)]);
+            const auto end = static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(r) + 1]);
+            for (std::int64_t k = begin; k < end; ++k) {
+                const std::int64_t distance =
+                    std::llabs(static_cast<std::int64_t>(
+                                   colidx[static_cast<std::size_t>(k)]) -
+                               r);
+                ++fp.band_hist[log2_bucket<kFingerprintBandBuckets>(
+                    static_cast<std::uint64_t>(distance))];
+            }
         }
-    }
+    });
 
     Mix128 mix;
     mix.feed(static_cast<std::uint64_t>(fp.rows));

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 
 namespace spmvcache {
@@ -42,8 +43,11 @@ struct MatrixFingerprint {
         const noexcept = default;
 };
 
-/// Computes the fingerprint in one pass over rowptr/colidx.
-[[nodiscard]] MatrixFingerprint fingerprint_matrix(const CsrView& m);
+/// Computes the fingerprint in one pass over rowptr/colidx. The summary is
+/// a function of the *pattern* only, so both index widths of the same
+/// matrix produce an identical fingerprint (views of either width convert
+/// implicitly).
+[[nodiscard]] MatrixFingerprint fingerprint_matrix(const AnyCsrView& m);
 
 /// 32-hex-digit key ("3f09..."), the external fingerprint identity used in
 /// responses and logs.

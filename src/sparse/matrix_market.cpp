@@ -57,8 +57,9 @@ private:
     std::int64_t line_no_ = 0;
 };
 
-[[nodiscard]] Result<CsrMatrix> read_impl(std::istream& in,
-                                          const MmReadOptions& options) {
+[[nodiscard]] Result<AnyCsrMatrix> read_impl(std::istream& in,
+                                             const MmReadOptions& options,
+                                             IndexWidthChoice width) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.header"));
     LineReader reader(in, options.max_line_bytes);
 
@@ -79,7 +80,8 @@ private:
     }
     SPMV_ASSIGN_OR_RETURN(
         const MmSize size,
-        mm_detail::parse_size_line(reader.view(), reader.line_no(), header));
+        mm_detail::parse_size_line(reader.view(), reader.line_no(), header,
+                                   width));
 
     CooMatrix coo(size.rows, size.cols);
     // parse_size_line proved 2*nnz fits; the contract keeps that proof
@@ -141,15 +143,25 @@ private:
                              reader.line_no());
         }
     }
-    return std::move(coo).try_to_csr();
+    return std::move(coo).to_csr_any(width);
+}
+
+/// Unwraps a forced-W32 parse into the narrow matrix the legacy entry
+/// points return.
+[[nodiscard]] Result<CsrMatrix> narrow_result(Result<AnyCsrMatrix> any) {
+    if (!any.ok()) return std::move(any).to_error();
+    AnyCsrMatrix m = std::move(any).value();
+    SPMV_EXPECTS(m.as32() != nullptr);
+    return std::move(m).take32();
 }
 
 }  // namespace
 
 [[nodiscard]] Result<CsrMatrix> try_read_matrix_market(std::istream& in,
                                          const MmReadOptions& options) {
-    return std::move(read_impl(in, options))
-        .wrap("reading Matrix Market stream");
+    return narrow_result(
+        std::move(read_impl(in, options, IndexWidthChoice::W32))
+            .wrap("reading Matrix Market stream"));
 }
 
 [[nodiscard]] Result<CsrMatrix> try_read_matrix_market_file(const std::string& path,
@@ -159,7 +171,25 @@ private:
     std::ifstream in(path);
     if (!in)
         return Error(ErrorCode::ResourceError, "cannot open '" + path + "'");
-    return std::move(read_impl(in, options)).wrap("reading '" + path + "'");
+    return narrow_result(std::move(read_impl(in, options, IndexWidthChoice::W32))
+                             .wrap("reading '" + path + "'"));
+}
+
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_any(
+    std::istream& in, const MmReadOptions& options) {
+    return std::move(read_impl(in, options, options.index_width))
+        .wrap("reading Matrix Market stream");
+}
+
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_any_file(
+    const std::string& path, const MmReadOptions& options) {
+    if (const Status s = fault::maybe_fail("mm.open"); !s.ok())
+        return Status(s).wrap("reading '" + path + "'");
+    std::ifstream in(path);
+    if (!in)
+        return Error(ErrorCode::ResourceError, "cannot open '" + path + "'");
+    return std::move(read_impl(in, options, options.index_width))
+        .wrap("reading '" + path + "'");
 }
 
 CsrMatrix read_matrix_market(std::istream& in) {

@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "sparse/any_csr.hpp"
 #include "sparse/csr.hpp"
 #include "util/status.hpp"
 
@@ -30,6 +31,12 @@ struct MmReadOptions {
     /// Any input line longer than this is a ParseError; guards the parser
     /// against pathological single-line files.
     std::size_t max_line_bytes = std::size_t{1} << 20;
+    /// Target CSR index width for the `_any` entry points: Auto narrows
+    /// whenever the parsed shape fits the W32 layout and widens otherwise;
+    /// a forced W32 rejects oversized shapes at the size line, before any
+    /// entry is read. The non-`_any` entry points ignore this and always
+    /// force W32 (their return type is the narrow CsrMatrix).
+    IndexWidthChoice index_width = default_index_width_choice();
 };
 
 /// Parses a Matrix Market stream. Errors carry the 1-based line number of
@@ -39,6 +46,15 @@ struct MmReadOptions {
 
 /// Reads a .mtx file from disk; the error chain names the file.
 [[nodiscard]] Result<CsrMatrix> try_read_matrix_market_file(
+    const std::string& path, const MmReadOptions& options = {});
+
+/// Width-aware parse: honours options.index_width and materializes the
+/// CSR arrays directly at the resolved width (no widen-then-narrow pass).
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_any(
+    std::istream& in, const MmReadOptions& options = {});
+
+/// Width-aware file read; the error chain names the file.
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_any_file(
     const std::string& path, const MmReadOptions& options = {});
 
 /// Legacy throwing wrapper: throws StatusError (a std::runtime_error) on

@@ -9,34 +9,40 @@
 
 namespace spmvcache {
 
-MatrixStats compute_stats(const CsrView& m) {
+MatrixStats compute_stats(const AnyCsrView& m) {
     MatrixStats s;
     s.rows = m.rows();
     s.cols = m.cols();
     s.nnz = m.nnz();
     s.matrix_bytes = m.values_bytes() + m.colidx_bytes() + m.rowptr_bytes();
     s.working_set_bytes = m.working_set_bytes();
+    s.index_width = m.index_width();
+    s.width32_ok = width32_representable(s.rows, s.cols, s.nnz);
 
-    const auto rowptr = m.rowptr();
-    const auto colidx = m.colidx();
     RunningMoments per_row;
     double abs_dist_sum = 0.0;
-    for (std::int64_t r = 0; r < m.rows(); ++r) {
-        const auto begin = rowptr[static_cast<std::size_t>(r)];
-        const auto end = rowptr[static_cast<std::size_t>(r) + 1];
-        const std::int64_t k = end - begin;
-        per_row.add(static_cast<double>(k));
-        if (k == 0) ++s.empty_rows;
-        if (k > s.max_nnz_per_row) s.max_nnz_per_row = k;
-        for (std::int64_t i = begin; i < end; ++i) {
-            const std::int64_t dist =
-                std::llabs(static_cast<std::int64_t>(
-                               colidx[static_cast<std::size_t>(i)]) -
-                           r);
-            abs_dist_sum += static_cast<double>(dist);
-            if (dist > s.bandwidth) s.bandwidth = dist;
+    m.visit([&](const auto& v) {
+        const auto rowptr = v.rowptr();
+        const auto colidx = v.colidx();
+        for (std::int64_t r = 0; r < v.rows(); ++r) {
+            const auto begin = static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(r)]);
+            const auto end = static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(r) + 1]);
+            const std::int64_t k = end - begin;
+            per_row.add(static_cast<double>(k));
+            if (k == 0) ++s.empty_rows;
+            if (k > s.max_nnz_per_row) s.max_nnz_per_row = k;
+            for (std::int64_t i = begin; i < end; ++i) {
+                const std::int64_t dist =
+                    std::llabs(static_cast<std::int64_t>(
+                                   colidx[static_cast<std::size_t>(i)]) -
+                               r);
+                abs_dist_sum += static_cast<double>(dist);
+                if (dist > s.bandwidth) s.bandwidth = dist;
+            }
         }
-    }
+    });
     s.mean_nnz_per_row = per_row.mean();
     s.stddev_nnz_per_row = per_row.stddev();
     s.cv_nnz_per_row = per_row.cv();

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 
 namespace spmvcache {
@@ -25,10 +26,18 @@ struct MatrixStats {
     std::int64_t bandwidth = 0;             ///< max |col - row|
     std::uint64_t matrix_bytes = 0;    ///< a + colidx + rowptr
     std::uint64_t working_set_bytes = 0;  ///< matrix + x + y
+    /// Physical index width of the matrix the stats were computed from
+    /// (matrix_bytes/working_set_bytes already reflect it).
+    IndexWidth index_width = IndexWidth::W32;
+    /// True when the shape fits the W32 layout — reported by
+    /// `spmvcache stats` so 64-bit entries that could narrow are visible.
+    bool width32_ok = true;
 };
 
-/// Computes all statistics in a single pass.
-[[nodiscard]] MatrixStats compute_stats(const CsrView& m);
+/// Computes all statistics in a single pass. Pattern statistics are
+/// width-independent; matrix_bytes/working_set_bytes reflect the physical
+/// storage width of `m` (views of either width convert implicitly).
+[[nodiscard]] MatrixStats compute_stats(const AnyCsrView& m);
 
 /// One-line human-readable rendering ("1.5M x 1.5M, 52.7M nnz, mu=35.0 ...").
 [[nodiscard]] std::string to_string(const MatrixStats& s);

@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 
+#include "sparse/index_width.hpp"
 #include "util/checked.hpp"
 #include "util/fault.hpp"
 #include "util/format.hpp"
@@ -109,9 +110,9 @@ inline bool is_comment_or_blank(std::string_view line) {
     return h;
 }
 
-[[nodiscard]] inline Result<MmSize> parse_size_line(std::string_view line,
-                                                    std::int64_t line_no,
-                                                    const MmHeader& header) {
+[[nodiscard]] inline Result<MmSize> parse_size_line(
+    std::string_view line, std::int64_t line_no, const MmHeader& header,
+    IndexWidthChoice width = IndexWidthChoice::W32) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.size_line"));
     MmSize size;
     const char* p = line.data();
@@ -132,15 +133,8 @@ inline bool is_comment_or_blank(std::string_view line) {
     if (header.symmetric && size.rows != size.cols)
         return Error(ErrorCode::ValidationError,
                      "symmetric file with non-square dimensions", line_no);
-    if (size.cols > std::numeric_limits<std::int32_t>::max())
-        return Error(ErrorCode::UnsupportedError,
-                     "cols exceed int32 (CSR layout stores 4-byte column "
-                     "indices)",
-                     line_no);
-    if (header.symmetric &&
-        size.rows > std::numeric_limits<std::int32_t>::max())
-        return Error(ErrorCode::UnsupportedError,
-                     "symmetric expansion needs rows to fit int32", line_no);
+    // int64 overflow is diagnosed before any width policy: a file whose
+    // rows*cols does not even fit int64 is broken at every index width.
     std::int64_t cells = 0;
     if (!checked_mul(size.rows, size.cols, cells))
         return Error(ErrorCode::OverflowError,
@@ -150,6 +144,27 @@ inline bool is_comment_or_blank(std::string_view line) {
                      "declared nnz " + std::to_string(size.nnz) +
                          " exceeds rows*cols = " + std::to_string(cells),
                      line_no);
+    // The W32 bounds are enforced here, before any entry is read, only
+    // when the caller *forces* the narrow layout; Auto resolves the width
+    // after the size line (sparse/index_width.hpp) and W64 has no 32-bit
+    // bounds at all.
+    if (width == IndexWidthChoice::W32) {
+        if (size.cols > std::numeric_limits<std::int32_t>::max())
+            return Error(ErrorCode::UnsupportedError,
+                         "cols exceed int32 (CSR layout stores 4-byte column "
+                         "indices)",
+                         line_no);
+        if (header.symmetric &&
+            size.rows > std::numeric_limits<std::int32_t>::max())
+            return Error(ErrorCode::UnsupportedError,
+                         "symmetric expansion needs rows to fit int32",
+                         line_no);
+        if (!width32_representable(size.rows, size.cols,
+                                   header.symmetric ? 0 : size.nnz))
+            return Error(ErrorCode::UnsupportedError,
+                         "matrix does not fit the forced 32-bit index layout",
+                         line_no);
+    }
     std::int64_t logical = size.nnz;
     if (header.symmetric &&
         !checked_mul<std::int64_t>(size.nnz, 2, logical))

@@ -11,6 +11,7 @@
 #include "sparse/mm_detail.hpp"
 #include "sync/thread_pool.hpp"
 #include "util/checked.hpp"
+#include "util/error.hpp"
 #include "util/fault.hpp"
 
 namespace spmvcache {
@@ -142,8 +143,9 @@ std::vector<std::string_view> split_chunks(std::string_view text,
     return chunks;
 }
 
-[[nodiscard]] Result<CsrMatrix> parallel_impl(
-    std::string_view text, const MmParallelOptions& options) {
+[[nodiscard]] Result<AnyCsrMatrix> parallel_impl(
+    std::string_view text, const MmParallelOptions& options,
+    IndexWidthChoice width) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("mm.header"));
     BufLineCursor cursor(text, options.base.max_line_bytes);
 
@@ -162,7 +164,8 @@ std::vector<std::string_view> split_chunks(std::string_view text,
     }
     SPMV_ASSIGN_OR_RETURN(
         const MmSize size,
-        mm_detail::parse_size_line(cursor.view(), cursor.line_no(), header));
+        mm_detail::parse_size_line(cursor.view(), cursor.line_no(), header,
+                                   width));
 
     const std::int64_t header_lines = cursor.line_no();
     const std::size_t entry_begin = cursor.pos();
@@ -260,21 +263,20 @@ std::vector<std::string_view> split_chunks(std::string_view text,
                          std::to_string(size.nnz) + " entries, found " +
                          std::to_string(seen),
                      std::max<std::int64_t>(line_base, 1));
-    return std::move(coo).try_to_csr();
+    return std::move(coo).to_csr_any(width);
 }
 
-}  // namespace
-
-[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel(
-    std::string_view text, const MmParallelOptions& options) {
-    return std::move(parallel_impl(text, options))
-        .wrap("reading Matrix Market stream");
+/// Unwraps a forced-W32 parse into the narrow matrix the legacy entry
+/// points return.
+[[nodiscard]] Result<CsrMatrix> narrow_result(Result<AnyCsrMatrix> any) {
+    if (!any.ok()) return std::move(any).to_error();
+    AnyCsrMatrix m = std::move(any).value();
+    SPMV_EXPECTS(m.as32() != nullptr);
+    return std::move(m).take32();
 }
 
-[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel_file(
-    const std::string& path, const MmParallelOptions& options) {
-    if (const Status s = fault::maybe_fail("mm.open"); !s.ok())
-        return Status(s).wrap("reading '" + path + "'");
+/// Slurps the whole file; the chunked scanner needs random access.
+[[nodiscard]] Result<std::string> read_file_text(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return Error(ErrorCode::ResourceError, "cannot open '" + path + "'");
@@ -289,7 +291,40 @@ std::vector<std::string_view> split_chunks(std::string_view text,
     if (in.bad())
         return Error(ErrorCode::ResourceError,
                      "read failed for '" + path + "'");
-    return std::move(parallel_impl(text, options))
+    return text;
+}
+
+}  // namespace
+
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel(
+    std::string_view text, const MmParallelOptions& options) {
+    return narrow_result(
+        std::move(parallel_impl(text, options, IndexWidthChoice::W32))
+            .wrap("reading Matrix Market stream"));
+}
+
+[[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel_file(
+    const std::string& path, const MmParallelOptions& options) {
+    if (const Status s = fault::maybe_fail("mm.open"); !s.ok())
+        return Status(s).wrap("reading '" + path + "'");
+    SPMV_ASSIGN_OR_RETURN(const std::string text, read_file_text(path));
+    return narrow_result(
+        std::move(parallel_impl(text, options, IndexWidthChoice::W32))
+            .wrap("reading '" + path + "'"));
+}
+
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_parallel_any(
+    std::string_view text, const MmParallelOptions& options) {
+    return std::move(parallel_impl(text, options, options.base.index_width))
+        .wrap("reading Matrix Market stream");
+}
+
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_parallel_any_file(
+    const std::string& path, const MmParallelOptions& options) {
+    if (const Status s = fault::maybe_fail("mm.open"); !s.ok())
+        return Status(s).wrap("reading '" + path + "'");
+    SPMV_ASSIGN_OR_RETURN(const std::string text, read_file_text(path));
+    return std::move(parallel_impl(text, options, options.base.index_width))
         .wrap("reading '" + path + "'");
 }
 

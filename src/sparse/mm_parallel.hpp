@@ -36,13 +36,24 @@ struct MmParallelOptions {
 };
 
 /// Parses a whole Matrix Market file already resident in memory.
+/// Forces the W32 layout (return type is the narrow CsrMatrix).
 /// Fault points: "mm.parallel" (hit once per chunk task).
 [[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel(
     std::string_view text, const MmParallelOptions& options = {});
 
 /// Reads the file into memory, then parses it with the chunked reader.
+/// Forces the W32 layout (return type is the narrow CsrMatrix).
 /// Fault points: "mm.open" (shared with the serial reader), "mm.parallel".
 [[nodiscard]] Result<CsrMatrix> try_read_matrix_market_parallel_file(
+    const std::string& path, const MmParallelOptions& options = {});
+
+/// Width-aware chunked parse: honours options.base.index_width and
+/// materializes the CSR arrays directly at the resolved width.
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_parallel_any(
+    std::string_view text, const MmParallelOptions& options = {});
+
+/// Width-aware chunked file read; the error chain names the file.
+[[nodiscard]] Result<AnyCsrMatrix> try_read_matrix_market_parallel_any_file(
     const std::string& path, const MmParallelOptions& options = {});
 
 }  // namespace spmvcache

@@ -6,7 +6,7 @@
 
 namespace spmvcache {
 
-RowPartition::RowPartition(const CsrView& m, std::int64_t threads,
+RowPartition::RowPartition(const AnyCsrView& m, std::int64_t threads,
                            PartitionPolicy policy) {
     SPMV_EXPECTS(threads >= 1);
     const auto n = m.rows();
@@ -26,24 +26,31 @@ RowPartition::RowPartition(const CsrView& m, std::int64_t threads,
     // BalancedNonzeros: walk rowptr, cutting when the running nonzero count
     // passes the next multiple of nnz/threads; a row straddling the target
     // goes to whichever side brings the cut closer to it.
-    const auto rowptr = m.rowptr();
-    const std::int64_t total = m.nnz();
-    std::int64_t row = 0;
-    for (std::int64_t t = 0; t < threads; ++t) {
-        const std::int64_t target = (t + 1) * total / threads;
-        const std::int64_t begin = row;
-        while (row < n && rowptr[static_cast<std::size_t>(row) + 1] <= target)
-            ++row;
-        if (row < n) {
-            const std::int64_t below =
-                target - rowptr[static_cast<std::size_t>(row)];
-            const std::int64_t above =
-                rowptr[static_cast<std::size_t>(row) + 1] - target;
-            if (above < below) ++row;  // straddling row joins this thread
+    m.visit([&](const auto& v) {
+        const auto rowptr = v.rowptr();
+        const std::int64_t total = v.nnz();
+        std::int64_t row = 0;
+        for (std::int64_t t = 0; t < threads; ++t) {
+            const std::int64_t target = (t + 1) * total / threads;
+            const std::int64_t begin = row;
+            while (row < n && static_cast<std::int64_t>(rowptr[
+                                  static_cast<std::size_t>(row) + 1]) <=
+                                  target)
+                ++row;
+            if (row < n) {
+                const std::int64_t below =
+                    target - static_cast<std::int64_t>(
+                                 rowptr[static_cast<std::size_t>(row)]);
+                const std::int64_t above =
+                    static_cast<std::int64_t>(
+                        rowptr[static_cast<std::size_t>(row) + 1]) -
+                    target;
+                if (above < below) ++row;  // straddling row joins this thread
+            }
+            if (t == threads - 1) row = n;
+            ranges_[static_cast<std::size_t>(t)] = RowRange{begin, row};
         }
-        if (t == threads - 1) row = n;
-        ranges_[static_cast<std::size_t>(t)] = RowRange{begin, row};
-    }
+    });
     SPMV_ENSURES(ranges_.back().end == n);
 }
 
@@ -53,17 +60,21 @@ const RowRange& RowPartition::range(std::int64_t thread) const {
 }
 
 std::vector<std::int64_t> RowPartition::nnz_per_thread(
-    const CsrView& m) const {
-    const auto rowptr = m.rowptr();
+    const AnyCsrView& m) const {
     std::vector<std::int64_t> out(ranges_.size());
-    for (std::size_t t = 0; t < ranges_.size(); ++t) {
-        out[t] = rowptr[static_cast<std::size_t>(ranges_[t].end)] -
-                 rowptr[static_cast<std::size_t>(ranges_[t].begin)];
-    }
+    m.visit([&](const auto& v) {
+        const auto rowptr = v.rowptr();
+        for (std::size_t t = 0; t < ranges_.size(); ++t) {
+            out[t] = static_cast<std::int64_t>(
+                         rowptr[static_cast<std::size_t>(ranges_[t].end)]) -
+                     static_cast<std::int64_t>(
+                         rowptr[static_cast<std::size_t>(ranges_[t].begin)]);
+        }
+    });
     return out;
 }
 
-double RowPartition::imbalance(const CsrView& m) const {
+double RowPartition::imbalance(const AnyCsrView& m) const {
     const auto per_thread = nnz_per_thread(m);
     std::int64_t max = 0, sum = 0;
     for (auto k : per_thread) {

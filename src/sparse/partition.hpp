@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sparse/any_csr.hpp"
 #include "sparse/csr_view.hpp"
 
 namespace spmvcache {
@@ -29,11 +30,13 @@ enum class PartitionPolicy {
     BalancedNonzeros  ///< equal nonzero counts (Alappat et al.)
 };
 
-/// A full assignment of rows to `threads` contiguous ranges.
+/// A full assignment of rows to `threads` contiguous ranges. The split is
+/// width-agnostic (ranges are int64 row ids), so one RowPartition serves
+/// either index width; views of both widths convert implicitly.
 class RowPartition {
 public:
     /// Pre: threads >= 1.
-    RowPartition(const CsrView& m, std::int64_t threads,
+    RowPartition(const AnyCsrView& m, std::int64_t threads,
                  PartitionPolicy policy);
 
     [[nodiscard]] std::int64_t threads() const noexcept {
@@ -46,10 +49,10 @@ public:
 
     /// Nonzeros owned by each thread (for imbalance metrics).
     [[nodiscard]] std::vector<std::int64_t> nnz_per_thread(
-        const CsrView& m) const;
+        const AnyCsrView& m) const;
 
     /// max(nnz per thread) / mean(nnz per thread); 1.0 = perfectly balanced.
-    [[nodiscard]] double imbalance(const CsrView& m) const;
+    [[nodiscard]] double imbalance(const AnyCsrView& m) const;
 
 private:
     std::vector<RowRange> ranges_;

@@ -7,9 +7,10 @@
 
 namespace spmvcache {
 
-SellCSigmaMatrix::SellCSigmaMatrix(const CsrView& csr,
-                                   std::int64_t chunk_height,
-                                   std::int64_t sigma)
+template <class Idx>
+BasicSellCSigmaMatrix<Idx>::BasicSellCSigmaMatrix(
+    const BasicCsrView<Idx>& csr, std::int64_t chunk_height,
+    std::int64_t sigma)
     : rows_(csr.rows()), cols_(csr.cols()), nnz_(csr.nnz()),
       c_(chunk_height), sigma_(sigma) {
     SPMV_EXPECTS(chunk_height >= 1);
@@ -22,24 +23,25 @@ SellCSigmaMatrix::SellCSigmaMatrix(const CsrView& csr,
 
     // Sort rows by descending length within windows of sigma rows.
     perm_.resize(static_cast<std::size_t>(rows_));
-    std::iota(perm_.begin(), perm_.end(), 0);
-    auto row_len = [&](std::int32_t r) {
-        return rowptr[static_cast<std::size_t>(r) + 1] -
-               rowptr[static_cast<std::size_t>(r)];
+    std::iota(perm_.begin(), perm_.end(), index_type{0});
+    auto row_len = [&](index_type r) {
+        return static_cast<std::int64_t>(
+            rowptr[static_cast<std::size_t>(r) + 1] -
+            rowptr[static_cast<std::size_t>(r)]);
     };
     for (std::int64_t window = 0; window < rows_; window += sigma_) {
         const auto begin = perm_.begin() + static_cast<std::ptrdiff_t>(window);
         const auto end =
             perm_.begin() +
             static_cast<std::ptrdiff_t>(std::min(window + sigma_, rows_));
-        std::stable_sort(begin, end, [&](std::int32_t a, std::int32_t b) {
+        std::stable_sort(begin, end, [&](index_type a, index_type b) {
             return row_len(a) > row_len(b);
         });
     }
 
     row_lengths_.resize(static_cast<std::size_t>(rows_));
     for (std::int64_t p = 0; p < rows_; ++p)
-        row_lengths_[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(
+        row_lengths_[static_cast<std::size_t>(p)] = static_cast<index_type>(
             row_len(perm_[static_cast<std::size_t>(p)]));
 
     // Chunk geometry: width of chunk k = longest row in it.
@@ -88,17 +90,20 @@ SellCSigmaMatrix::SellCSigmaMatrix(const CsrView& csr,
     }
 }
 
-std::int64_t SellCSigmaMatrix::chunk_width(std::int64_t k) const {
+template <class Idx>
+std::int64_t BasicSellCSigmaMatrix<Idx>::chunk_width(std::int64_t k) const {
     SPMV_EXPECTS(k >= 0 && k < chunks());
     return chunk_width_[static_cast<std::size_t>(k)];
 }
 
-std::int64_t SellCSigmaMatrix::chunk_offset(std::int64_t k) const {
+template <class Idx>
+std::int64_t BasicSellCSigmaMatrix<Idx>::chunk_offset(std::int64_t k) const {
     SPMV_EXPECTS(k >= 0 && k < chunks());
     return chunk_offset_[static_cast<std::size_t>(k)];
 }
 
-void spmv_sell(const SellCSigmaMatrix& a, std::span<const double> x,
+template <class Idx>
+void spmv_sell(const BasicSellCSigmaMatrix<Idx>& a, std::span<const double> x,
                std::span<double> y) {
     SPMV_EXPECTS(x.size() == static_cast<std::size_t>(a.cols()));
     SPMV_EXPECTS(y.size() == static_cast<std::size_t>(a.rows()));
@@ -126,5 +131,12 @@ void spmv_sell(const SellCSigmaMatrix& a, std::span<const double> x,
         }
     }
 }
+
+template class BasicSellCSigmaMatrix<Idx32>;
+template class BasicSellCSigmaMatrix<Idx64>;
+template void spmv_sell<Idx32>(const BasicSellCSigmaMatrix<Idx32>&,
+                               std::span<const double>, std::span<double>);
+template void spmv_sell<Idx64>(const BasicSellCSigmaMatrix<Idx64>&,
+                               std::span<const double>, std::span<double>);
 
 }  // namespace spmvcache

@@ -8,6 +8,11 @@
 // chunks of C rows, and each chunk is stored column-major, padded to the
 // length of its longest row — SIMD-friendly on 512-bit SVE (C = multiple
 // of 8 doubles).
+//
+// The per-element arrays (colidx, perm, row_lengths) follow the CSR index
+// width (Idx32/Idx64); the chunk geometry (offsets, widths) stays int64 at
+// both widths since padding can push the stored element count past the
+// logical nnz bound.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +24,20 @@
 namespace spmvcache {
 
 /// Immutable SELL-C-sigma matrix, built from a CSR matrix.
-class SellCSigmaMatrix {
+template <class Idx>
+class BasicSellCSigmaMatrix {
 public:
+    using index_type = typename Idx::index_type;
+    using idx_tag = Idx;
+
     /// Converts `csr`. Pre: chunk_height >= 1; sigma >= 1 and a multiple
     /// of chunk_height (or 1 for no sorting).
-    SellCSigmaMatrix(const CsrView& csr, std::int64_t chunk_height,
-                     std::int64_t sigma);
+    BasicSellCSigmaMatrix(const BasicCsrView<Idx>& csr,
+                          std::int64_t chunk_height, std::int64_t sigma);
+
+    [[nodiscard]] static constexpr IndexWidth index_width() noexcept {
+        return Idx::width;
+    }
 
     [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
     [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
@@ -62,17 +75,17 @@ public:
     }
 
     /// Row permutation: perm()[sorted_position] = original row.
-    [[nodiscard]] std::span<const std::int32_t> perm() const noexcept {
+    [[nodiscard]] std::span<const index_type> perm() const noexcept {
         return {perm_.data(), perm_.size()};
     }
     [[nodiscard]] std::span<const double> values() const noexcept {
         return {values_.data(), values_.size()};
     }
-    [[nodiscard]] std::span<const std::int32_t> colidx() const noexcept {
+    [[nodiscard]] std::span<const index_type> colidx() const noexcept {
         return {colidx_.data(), colidx_.size()};
     }
     /// Nonzeros (unpadded length) of sorted row position p.
-    [[nodiscard]] std::span<const std::int32_t> row_lengths() const noexcept {
+    [[nodiscard]] std::span<const index_type> row_lengths() const noexcept {
         return {row_lengths_.data(), row_lengths_.size()};
     }
 
@@ -81,7 +94,7 @@ public:
         return values_.size() * sizeof(double);
     }
     [[nodiscard]] std::uint64_t colidx_bytes() const noexcept {
-        return colidx_.size() * sizeof(std::int32_t);
+        return colidx_.size() * sizeof(index_type);
     }
 
 private:
@@ -91,17 +104,30 @@ private:
     std::int64_t c_ = 1;
     std::int64_t sigma_ = 1;
     aligned_vector<double> values_;
-    aligned_vector<std::int32_t> colidx_;
+    aligned_vector<index_type> colidx_;
     aligned_vector<std::int64_t> chunk_offset_;  ///< chunks()+1 entries
     std::vector<std::int64_t> chunk_width_;
-    std::vector<std::int32_t> perm_;
-    std::vector<std::int32_t> row_lengths_;
+    std::vector<index_type> perm_;
+    std::vector<index_type> row_lengths_;
 };
+
+using SellCSigmaMatrix = BasicSellCSigmaMatrix<Idx32>;
+using SellCSigmaMatrix64 = BasicSellCSigmaMatrix<Idx64>;
 
 /// y <- y + A x with A in SELL-C-sigma form (results land at the original
 /// row positions via the permutation).
 /// Pre: x.size() == cols, y.size() == rows.
-void spmv_sell(const SellCSigmaMatrix& a, std::span<const double> x,
+template <class Idx>
+void spmv_sell(const BasicSellCSigmaMatrix<Idx>& a, std::span<const double> x,
                std::span<double> y);
+
+extern template class BasicSellCSigmaMatrix<Idx32>;
+extern template class BasicSellCSigmaMatrix<Idx64>;
+extern template void spmv_sell<Idx32>(const BasicSellCSigmaMatrix<Idx32>&,
+                                      std::span<const double>,
+                                      std::span<double>);
+extern template void spmv_sell<Idx64>(const BasicSellCSigmaMatrix<Idx64>&,
+                                      std::span<const double>,
+                                      std::span<double>);
 
 }  // namespace spmvcache

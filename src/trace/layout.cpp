@@ -5,13 +5,18 @@
 namespace spmvcache {
 
 SpmvLayout::SpmvLayout(std::int64_t rows, std::int64_t cols, std::int64_t nnz,
-                       std::uint64_t line_bytes)
-    : line_bytes_(line_bytes) {
+                       std::uint64_t line_bytes, std::uint32_t colidx_bytes,
+                       std::uint32_t rowptr_bytes)
+    : line_bytes_(line_bytes), colidx_bytes_(colidx_bytes),
+      rowptr_bytes_(rowptr_bytes) {
     SPMV_EXPECTS(rows >= 0 && cols >= 0 && nnz >= 0);
     SPMV_EXPECTS(line_bytes >= 8);
     SPMV_EXPECTS((line_bytes & (line_bytes - 1)) == 0);
+    SPMV_EXPECTS(colidx_bytes == 4 || colidx_bytes == 8);
+    SPMV_EXPECTS(rowptr_bytes == 4 || rowptr_bytes == 8);
     per_line8_ = line_bytes / 8;
-    per_line4_ = line_bytes / 4;
+    per_line_colidx_ = line_bytes / colidx_bytes;
+    per_line_rowptr_ = line_bytes / rowptr_bytes;
 
     auto lines_for = [&](std::uint64_t elements, std::uint64_t elem_bytes) {
         return (elements * elem_bytes + line_bytes - 1) / line_bytes;
@@ -23,9 +28,9 @@ SpmvLayout::SpmvLayout(std::int64_t rows, std::int64_t cols, std::int64_t nnz,
     size_[static_cast<int>(DataObject::Values)] =
         lines_for(static_cast<std::uint64_t>(nnz), 8);
     size_[static_cast<int>(DataObject::ColIdx)] =
-        lines_for(static_cast<std::uint64_t>(nnz), 4);
+        lines_for(static_cast<std::uint64_t>(nnz), colidx_bytes);
     size_[static_cast<int>(DataObject::RowPtr)] =
-        lines_for(static_cast<std::uint64_t>(rows) + 1, 8);
+        lines_for(static_cast<std::uint64_t>(rows) + 1, rowptr_bytes);
 
     std::uint64_t cursor = 0;
     for (int o = 0; o < kDataObjectCount; ++o) {

@@ -7,10 +7,11 @@
 
 namespace spmvcache {
 
+template <class Idx>
 [[nodiscard]] Result<std::vector<std::uint64_t>> try_pack_spmv_trace_segment(
-    const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
-    std::int64_t cores_per_numa, std::int64_t segment,
-    const SampleFilter& filter) {
+    const BasicCsrView<Idx>& m, const SpmvLayout& layout,
+    const TraceConfig& cfg, std::int64_t cores_per_numa,
+    std::int64_t segment, const SampleFilter& filter) {
     SPMV_RETURN_IF_ERROR(fault::maybe_fail("trace.pack"));
 
     // Demand-reference count of this segment; exact when no software
@@ -57,5 +58,16 @@ namespace spmvcache {
                          std::to_string(bad.thread) + ")");
     return packed;
 }
+
+template Result<std::vector<std::uint64_t>>
+try_pack_spmv_trace_segment<Idx32>(const BasicCsrView<Idx32>&,
+                                   const SpmvLayout&, const TraceConfig&,
+                                   std::int64_t, std::int64_t,
+                                   const SampleFilter&);
+template Result<std::vector<std::uint64_t>>
+try_pack_spmv_trace_segment<Idx64>(const BasicCsrView<Idx64>&,
+                                   const SpmvLayout&, const TraceConfig&,
+                                   std::int64_t, std::int64_t,
+                                   const SampleFilter&);
 
 }  // namespace spmvcache

@@ -32,8 +32,9 @@ namespace spmvcache {
 /// Builds the layout for a SELL matrix: x, y, values and colidx sized by
 /// the *padded* element count, the metadata (chunk offsets) in the
 /// rowptr slot.
-[[nodiscard]] inline SpmvLayout sell_layout(const SellCSigmaMatrix& m,
-                                            std::uint64_t line_bytes) {
+template <class Idx>
+[[nodiscard]] SpmvLayout sell_layout(const BasicSellCSigmaMatrix<Idx>& m,
+                                     std::uint64_t line_bytes) {
     return SpmvLayout(m.rows(), m.cols(), m.padded_nnz(), line_bytes);
 }
 
@@ -41,9 +42,9 @@ namespace spmvcache {
 /// sink(const MemRef&) per reference. Thread id is always 0 (the SELL
 /// analysis in this repository is sequential; chunk-parallel traces would
 /// partition chunks the way generate_spmv_trace partitions rows).
-template <class Sink>
-void generate_sell_trace(const SellCSigmaMatrix& m, const SpmvLayout& layout,
-                         Sink&& sink) {
+template <class Idx, class Sink>
+void generate_sell_trace(const BasicSellCSigmaMatrix<Idx>& m,
+                         const SpmvLayout& layout, Sink&& sink) {
     const auto colidx = m.colidx();
     const auto perm = m.perm();
     const std::int64_t c = m.chunk_height();

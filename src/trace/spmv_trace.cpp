@@ -25,7 +25,8 @@ namespace spmvcache {
     return checked_add(row_refs, nnz_refs);
 }
 
-std::vector<MemRef> collect_spmv_trace(const CsrView& m,
+template <class Idx>
+std::vector<MemRef> collect_spmv_trace(const BasicCsrView<Idx>& m,
                                        const SpmvLayout& layout,
                                        const TraceConfig& cfg) {
     fault::maybe_throw("trace.generate");
@@ -38,7 +39,8 @@ std::vector<MemRef> collect_spmv_trace(const CsrView& m,
     return trace;
 }
 
-std::vector<MemRef> collect_spmv_trace_segment(const CsrView& m,
+template <class Idx>
+std::vector<MemRef> collect_spmv_trace_segment(const BasicCsrView<Idx>& m,
                                                const SpmvLayout& layout,
                                                const TraceConfig& cfg,
                                                std::int64_t cores_per_numa,
@@ -57,7 +59,8 @@ std::vector<MemRef> collect_spmv_trace_segment(const CsrView& m,
     return trace;
 }
 
-std::vector<std::uint64_t> spmv_segment_lengths(const CsrView& m,
+template <class Idx>
+std::vector<std::uint64_t> spmv_segment_lengths(const BasicCsrView<Idx>& m,
                                                 const TraceConfig& cfg,
                                                 std::int64_t cores_per_numa) {
     SPMV_EXPECTS(cores_per_numa >= 1);
@@ -68,8 +71,10 @@ std::vector<std::uint64_t> spmv_segment_lengths(const CsrView& m,
     for (std::int64_t t = 0; t < cfg.threads; ++t) {
         const auto& range = partition.range(t);
         const std::int64_t nnz =
-            rowptr[static_cast<std::size_t>(range.end)] -
-            rowptr[static_cast<std::size_t>(range.begin)];
+            static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(range.end)]) -
+            static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(range.begin)]);
         // Per-segment demand-reference totals feed shard scheduling and
         // the instrumentation output; a wrapped sum here would silently
         // misreport every shard, so the arithmetic is contract-checked.
@@ -85,7 +90,8 @@ std::vector<std::uint64_t> spmv_segment_lengths(const CsrView& m,
     return lengths;
 }
 
-std::vector<MemRef> record_spmv_trace_mcs(const CsrView& m,
+template <class Idx>
+std::vector<MemRef> record_spmv_trace_mcs(const BasicCsrView<Idx>& m,
                                           const SpmvLayout& layout,
                                           std::int64_t threads,
                                           std::int64_t chunk_refs,
@@ -156,5 +162,26 @@ std::vector<MemRef> record_spmv_trace_mcs(const CsrView& m,
     SPMV_ENSURES(shared.size() == spmv_trace_length(m.rows(), m.nnz()));
     return shared;
 }
+
+template std::vector<MemRef> collect_spmv_trace<Idx32>(
+    const BasicCsrView<Idx32>&, const SpmvLayout&, const TraceConfig&);
+template std::vector<MemRef> collect_spmv_trace<Idx64>(
+    const BasicCsrView<Idx64>&, const SpmvLayout&, const TraceConfig&);
+template std::vector<MemRef> collect_spmv_trace_segment<Idx32>(
+    const BasicCsrView<Idx32>&, const SpmvLayout&, const TraceConfig&,
+    std::int64_t, std::int64_t);
+template std::vector<MemRef> collect_spmv_trace_segment<Idx64>(
+    const BasicCsrView<Idx64>&, const SpmvLayout&, const TraceConfig&,
+    std::int64_t, std::int64_t);
+template std::vector<std::uint64_t> spmv_segment_lengths<Idx32>(
+    const BasicCsrView<Idx32>&, const TraceConfig&, std::int64_t);
+template std::vector<std::uint64_t> spmv_segment_lengths<Idx64>(
+    const BasicCsrView<Idx64>&, const TraceConfig&, std::int64_t);
+template std::vector<MemRef> record_spmv_trace_mcs<Idx32>(
+    const BasicCsrView<Idx32>&, const SpmvLayout&, std::int64_t,
+    std::int64_t, PartitionPolicy);
+template std::vector<MemRef> record_spmv_trace_mcs<Idx64>(
+    const BasicCsrView<Idx64>&, const SpmvLayout&, std::int64_t,
+    std::int64_t, PartitionPolicy);
 
 }  // namespace spmvcache

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sparse/csr.hpp"
 #include "sparse/csr_view.hpp"
 #include "sparse/partition.hpp"
 #include "trace/layout.hpp"
@@ -73,8 +74,9 @@ struct TraceCursor {
 /// references) for one thread. Returns false once the cursor is exhausted.
 /// `x_prefetch_distance` > 0 interleaves prfm hints for x (see
 /// TraceConfig::x_prefetch_distance).
-template <class Sink>
-bool advance(const CsrView& m, const SpmvLayout& layout, std::uint32_t t,
+template <class Idx, class Sink>
+bool advance(const BasicCsrView<Idx>& m, const SpmvLayout& layout,
+             std::uint32_t t,
              TraceCursor& cur, std::int64_t quantum, Sink&& sink,
              std::int64_t x_prefetch_distance = 0) {
     if (cur.done()) return false;
@@ -89,8 +91,10 @@ bool advance(const CsrView& m, const SpmvLayout& layout, std::uint32_t t,
                         false});
             sink(MemRef{layout.rowptr_line(cur.row + 1), t, DataObject::RowPtr,
                         false});
-            cur.i = rowptr[static_cast<std::size_t>(cur.row)];
-            cur.i_end = rowptr[static_cast<std::size_t>(cur.row) + 1];
+            cur.i = static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(cur.row)]);
+            cur.i_end = static_cast<std::int64_t>(
+                rowptr[static_cast<std::size_t>(cur.row) + 1]);
             cur.row_opened = true;
             if (x_prefetch_distance > 0) {
                 // Priming prefetches for the first elements of the row.
@@ -135,8 +139,8 @@ bool advance(const CsrView& m, const SpmvLayout& layout, std::uint32_t t,
 /// every reference. With cfg.threads == 1 this is the sequential program
 /// order; otherwise the per-thread streams are interleaved round-robin,
 /// cfg.quantum nonzeros per thread per turn.
-template <class Sink>
-void generate_spmv_trace(const CsrView& m, const SpmvLayout& layout,
+template <class Idx, class Sink>
+void generate_spmv_trace(const BasicCsrView<Idx>& m, const SpmvLayout& layout,
                          const TraceConfig& cfg, Sink&& sink) {
     const RowPartition partition(m, cfg.threads, cfg.partition);
     std::vector<detail::TraceCursor> cursors(
@@ -182,8 +186,9 @@ void generate_spmv_trace(const CsrView& m, const SpmvLayout& layout,
 /// permutation of the full trace that preserves every per-thread (and
 /// per-segment) subsequence — the only orderings the per-segment and
 /// per-core stack engines can observe.
-template <class Sink>
-void generate_spmv_trace_segment(const CsrView& m, const SpmvLayout& layout,
+template <class Idx, class Sink>
+void generate_spmv_trace_segment(const BasicCsrView<Idx>& m,
+                                 const SpmvLayout& layout,
                                  const TraceConfig& cfg,
                                  std::int64_t cores_per_numa,
                                  std::int64_t segment, Sink&& sink) {
@@ -217,30 +222,110 @@ void generate_spmv_trace_segment(const CsrView& m, const SpmvLayout& layout,
 }
 
 /// Materialises a trace into a vector (small matrices / tests).
-[[nodiscard]] std::vector<MemRef> collect_spmv_trace(const CsrView& m,
-                                                     const SpmvLayout& layout,
-                                                     const TraceConfig& cfg);
+template <class Idx>
+[[nodiscard]] std::vector<MemRef> collect_spmv_trace(
+    const BasicCsrView<Idx>& m, const SpmvLayout& layout,
+    const TraceConfig& cfg);
 
 /// Materialises one segment's filtered trace (tests / diagnostics).
+template <class Idx>
 [[nodiscard]] std::vector<MemRef> collect_spmv_trace_segment(
-    const CsrView& m, const SpmvLayout& layout, const TraceConfig& cfg,
-    std::int64_t cores_per_numa, std::int64_t segment);
+    const BasicCsrView<Idx>& m, const SpmvLayout& layout,
+    const TraceConfig& cfg, std::int64_t cores_per_numa,
+    std::int64_t segment);
 
 /// Demand-reference count of each segment's filtered trace (one SpMV
 /// iteration): 4 refs per owned row + 3 per owned nonzero, summed over the
 /// segment's threads. Software-prefetch hints are not counted. The entries
 /// sum to spmv_trace_length(rows, nnz) for every partition/quantum choice.
+template <class Idx>
 [[nodiscard]] std::vector<std::uint64_t> spmv_segment_lengths(
-    const CsrView& m, const TraceConfig& cfg, std::int64_t cores_per_numa);
+    const BasicCsrView<Idx>& m, const TraceConfig& cfg,
+    std::int64_t cores_per_numa);
 
 /// Records a parallel trace with real threads: each worker generates the
 /// references of its row range and submits them in chunks of `chunk_refs`
 /// through an MCS queue lock (starvation-free, FIFO hand-off), exactly as
 /// §3.2.1 describes. The resulting interleaving is a valid concurrent
 /// ordering but not deterministic across runs.
+template <class Idx>
 [[nodiscard]] std::vector<MemRef> record_spmv_trace_mcs(
-    const CsrView& m, const SpmvLayout& layout, std::int64_t threads,
-    std::int64_t chunk_refs = 64,
+    const BasicCsrView<Idx>& m, const SpmvLayout& layout,
+    std::int64_t threads, std::int64_t chunk_refs = 64,
     PartitionPolicy partition = PartitionPolicy::BalancedRows);
+
+extern template std::vector<MemRef> collect_spmv_trace<Idx32>(
+    const BasicCsrView<Idx32>&, const SpmvLayout&, const TraceConfig&);
+extern template std::vector<MemRef> collect_spmv_trace<Idx64>(
+    const BasicCsrView<Idx64>&, const SpmvLayout&, const TraceConfig&);
+extern template std::vector<MemRef> collect_spmv_trace_segment<Idx32>(
+    const BasicCsrView<Idx32>&, const SpmvLayout&, const TraceConfig&,
+    std::int64_t, std::int64_t);
+extern template std::vector<MemRef> collect_spmv_trace_segment<Idx64>(
+    const BasicCsrView<Idx64>&, const SpmvLayout&, const TraceConfig&,
+    std::int64_t, std::int64_t);
+extern template std::vector<std::uint64_t> spmv_segment_lengths<Idx32>(
+    const BasicCsrView<Idx32>&, const TraceConfig&, std::int64_t);
+extern template std::vector<std::uint64_t> spmv_segment_lengths<Idx64>(
+    const BasicCsrView<Idx64>&, const TraceConfig&, std::int64_t);
+extern template std::vector<MemRef> record_spmv_trace_mcs<Idx32>(
+    const BasicCsrView<Idx32>&, const SpmvLayout&, std::int64_t,
+    std::int64_t, PartitionPolicy);
+extern template std::vector<MemRef> record_spmv_trace_mcs<Idx64>(
+    const BasicCsrView<Idx64>&, const SpmvLayout&, std::int64_t,
+    std::int64_t, PartitionPolicy);
+
+// Owning-matrix conveniences: deduction cannot see through the implicit
+// matrix -> view conversion.
+template <class Idx, class Sink>
+void generate_spmv_trace(const BasicCsrMatrix<Idx>& m,
+                         const SpmvLayout& layout, const TraceConfig& cfg,
+                         Sink&& sink) {
+    generate_spmv_trace(BasicCsrView<Idx>(m), layout, cfg,
+                        std::forward<Sink>(sink));
+}
+
+template <class Idx, class Sink>
+void generate_spmv_trace_segment(const BasicCsrMatrix<Idx>& m,
+                                 const SpmvLayout& layout,
+                                 const TraceConfig& cfg,
+                                 std::int64_t cores_per_numa,
+                                 std::int64_t segment, Sink&& sink) {
+    generate_spmv_trace_segment(BasicCsrView<Idx>(m), layout, cfg,
+                                cores_per_numa, segment,
+                                std::forward<Sink>(sink));
+}
+
+template <class Idx>
+[[nodiscard]] std::vector<MemRef> collect_spmv_trace(
+    const BasicCsrMatrix<Idx>& m, const SpmvLayout& layout,
+    const TraceConfig& cfg) {
+    return collect_spmv_trace(BasicCsrView<Idx>(m), layout, cfg);
+}
+
+template <class Idx>
+[[nodiscard]] std::vector<MemRef> collect_spmv_trace_segment(
+    const BasicCsrMatrix<Idx>& m, const SpmvLayout& layout,
+    const TraceConfig& cfg, std::int64_t cores_per_numa,
+    std::int64_t segment) {
+    return collect_spmv_trace_segment(BasicCsrView<Idx>(m), layout, cfg,
+                                      cores_per_numa, segment);
+}
+
+template <class Idx>
+[[nodiscard]] std::vector<std::uint64_t> spmv_segment_lengths(
+    const BasicCsrMatrix<Idx>& m, const TraceConfig& cfg,
+    std::int64_t cores_per_numa) {
+    return spmv_segment_lengths(BasicCsrView<Idx>(m), cfg, cores_per_numa);
+}
+
+template <class Idx>
+[[nodiscard]] std::vector<MemRef> record_spmv_trace_mcs(
+    const BasicCsrMatrix<Idx>& m, const SpmvLayout& layout,
+    std::int64_t threads, std::int64_t chunk_refs = 64,
+    PartitionPolicy partition = PartitionPolicy::BalancedRows) {
+    return record_spmv_trace_mcs(BasicCsrView<Idx>(m), layout, threads,
+                                 chunk_refs, partition);
+}
 
 }  // namespace spmvcache

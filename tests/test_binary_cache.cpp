@@ -234,7 +234,8 @@ TEST_F(BinaryCacheTest, RoundTripIsByteIdenticalAcrossGenerators) {
             write_entry(m, "rt" + std::to_string(index++));
         Result<MappedCsr> loaded = load_binary_cache(entry);
         ASSERT_TRUE(loaded.ok()) << loaded.error().render();
-        const CsrView v = loaded.value().view();
+        ASSERT_EQ(loaded.value().view().index_width(), IndexWidth::W32);
+        const CsrView v = *loaded.value().view().as32();
         const CsrView orig(m);
         ASSERT_EQ(v.rows(), orig.rows());
         ASSERT_EQ(v.cols(), orig.cols());
@@ -320,8 +321,11 @@ TEST_F(BinaryCacheTest, HandleParsesThenHitsThenDetectsStaleness) {
     Result<LoadedMatrix> second = load_matrix_handle(source);
     ASSERT_TRUE(second.ok());
     EXPECT_EQ(second.value().origin, LoadOrigin::CacheHit);
-    EXPECT_EQ(std::memcmp(second.value().view.colidx().data(),
-                          first.value().view.colidx().data(),
+    ASSERT_EQ(second.value().view.index_width(),
+              first.value().view.index_width());
+    ASSERT_EQ(second.value().view.index_width(), IndexWidth::W32);
+    EXPECT_EQ(std::memcmp(second.value().view.as32()->colidx().data(),
+                          first.value().view.as32()->colidx().data(),
                           first.value().view.colidx_bytes()),
               0);
     EXPECT_EQ(second.value().fingerprint, first.value().fingerprint);

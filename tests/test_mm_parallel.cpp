@@ -77,12 +77,10 @@ void expect_differential(const std::string& text, bool strict = false) {
         ASSERT_EQ(a.cols(), b.cols());
         ASSERT_EQ(a.nnz(), b.nnz());
         EXPECT_EQ(std::memcmp(a.rowptr().data(), b.rowptr().data(),
-                              (static_cast<std::size_t>(a.rows()) + 1) *
-                                  sizeof(std::int64_t)),
+                              a.rowptr_bytes()),
                   0);
         EXPECT_EQ(std::memcmp(a.colidx().data(), b.colidx().data(),
-                              static_cast<std::size_t>(a.nnz()) *
-                                  sizeof(std::int32_t)),
+                              a.colidx_bytes()),
                   0);
         EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
                               static_cast<std::size_t>(a.nnz()) *

@@ -186,9 +186,12 @@ TEST_P(PartitionProperty, NonzeroBalanceWithinOneRow) {
         const auto rowptr = m.rowptr();
         std::int64_t max_row = 0;
         for (std::int64_t r = 0; r < m.rows(); ++r)
-            max_row = std::max(max_row,
-                               rowptr[static_cast<std::size_t>(r) + 1] -
-                                   rowptr[static_cast<std::size_t>(r)]);
+            max_row = std::max(
+                max_row,
+                static_cast<std::int64_t>(
+                    rowptr[static_cast<std::size_t>(r) + 1]) -
+                    static_cast<std::int64_t>(
+                        rowptr[static_cast<std::size_t>(r)]));
         const double ideal = static_cast<double>(m.nnz()) /
                              static_cast<double>(threads);
         const auto per_thread = partition.nnz_per_thread(m);

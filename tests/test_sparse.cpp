@@ -87,17 +87,24 @@ TEST(CsrBuilder, RejectsBackwardRows) {
     EXPECT_THROW(b.push(1, 0, 1.0), ContractViolation);
 }
 
-TEST(Csr, ByteSizesFollowPaperLayout) {
+TEST(Csr, ByteSizesFollowPhysicalWidth) {
     const CsrMatrix m = small_matrix();
-    // 8-byte values, 4-byte colidx, 8-byte rowptr (M+1 entries).
+    // Narrow storage: 8-byte values, 4-byte colidx, 4-byte rowptr (M+1
+    // entries). The paper's (4, 8) accounting is SpmvLayout's default,
+    // independent of these physical sizes.
     EXPECT_EQ(m.values_bytes(), 7u * 8);
     EXPECT_EQ(m.colidx_bytes(), 7u * 4);
-    EXPECT_EQ(m.rowptr_bytes(), 5u * 8);
+    EXPECT_EQ(m.rowptr_bytes(), 5u * 4);
     EXPECT_EQ(m.x_bytes(), 4u * 8);
     EXPECT_EQ(m.y_bytes(), 4u * 8);
     EXPECT_EQ(m.working_set_bytes(),
               m.values_bytes() + m.colidx_bytes() + m.rowptr_bytes() +
                   m.x_bytes() + m.y_bytes());
+
+    const CsrMatrix64 w = convert_csr_width<Idx64>(CsrView(m));
+    EXPECT_EQ(w.values_bytes(), 7u * 8);
+    EXPECT_EQ(w.colidx_bytes(), 7u * 8);
+    EXPECT_EQ(w.rowptr_bytes(), 5u * 8);
 }
 
 TEST(Csr, PermutedSymmetricPreservesEntries) {

@@ -1,0 +1,156 @@
+// Regenerates tests/data/corrupt_cache/ after a .spmvc format change.
+//
+// Writes a fresh format-current entry for the canonical stencil2d5:24
+// matrix, then applies the six documented byte-level damages (see the
+// corpus README). Run from anywhere:
+//
+//   make_corrupt_corpus <output-dir> [scratch-dir]
+//
+// The scratch dir (default: <output-dir>) receives the intermediate
+// .mtx source file; the damaged .spmvc files land in <output-dir>.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sparse/binary_cache.hpp"
+#include "sparse/fingerprint.hpp"
+#include "sparse/gen/stencil.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/matrix_stats.hpp"
+
+namespace fs = std::filesystem;
+using namespace spmvcache;
+
+namespace {
+
+// Header field offsets (format v2): magic 8, version u32@8, len u32@12,
+// rows i64@16, cols i64@24, nnz i64@32, offset/index/value sizes u32@40/
+// 44/48, width tag u32@52, stamp u64@56 + i64@64, then the section
+// geometry six u64 from offset 72.
+constexpr std::uint64_t kVersionOffset = 8;
+constexpr std::uint64_t kRowptrOffsetField = 72;
+constexpr std::uint64_t kColidxOffsetField = 88;
+constexpr std::uint64_t kValuesOffsetField = 104;
+constexpr std::uint64_t kValuesBytesField = 112;
+
+void poke(const std::string& path, std::uint64_t offset, const void* bytes,
+          std::size_t n) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(static_cast<const char*>(bytes),
+            static_cast<std::streamsize>(n));
+}
+
+std::uint64_t peek_u64(const std::string& path, std::uint64_t offset) {
+    std::ifstream f(path, std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(offset));
+    std::uint64_t v = 0;
+    // spmv-lint: allow(reinterpret-cast) — raw header field read
+    f.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+}
+
+std::string copy_entry(const std::string& entry, const fs::path& out,
+                       const std::string& name) {
+    const std::string dst = (out / name).string();
+    fs::copy_file(entry, dst, fs::copy_options::overwrite_existing);
+    return dst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr,
+                     "usage: make_corrupt_corpus <output-dir> "
+                     "[scratch-dir]\n");
+        return 2;
+    }
+    const fs::path out(argv[1]);
+    const fs::path scratch(argc == 3 ? argv[2] : argv[1]);
+    fs::create_directories(out);
+    fs::create_directories(scratch);
+
+    const CsrMatrix m = gen::stencil_2d_5pt(24, 24);
+    const std::string mtx = (scratch / "stencil24.mtx").string();
+    write_matrix_market_file(mtx, m);
+    const Result<SourceStamp> stamp = stat_source(mtx);
+    if (!stamp.ok()) {
+        std::fprintf(stderr, "stat: %s\n", stamp.error().render().c_str());
+        return 1;
+    }
+    const std::string entry = (scratch / "pristine.spmvc").string();
+    const CsrView view(m);
+    const Status written =
+        write_binary_cache(entry, view, fingerprint_matrix(view),
+                           compute_stats(view), mtx, stamp.value());
+    if (!written.ok()) {
+        std::fprintf(stderr, "write: %s\n",
+                     written.error().render().c_str());
+        return 1;
+    }
+
+    // 1. bad_magic: first magic byte flipped (checksum left stale — the
+    //    magic check fires before the checksum is even read).
+    {
+        const std::string p = copy_entry(entry, out, "bad_magic.spmvc");
+        const char x = 'X';
+        poke(p, 0, &x, 1);
+    }
+    // 2. version_bump: format version 99, header checksum re-fixed.
+    {
+        const std::string p = copy_entry(entry, out, "version_bump.spmvc");
+        const std::uint32_t v = 99;
+        poke(p, kVersionOffset, &v, 4);
+        if (!spmvc_testing::fixup_header_checksum(p).ok()) return 1;
+    }
+    // 3. truncated_section: file cut mid-values-section.
+    {
+        const std::string p =
+            copy_entry(entry, out, "truncated_section.spmvc");
+        const std::uint64_t values_offset =
+            peek_u64(p, kValuesOffsetField);
+        const std::uint64_t values_bytes = peek_u64(p, kValuesBytesField);
+        fs::resize_file(p, values_offset + values_bytes / 2);
+    }
+    // 4. flipped_nnz: header nnz incremented, checksum re-fixed — only
+    //    the geometry-consistency layer can catch it.
+    {
+        const std::string p = copy_entry(entry, out, "flipped_nnz.spmvc");
+        const std::int64_t nnz = m.nnz() + 1;
+        poke(p, spmvc_testing::header_nnz_offset(), &nnz, 8);
+        if (!spmvc_testing::fixup_header_checksum(p).ok()) return 1;
+    }
+    // 5. checksum_mismatch: one bit flipped inside the colidx section.
+    {
+        const std::string p =
+            copy_entry(entry, out, "checksum_mismatch.spmvc");
+        const std::uint64_t colidx_offset =
+            peek_u64(p, kColidxOffsetField);
+        std::uint8_t byte = 0;
+        {
+            std::ifstream f(p, std::ios::binary);
+            f.seekg(static_cast<std::streamoff>(colidx_offset));
+            // spmv-lint: allow(reinterpret-cast) — raw section byte read
+            f.read(reinterpret_cast<char*>(&byte), 1);
+        }
+        byte ^= 0x01;
+        poke(p, colidx_offset, &byte, 1);
+    }
+    // 6. misaligned_offset: rowptr offset nudged off the section
+    //    alignment, checksum re-fixed.
+    {
+        const std::string p =
+            copy_entry(entry, out, "misaligned_offset.spmvc");
+        const std::uint64_t bad = 4100;
+        poke(p, kRowptrOffsetField, &bad, 8);
+        if (!spmvc_testing::fixup_header_checksum(p).ok()) return 1;
+    }
+
+    std::printf("wrote 6 corrupt entries to %s (format v%u)\n",
+                out.string().c_str(), kSpmvcFormatVersion);
+    return 0;
+}

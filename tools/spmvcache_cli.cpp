@@ -70,6 +70,11 @@ using namespace spmvcache;
            "            its variants against the spmv_csr_parallel baseline\n"
            "options: --threads T --l2-ways N --l1-ways N --method a|b "
            "--rcm --gen FAMILY:N --strict\n"
+           "         --index-width auto|32|64  physical colidx/rowptr\n"
+           "                   element width: auto (default) narrows to\n"
+           "                   32-bit whenever rows/cols/nnz fit, 64\n"
+           "                   forces the wide layout, 32 fails with a\n"
+           "                   typed error on unrepresentable shapes\n"
            "         --cache-dir DIR  .spmvc binary cache for file loads\n"
            "                   (stats/predict/tune/batch/serve/cache; a\n"
            "                   valid entry is mmapped instead of parsed)\n"
@@ -143,10 +148,20 @@ void report_error(const Error& e) {
     source.strict_parse = cli.has("strict");
     source.cache_dir = cli.get("cache-dir", "");
     source.parse_jobs = cli.get_int("parse-jobs", 1);
+    if (cli.has("index-width")) {
+        const Result<IndexWidthChoice> width =
+            parse_index_width_choice(cli.get("index-width", "auto"));
+        if (!width.ok()) {
+            report_error(width.error());
+            std::exit(kExitUsage);
+        }
+        source.index_width = width.value();
+    }
     return source;
 }
 
-[[nodiscard]] Result<CsrMatrix> load_matrix(const CliParser& cli, std::size_t arg_index) {
+[[nodiscard]] Result<AnyCsrMatrix> load_matrix(const CliParser& cli,
+                                               std::size_t arg_index) {
     return load_matrix_source(matrix_source(cli, arg_index));
 }
 
@@ -189,7 +204,14 @@ int cmd_stats(const CliParser& cli) {
                                 stats.bandwidth))});
     t.add_row({"matrix bytes", fmt_bytes(stats.matrix_bytes)});
     t.add_row({"working set", fmt_bytes(stats.working_set_bytes)});
+    t.add_row({"index width",
+               stats.index_width == IndexWidth::W64 ? "64-bit" : "32-bit"});
+    t.add_row({"32-bit representable", stats.width32_ok ? "yes" : "no"});
     t.render(std::cout);
+    if (stats.index_width == IndexWidth::W64 && stats.width32_ok)
+        std::cout << "note: this matrix fits 32-bit indices; reload with "
+                     "--index-width auto|32 to halve colidx/rowptr "
+                     "traffic\n";
     return 0;
 }
 
@@ -200,7 +222,7 @@ int cmd_classify(const CliParser& cli) {
         return 1;
     }
     report_load_origin(loaded.value());
-    const CsrView m = loaded.value().view;
+    const AnyCsrView m = loaded.value().view;
     const auto ways = static_cast<std::uint32_t>(cli.get_int("ways", 5));
     const A64fxConfig machine = a64fx_default();
     const std::uint64_t sector0 =
@@ -356,7 +378,7 @@ int cmd_simulate(const CliParser& cli) {
         return 1;
     }
     report_load_origin(loaded.value());
-    const CsrView m = loaded.value().view;
+    const AnyCsrView m = loaded.value().view;
     ExperimentOptions options;
     options.machine = a64fx_default();
     options.threads = cli.get_int("threads", 48);
@@ -442,12 +464,26 @@ int cmd_tune(const CliParser& cli) {
 
 int cmd_convert(const CliParser& cli) {
     if (cli.positionals().size() < 3 && !cli.has("gen")) usage();
-    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    const Result<AnyCsrMatrix> loaded = load_matrix(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const CsrMatrix& m = loaded.value();
+    // RCM and the .mtx writer operate on the narrow layout; a wide load of
+    // a 32-bit-representable matrix is narrowed here (the text output is
+    // width-independent anyway). Shapes that genuinely need 64-bit indices
+    // cannot be converted yet.
+    const AnyCsrMatrix& any = loaded.value();
+    if (any.index_width() == IndexWidth::W64 &&
+        !width32_representable(any.rows(), any.cols(), any.nnz())) {
+        report_error(Error(ErrorCode::UnsupportedError,
+                           "convert requires a 32-bit-representable "
+                           "matrix"));
+        return 1;
+    }
+    const CsrMatrix m = any.index_width() == IndexWidth::W32
+                            ? CsrMatrix(*any.as32())
+                            : convert_csr_width<Idx32>(*any.as64());
     const std::string out = cli.positionals().back();
     const CsrMatrix result = cli.has("rcm") ? rcm_reorder(m) : m;
     try {
@@ -483,6 +519,15 @@ int cmd_batch(const CliParser& cli) {
     options.retry_transient = !cli.has("no-retry");
     options.cache_dir = cli.get("cache-dir", "");
     options.parse_jobs = cli.get_int("parse-jobs", 1);
+    if (cli.has("index-width")) {
+        const Result<IndexWidthChoice> width =
+            parse_index_width_choice(cli.get("index-width", "auto"));
+        if (!width.ok()) {
+            report_error(width.error());
+            return kExitUsage;
+        }
+        options.index_width = width.value();
+    }
     const Result<double> rate = approx_rate(cli);
     if (!rate.ok()) {
         report_error(rate.error());
@@ -608,6 +653,15 @@ int cmd_cache_warm(const CliParser& cli) {
         source.strict_parse = cli.has("strict");
         source.cache_dir = cache_dir;
         source.parse_jobs = cli.get_int("parse-jobs", 1);
+        if (cli.has("index-width")) {
+            const Result<IndexWidthChoice> width =
+                parse_index_width_choice(cli.get("index-width", "auto"));
+            if (!width.ok()) {
+                report_error(width.error());
+                return kExitUsage;
+            }
+            source.index_width = width.value();
+        }
         const Timer timer;
         const Result<LoadedMatrix> loaded = load_matrix_handle(source);
         if (!loaded.ok()) {
@@ -624,7 +678,10 @@ int cmd_cache_warm(const CliParser& cli) {
         std::cout << " ("
                   << fmt_count(
                          static_cast<unsigned long long>(m.view.nnz()))
-                  << " nnz, " << fmt(timer.seconds(), 3) << " s) -> "
+                  << " nnz, "
+                  << (m.view.index_width() == IndexWidth::W64 ? "64" : "32")
+                  << "-bit indices, " << fmt(timer.seconds(), 3)
+                  << " s) -> "
                   << spmvc_cache_path(cache_dir, path, source.strict_parse)
                   << "\n";
     }
@@ -668,11 +725,18 @@ int cmd_cache_inspect(const CliParser& cli) {
     t.add_row({"source size", fmt_bytes(i.source.size)});
     t.add_row({"source mtime [ns]", std::to_string(i.source.mtime_ns)});
     t.add_row({"fingerprint", to_string(i.fingerprint)});
+    t.add_row({"index width",
+               i.index_width == IndexWidth::W64 ? "64-bit" : "32-bit"});
     t.add_row({"mu_K (mean nnz/row)", fmt(i.stats.mean_nnz_per_row, 2)});
     t.add_row({"CV_K", fmt(i.stats.cv_nnz_per_row, 3)});
     t.add_row({"working set", fmt_bytes(i.stats.working_set_bytes)});
     t.add_row({"entry size", fmt_bytes(i.file_bytes)});
     t.render(std::cout);
+    if (i.index_width == IndexWidth::W64 &&
+        width32_representable(i.rows, i.cols, i.nnz))
+        std::cout << "note: entry stores 64-bit indices but the matrix is "
+                     "32-bit representable; re-warm with --index-width "
+                     "auto|32 to shrink it by about a third\n";
 
     // Freshness against the live source, when it is still reachable.
     const Result<SourceStamp> live = stat_source(i.source_path);
@@ -709,12 +773,13 @@ struct KernelRow {
 };
 
 int cmd_kernelbench(const CliParser& cli) {
-    const Result<CsrMatrix> loaded = load_matrix(cli, 1);
+    const Result<AnyCsrMatrix> loaded = load_matrix(cli, 1);
     if (!loaded.ok()) {
         report_error(loaded.error());
         return 1;
     }
-    const CsrMatrix& m = loaded.value();
+    const AnyCsrMatrix& m = loaded.value();
+    const AnyCsrView view = m.view();
     const std::int64_t threads = cli.get_int("threads", 1);
     const std::int64_t iters = cli.get_int(
         "iters",
@@ -742,13 +807,19 @@ int cmd_kernelbench(const CliParser& cli) {
     const double flops = 2.0 * static_cast<double>(m.nnz()) *
                          static_cast<double>(iters);
 
-    // Baseline: the per-call spmv_csr_parallel entry point.
-    const RowPartition partition(m, threads,
+    // Baseline: the per-call spmv_csr_parallel entry point, at the loaded
+    // matrix's physical width.
+    const RowPartition partition(view, threads,
                                  PartitionPolicy::BalancedNonzeros);
-    spmv_csr_parallel(m, x, y, partition);  // warm-up
+    const auto run_baseline = [&] {
+        view.visit([&](const auto& v) {
+            spmv_csr_parallel(v, std::span<const double>(x),
+                              std::span<double>(y), partition);
+        });
+    };
+    run_baseline();  // warm-up
     Timer base_timer;
-    for (std::int64_t i = 0; i < iters; ++i)
-        spmv_csr_parallel(m, x, y, partition);
+    for (std::int64_t i = 0; i < iters; ++i) run_baseline();
     const double base_seconds = base_timer.seconds();
     const double base_gflops =
         base_seconds > 0 ? flops / base_seconds / 1e9 : 0.0;
@@ -759,7 +830,7 @@ int cmd_kernelbench(const CliParser& cli) {
         options.threads = threads;
         options.variant = v;
         options.prefetch_distance = cli.get_int("prefetch-distance", 0);
-        KernelEngine engine(m, options);
+        AnyKernelEngine engine(view, options);
         engine.run_iterations(x, y, 1);  // warm-up
         Timer timer;
         engine.run_iterations(x, y, iters);
